@@ -1,0 +1,72 @@
+// Section II claim: "post-training, we quantize the SVM weights and biases
+// to the lowest precision that can retain acceptable accuracy."
+//
+// This bench shows the search surface per dataset (accuracy vs input/weight
+// bits on the validation slice), the configuration the flow selects, and
+// the hardware cost consequence of over-provisioning precision.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/power/power.hpp"
+#include "pml/quant/search.hpp"
+#include "pml/report/table.hpp"
+
+using namespace pml;
+
+int main(int argc, char** argv) {
+  const bool quick = benchutil::quick_mode(argc, argv);
+  const cells::CellLibrary lib = cells::CellLibrary::egfet();
+  std::cout << "=== Lowest-precision search (validation accuracy, %) ===\n";
+
+  for (const auto& info : ml::all_profiles()) {
+    if (quick && info.profile != ml::UciProfile::kCardio) continue;
+    const auto data = benchutil::prepare(info.profile);
+    ml::MulticlassTrainOptions topts;
+    topts.base.seed = 7;
+    const auto model = ml::train_one_vs_rest(data.train, topts);
+    const ml::Split val = ml::stratified_split(data.train, 0.75, 7 ^ 0xBEEF);
+    const double float_acc =
+        ml::accuracy(model.predict_all(val.test.X), val.test.y);
+
+    std::cout << "\n--- " << data.name << " (float validation accuracy "
+              << report::fmt_pct(float_acc) << "%) ---\n";
+    report::Table surface({"in\\w bits", "4", "5", "6", "7", "8"});
+    for (int bx = 3; bx <= 7; ++bx) {
+      std::vector<std::string> row{std::to_string(bx)};
+      for (int bw = 4; bw <= 8; ++bw) {
+        const auto q = quant::quantize_svm(model, bx, bw);
+        row.push_back(report::fmt_pct(
+            ml::accuracy(q.predict_all(val.test.X), val.test.y)));
+      }
+      surface.add_row(row);
+    }
+    surface.print(std::cout);
+
+    quant::PrecisionSearchOptions sopts;
+    const auto chosen = quant::search_min_precision(model, val.test, sopts);
+    // Hardware consequence: the selected precision vs a conservative 8x8.
+    const auto build_cost = [&](int bx, int bw) {
+      const auto circuit =
+          arch::build_sequential_svm(quant::quantize_svm(model, bx, bw));
+      return power::area_cm2(circuit.module, lib);
+    };
+    const double chosen_area =
+        build_cost(chosen.input_bits, chosen.weight_bits);
+    const double conservative_area = build_cost(8, 8);
+    std::cout << "selected: " << chosen.input_bits << "-bit inputs / "
+              << chosen.weight_bits << "-bit weights (validation "
+              << report::fmt_pct(chosen.quantized_accuracy) << "%, drop "
+              << report::fmt((float_acc - chosen.quantized_accuracy) * 100, 2)
+              << " pp)\n"
+              << "sequential-circuit area: "
+              << report::fmt(chosen_area, 1) << " cm2 at selected precision vs "
+              << report::fmt(conservative_area, 1) << " cm2 at 8x8 ("
+              << report::fmt_ratio(conservative_area / chosen_area, 1)
+              << " larger)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Design-choice ablation: *folding* — the paper's central idea.  The same
+// trained, quantized OvR model is built twice: as our n-cycle sequential
+// circuit and as a single-cycle fully-parallel circuit (bespoke constant
+// multipliers, combinational argmax).  This isolates the folding decision
+// from the OvR/OvO and precision decisions.
+//
+// Also sweeps class count on a synthetic family to expose how the
+// sequential advantage scales (the engine is reused n times while the
+// parallel datapath replicates n times).
+//
+// Usage: bench_seq_vs_parallel [--quick]
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "pml/arch/parallel_svm.hpp"
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/core/evaluate.hpp"
+#include "pml/core/flow.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/ml/rng.hpp"
+#include "pml/report/table.hpp"
+
+using namespace pml;
+
+namespace {
+
+enum class Variant { kSequential, kParallelChain, kParallelTree };
+
+core::HardwareReport measure(const quant::QuantizedSvm& q,
+                             const ml::Dataset& test, Variant variant,
+                             const cells::CellLibrary& lib,
+                             std::size_t power_samples) {
+  core::EvaluateOptions opts;
+  opts.power_samples = power_samples;
+  const core::CircuitWorkload wl = core::make_svm_workload(q, test);
+  if (variant == Variant::kSequential) {
+    auto c = arch::build_sequential_svm(q);
+    return core::evaluate_circuit(c.module, c.cycles_per_inference, lib, wl,
+                                  opts);
+  }
+  arch::ParallelSvmOptions popts;
+  popts.accumulator = variant == Variant::kParallelChain
+                          ? arch::Accumulator::kChain
+                          : arch::Accumulator::kTree;
+  auto c = arch::build_parallel_svm(q, popts);
+  return core::evaluate_circuit(c.module, c.cycles_per_inference, lib, wl,
+                                opts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = benchutil::quick_mode(argc, argv);
+  const cells::CellLibrary lib = cells::CellLibrary::egfet();
+  const std::size_t samples = quick ? 16 : 32;
+
+  std::cout << "=== Folding ablation: identical OvR model, sequential vs "
+               "parallel ===\n\n";
+  report::Table table({"Dataset", "Arch", "Area (cm2)", "Power (mW)",
+                       "Freq (Hz)", "Latency (ms)", "Energy (mJ)",
+                       "Seq. energy gain"});
+  for (const auto& info : ml::all_profiles()) {
+    if (quick && info.profile == ml::UciProfile::kPenDigits) continue;
+    const auto data = benchutil::prepare(info.profile);
+    ml::MulticlassTrainOptions topts;
+    topts.base.seed = 7;
+    const auto model = ml::train_one_vs_rest(data.train, topts);
+    const auto q = quant::quantize_svm(model, 4, 5);
+    const auto seq = measure(q, data.test, Variant::kSequential, lib, samples);
+    const auto chain =
+        measure(q, data.test, Variant::kParallelChain, lib, samples);
+    const auto tree =
+        measure(q, data.test, Variant::kParallelTree, lib, samples);
+    auto emit = [&](const char* name, const core::HardwareReport& hw) {
+      table.add_row({data.name, name, report::fmt(hw.area_cm2, 1),
+                     report::fmt(hw.power_mw, 1),
+                     report::fmt(hw.frequency_hz, 0),
+                     report::fmt(hw.latency_ms, 0),
+                     report::fmt(hw.energy_mj, 3),
+                     report::fmt_ratio(hw.energy_mj / seq.energy_mj, 2)});
+    };
+    emit("sequential (ours)", seq);
+    emit("parallel, chain acc. (SotA style)", chain);
+    emit("parallel, tree acc. (modernized)", tree);
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout << "\n=== Scaling with class count (synthetic, 12 features) ===\n";
+  report::Table sweep({"Classes", "Seq area (cm2)", "Par area (cm2)",
+                       "Seq energy (mJ)", "Par energy (mJ)", "Energy gain"});
+  for (const int n : {2, 4, 6, 8, 10}) {
+    // Balanced synthetic blobs with n classes.
+    std::vector<ml::BlobSpec> blobs;
+    ml::Rng rng(static_cast<std::uint64_t>(n) * 97);
+    for (int c = 0; c < n; ++c) {
+      ml::BlobSpec b;
+      b.label = c;
+      b.sigma = 0.09;
+      for (int j = 0; j < 12; ++j) b.mean.push_back(rng.uniform(0.2, 0.8));
+      blobs.push_back(std::move(b));
+    }
+    const ml::Dataset d =
+        ml::make_blobs("sweep", 12, n, blobs, 1200, 0.0, 1234);
+    ml::Split split = ml::stratified_split(d, 0.8, 5);
+    ml::MinMaxScaler scaler;
+    scaler.fit(split.train);
+    const ml::Dataset train = scaler.transform(split.train);
+    const ml::Dataset test = scaler.transform(split.test);
+    ml::MulticlassTrainOptions topts;
+    topts.base.seed = 7;
+    const auto q =
+        quant::quantize_svm(ml::train_one_vs_rest(train, topts), 4, 5);
+    const auto seq =
+        measure(q, test, Variant::kSequential, lib, quick ? 8 : 32);
+    const auto par =
+        measure(q, test, Variant::kParallelChain, lib, quick ? 8 : 32);
+    sweep.add_row({std::to_string(n), report::fmt(seq.area_cm2, 1),
+                   report::fmt(par.area_cm2, 1),
+                   report::fmt(seq.energy_mj, 3),
+                   report::fmt(par.energy_mj, 3),
+                   report::fmt_ratio(par.energy_mj / seq.energy_mj, 2)});
+  }
+  sweep.print(std::cout);
+  std::cout << "\nParallel area and glitch-heavy switching replicate with n "
+               "while the folded engine is reused;\nthe sequential advantage "
+               "grows with class count — the shape behind Table I.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the benchmark harnesses.
+
+#include <cstring>
+#include <string>
+
+#include "pml/ml/dataset.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+
+namespace pml::benchutil {
+
+struct PreparedData {
+  ml::Dataset train;
+  ml::Dataset test;
+  std::string name;
+};
+
+/// Synthesize, split 80/20, and min-max normalize one profile, exactly as
+/// the paper's experimental setup prescribes.
+inline PreparedData prepare(ml::UciProfile profile,
+                            std::uint64_t seed = ml::kDefaultDataSeed) {
+  const ml::Dataset raw = ml::make_uci_like(profile, seed);
+  ml::Split split = ml::stratified_split(raw, 0.8, seed ^ 0x5eed);
+  ml::MinMaxScaler scaler;
+  scaler.fit(split.train);
+  return {scaler.transform(split.train), scaler.transform(split.test),
+          ml::profile_info(profile).name};
+}
+
+/// True when `--quick` was passed (reduced sample counts / dataset sets,
+/// used by CI-style smoke runs).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace pml::benchutil

@@ -1,0 +1,137 @@
+// Design-space explorer: pick the best printed classifier under a power
+// budget.
+//
+// Sweeps architecture (sequential vs parallel) x multiclass reduction
+// (OvR vs OvO) x precision for one dataset, evaluates every generated
+// circuit, and prints the accuracy/energy Pareto frontier plus the best
+// battery-feasible design — the kind of exploration the paper's co-design
+// flow automates.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "pml/arch/battery.hpp"
+#include "pml/arch/parallel_svm.hpp"
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/cells/library.hpp"
+#include "pml/core/evaluate.hpp"
+#include "pml/core/flow.hpp"
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+#include "pml/report/table.hpp"
+
+using namespace pml;
+
+namespace {
+
+struct Candidate {
+  std::string arch;
+  std::string reduction;
+  int input_bits;
+  int weight_bits;
+  double accuracy;
+  core::HardwareReport hw;
+};
+
+}  // namespace
+
+int main() {
+  const auto profile = ml::UciProfile::kCardio;
+  const ml::Dataset raw = ml::make_uci_like(profile);
+  ml::Split split = ml::stratified_split(raw, 0.8, 7777);
+  ml::MinMaxScaler scaler;
+  scaler.fit(split.train);
+  const ml::Dataset train = scaler.transform(split.train);
+  const ml::Dataset test = scaler.transform(split.test);
+  const cells::CellLibrary lib = cells::CellLibrary::egfet();
+  const arch::PrintedBattery& battery = arch::molex_30mw();
+
+  std::cout << "design-space exploration on "
+            << ml::profile_info(profile).name << " ("
+            << raw.num_features << " features, " << raw.num_classes
+            << " classes), budget: " << battery.power_budget_mw << " mW\n\n";
+
+  ml::MulticlassTrainOptions topts;
+  topts.base.seed = 7;
+  const auto ovr = ml::train_one_vs_rest(train, topts);
+  const auto ovo = ml::train_one_vs_one(train, topts);
+
+  std::vector<Candidate> candidates;
+  core::EvaluateOptions eopts;
+  eopts.power_samples = 24;
+  for (const auto& [reduction, model] :
+       {std::pair{std::string("OvR"), &ovr}, {std::string("OvO"), &ovo}}) {
+    for (const int bx : {3, 4, 5}) {
+      for (const int bw : {4, 5, 6}) {
+        const auto q = quant::quantize_svm(*model, bx, bw);
+        const double acc = ml::accuracy(q.predict_all(test.X), test.y);
+        const core::CircuitWorkload wl = core::make_svm_workload(q, test);
+        // Parallel works for both reductions; sequential is OvR-only
+        // (the paper's architecture).
+        auto par = arch::build_parallel_svm(q);
+        candidates.push_back(
+            {"parallel", reduction, bx, bw, acc,
+             core::evaluate_circuit(par.module, par.cycles_per_inference,
+                                    lib, wl, eopts)});
+        if (reduction == "OvR") {
+          auto seq = arch::build_sequential_svm(q);
+          candidates.push_back(
+              {"sequential", reduction, bx, bw, acc,
+               core::evaluate_circuit(seq.module, seq.cycles_per_inference,
+                                      lib, wl, eopts)});
+        }
+      }
+    }
+  }
+
+  // Pareto frontier on (accuracy up, energy down).
+  auto dominated = [&](const Candidate& c) {
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [&](const Candidate& o) {
+                         return (o.accuracy > c.accuracy &&
+                                 o.hw.energy_mj <= c.hw.energy_mj) ||
+                                (o.accuracy >= c.accuracy &&
+                                 o.hw.energy_mj < c.hw.energy_mj);
+                       });
+  };
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.hw.energy_mj < b.hw.energy_mj;
+            });
+
+  report::Table table({"Arch", "Reduction", "x bits", "w bits", "Acc (%)",
+                       "Area (cm2)", "Power (mW)", "Energy (mJ)", "Pareto",
+                       "<=30mW"});
+  for (const auto& c : candidates) {
+    table.add_row({c.arch, c.reduction, std::to_string(c.input_bits),
+                   std::to_string(c.weight_bits), report::fmt_pct(c.accuracy),
+                   report::fmt(c.hw.area_cm2, 1),
+                   report::fmt(c.hw.power_mw, 1),
+                   report::fmt(c.hw.energy_mj, 3),
+                   dominated(c) ? "" : "*",
+                   battery.can_power(c.hw.power_mw) ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // The pick: best accuracy among battery-feasible designs, ties broken by
+  // energy.
+  const Candidate* best = nullptr;
+  for (const auto& c : candidates) {
+    if (!battery.can_power(c.hw.power_mw)) continue;
+    if (best == nullptr || c.accuracy > best->accuracy ||
+        (c.accuracy == best->accuracy &&
+         c.hw.energy_mj < best->hw.energy_mj)) {
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    std::cout << "\nselected design: " << best->arch << " " << best->reduction
+              << " @ " << best->input_bits << "x" << best->weight_bits
+              << " bits -> " << report::fmt_pct(best->accuracy) << "% at "
+              << report::fmt(best->hw.energy_mj, 3) << " mJ/classification ("
+              << report::fmt(best->hw.power_mw, 1) << " mW)\n";
+  }
+  return 0;
+}

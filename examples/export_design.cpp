@@ -1,0 +1,77 @@
+// Export a generated design: structural Verilog for an external flow and
+// a VCD waveform of one classification for GTKWave.
+//
+//   $ ./export_design [out_dir]
+//
+// Writes <out>/seq_svm.v and <out>/classify.vcd.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "pml/cells/library.hpp"
+#include "pml/core/flow.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+#include "pml/netlist/verilog.hpp"
+#include "pml/sim/cycle_sim.hpp"
+#include "pml/sim/vcd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pml;
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+
+  // Design a small sequential SVM (RedWine profile keeps it quick).
+  const ml::Dataset raw = ml::make_uci_like(ml::UciProfile::kRedWine);
+  ml::Split split = ml::stratified_split(raw, 0.8, 99);
+  ml::MinMaxScaler scaler;
+  scaler.fit(split.train);
+  const ml::Dataset train = scaler.transform(split.train);
+  const ml::Dataset test = scaler.transform(split.test);
+  core::SequentialSvmFlowOptions options;
+  options.evaluate.power_samples = 12;
+  const core::SequentialSvmDesign design = core::design_sequential_svm(
+      train, test, cells::CellLibrary::egfet(), options);
+  const netlist::Module& module = design.circuit.module;
+
+  // 1. Structural Verilog.
+  const std::string v_path = out_dir + "/seq_svm.v";
+  {
+    std::ofstream os(v_path);
+    if (!os) {
+      std::cerr << "cannot write " << v_path << '\n';
+      return 1;
+    }
+    netlist::write_verilog(module, os);
+  }
+  std::cout << "wrote " << v_path << " (" << module.cells().size()
+            << " cells, " << module.stats().num_dffs << " DFFs)\n";
+
+  // 2. VCD of one classification.
+  const std::string vcd_path = out_dir + "/classify.vcd";
+  {
+    std::ofstream os(vcd_path);
+    if (!os) {
+      std::cerr << "cannot write " << vcd_path << '\n';
+      return 1;
+    }
+    sim::CycleSimulator sim(module);
+    sim::VcdWriter vcd(sim, os);
+    const auto xq =
+        quant::quantize_features(test.X[0], design.quantized.input_format);
+    for (std::size_t j = 0; j < xq.size(); ++j) {
+      sim.set_port("x" + std::to_string(j),
+                   static_cast<std::uint64_t>(xq[j]));
+    }
+    for (int c = 0; c < design.circuit.cycles_per_inference; ++c) {
+      sim.propagate();
+      vcd.sample(static_cast<std::uint64_t>(c));
+      sim.step();
+    }
+    std::cout << "wrote " << vcd_path << " ("
+              << design.circuit.cycles_per_inference
+              << " cycles; predicted class "
+              << sim.port_unsigned("class") << ")\n";
+  }
+  return 0;
+}

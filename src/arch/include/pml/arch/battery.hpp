@@ -1,0 +1,32 @@
+#pragma once
+// Printed battery model.  The paper's feasibility line: a design is
+// battery-powerable when its peak power fits the battery's continuous
+// power budget (Molex printed battery: 30 mW); energy per classification
+// then determines how many classifications one charge delivers.
+
+#include <string>
+#include <vector>
+
+namespace pml::arch {
+
+struct PrintedBattery {
+  std::string name;
+  double power_budget_mw = 0.0;  ///< max continuous draw
+  double capacity_mwh = 0.0;     ///< stored energy
+
+  /// Can the battery power a design with this total power?
+  [[nodiscard]] bool can_power(double power_mw) const {
+    return power_mw <= power_budget_mw;
+  }
+  /// Hours of continuous operation at `power_mw` (0 if infeasible).
+  [[nodiscard]] double lifetime_hours(double power_mw) const;
+  /// Classifications per full charge for a given per-inference energy.
+  [[nodiscard]] double classifications_per_charge(double energy_mj) const;
+};
+
+/// The battery the paper cites (Molex 30 mW) plus two other printed
+/// power sources used in the battery bench.
+[[nodiscard]] const std::vector<PrintedBattery>& printed_batteries();
+[[nodiscard]] const PrintedBattery& molex_30mw();
+
+}  // namespace pml::arch

@@ -1,0 +1,44 @@
+#pragma once
+// Analytic cost model for the storage alternative the paper evaluated and
+// rejected: a printed crossbar ROM (Bleier et al., ISCA'20) read through
+// printed ADCs.
+//
+// A crossbar stores bits densely (one printed junction per bit) but its
+// read-out is analog: each column needs sensing and an ADC whose area and
+// power grow steeply with resolution in printed technology.  For
+// classifier-sized storage (a few hundred coefficient bits), the fixed
+// ADC overhead dominates and the bespoke MUX storage wins — reproducing
+// the paper's design decision.  The crossover point is exposed so the
+// bench can sweep it.
+
+#include <cstddef>
+
+namespace pml::arch {
+
+struct StorageCost {
+  double area_cm2 = 0.0;
+  double power_mw = 0.0;
+};
+
+struct CrossbarRomParams {
+  double cell_area_mm2 = 0.004;       ///< one printed crossbar junction
+  double cell_static_uw = 0.02;       ///< bias current share per cell
+  double adc_area_mm2_per_bit = 18.0; ///< printed ADC area per resolution bit
+  double adc_power_uw_per_bit = 95.0; ///< printed ADC power per resolution bit
+  double sense_area_mm2 = 2.2;        ///< per-column sense amplifier
+  double sense_power_uw = 14.0;
+  int adc_resolution_bits = 4;        ///< required read-out resolution
+};
+
+/// Cost of storing `words x width` bits in a crossbar ROM read `width`
+/// columns at a time.
+[[nodiscard]] StorageCost crossbar_rom_cost(std::size_t words, int width,
+                                            const CrossbarRomParams& params = {});
+
+/// Cost of the bespoke MUX-based storage for the same contents, estimated
+/// from average per-bit MUX-tree hardware after constant folding
+/// (~0.55 MUX2-equivalents per stored bit, measured on generated designs).
+[[nodiscard]] StorageCost mux_storage_cost_estimate(std::size_t words,
+                                                    int width);
+
+}  // namespace pml::arch

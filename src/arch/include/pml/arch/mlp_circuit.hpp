@@ -1,0 +1,29 @@
+#pragma once
+// Bespoke parallel MLP circuit — the baseline of Armeniakos et al. (TC'23).
+//
+// Fully-parallel two-layer network with hardwired (CSD shift-add)
+// multipliers, integer ReLU (sign masking), wire-shift requantization with
+// saturation into the unsigned hidden format, and a combinational argmax
+// over the output logits.  Bit-exact twin of quant::QuantizedMlp.
+
+#include "pml/netlist/module.hpp"
+#include "pml/quant/mlp_quant.hpp"
+
+namespace pml::arch {
+
+struct MlpCircuit {
+  netlist::Module module;
+  int cycles_per_inference = 1;  ///< combinational
+  int class_bits = 0;
+};
+
+/// Ports: inputs "x0".."x{m-1}"; output "class".
+[[nodiscard]] MlpCircuit build_mlp_circuit(const quant::QuantizedMlp& model);
+
+/// TC'23-style approximation: truncate the CSD expansion of every weight
+/// to `max_csd_digits` digits (apply before build_mlp_circuit and use the
+/// returned model as the software reference).
+[[nodiscard]] quant::QuantizedMlp approximate_mlp_csd(quant::QuantizedMlp model,
+                                                      int max_csd_digits);
+
+}  // namespace pml::arch

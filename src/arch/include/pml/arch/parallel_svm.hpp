@@ -1,0 +1,46 @@
+#pragma once
+// Fully-parallel bespoke SVM circuits — the state-of-the-art baselines.
+//
+//   * Mubarik et al. (MICRO'20) [2]: every binary classifier gets dedicated
+//     hardware; coefficients are hardwired, so each product is a bespoke
+//     CSD shift-add multiplier.  OvO pairwise voting in a combinational
+//     vote-count + argmax network.  Single-cycle (pure combinational).
+//   * Armeniakos et al. (TCAD'23) [3]: the same architecture after
+//     model-to-circuit cross-approximation; here, coefficients whose CSD
+//     expansion is truncated (pass the model through
+//     quant::approximate_svm_csd first).
+//
+// The generator accepts either strategy: OvO reproduces the baselines, OvR
+// supports the sequential-vs-parallel ablation at equal algorithm.
+
+#include "pml/netlist/module.hpp"
+#include "pml/quant/svm_quant.hpp"
+
+namespace pml::arch {
+
+struct ParallelSvmCircuit {
+  netlist::Module module;
+  int cycles_per_inference = 1;  ///< combinational: one (long) cycle
+  int class_bits = 0;
+};
+
+/// How each classifier block accumulates its weighted sum.
+enum class Accumulator {
+  /// Linear `acc += w_i * x_i` chain — what the published bespoke
+  /// generators of [2]/[3] emit.  Depth (and glitch energy) grow linearly
+  /// with the feature count; this is why the baselines clock at 4-17 Hz.
+  kChain,
+  /// Balanced multi-operand adder (what our sequential engine uses);
+  /// provided so the folding ablation can modernize the baseline.
+  kTree,
+};
+
+struct ParallelSvmOptions {
+  Accumulator accumulator = Accumulator::kChain;
+};
+
+/// Ports: inputs "x0".."x{m-1}"; output "class".
+[[nodiscard]] ParallelSvmCircuit build_parallel_svm(
+    const quant::QuantizedSvm& model, const ParallelSvmOptions& options = {});
+
+}  // namespace pml::arch

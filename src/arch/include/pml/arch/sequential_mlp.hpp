@@ -1,0 +1,35 @@
+#pragma once
+// EXTENSION (beyond the paper): the paper's folding idea applied to the
+// MLP baseline — one *neuron* per cycle instead of one support vector per
+// cycle.
+//
+// Phase A (cycles 0..h-1): a shared layer-1 engine (m multipliers + one
+// multi-operand adder + ReLU/requantize) evaluates hidden neuron `count`,
+// whose activation is captured into its register.  Phase B (cycles
+// h..h+n-1): a shared layer-2 engine (h multipliers + adder) evaluates
+// output neuron `count - h`, and the sequential-argmax voter tracks the
+// best class.  Total latency: h + n cycles.
+//
+// Both engines exist the whole time; *operand isolation* (gating each
+// engine's weight words to zero during the other phase) keeps the idle
+// engine from switching — the standard low-power trick this architecture
+// needs to actually deliver the folding energy win.
+//
+// Bit-exact twin of quant::QuantizedMlp (same as the parallel generator).
+
+#include "pml/netlist/module.hpp"
+#include "pml/quant/mlp_quant.hpp"
+
+namespace pml::arch {
+
+struct SequentialMlpCircuit {
+  netlist::Module module;
+  int cycles_per_inference = 0;  ///< = hidden + outputs
+  int class_bits = 0;
+};
+
+/// Ports: inputs "x0".."x{m-1}"; outputs "class", "done".
+[[nodiscard]] SequentialMlpCircuit build_sequential_mlp(
+    const quant::QuantizedMlp& model);
+
+}  // namespace pml::arch

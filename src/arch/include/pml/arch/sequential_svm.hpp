@@ -1,0 +1,47 @@
+#pragma once
+// The paper's contribution: the bespoke *sequential* printed SVM circuit
+// (Fig. 1).  One OvR classifier is evaluated per clock cycle:
+//
+//   control  - a log2(n)-bit modulo-n counter selects the support vector
+//              and terminates the sweep ("done" on the last cycle);
+//   storage  - bespoke MUX-based units whose data inputs are hardwired to
+//              the quantized coefficients; the counter drives the selects;
+//   compute  - ONE shared engine: m multipliers (general, since the weight
+//              changes each cycle) + a multi-operand adder + the bias;
+//   voter    - sequential argmax: two registers (best score, best id) and
+//              a single comparator; replaces only on strictly-greater, so
+//              ties resolve to the lowest class exactly like the software
+//              reference.
+//
+// Protocol: hold the feature inputs stable, clock n cycles, read "class".
+// The circuit free-runs: the counter wraps and the voter reloads
+// unconditionally at count==0, so back-to-back classifications need no
+// reset.
+
+#include "pml/netlist/module.hpp"
+#include "pml/quant/svm_quant.hpp"
+
+namespace pml::arch {
+
+/// Component group names shared by all generators (Fig. 1 vocabulary).
+inline constexpr const char* kGroupControl = "control";
+inline constexpr const char* kGroupStorage = "storage";
+inline constexpr const char* kGroupCompute = "compute";
+inline constexpr const char* kGroupVoter = "voter";
+
+struct SequentialSvmCircuit {
+  netlist::Module module;
+  int cycles_per_inference = 0;  ///< = n classes
+  int score_bits = 0;
+  int class_bits = 0;
+};
+
+/// Generate the circuit for an OvR-quantized SVM.  Ports:
+///   inputs  "x0".."x{m-1}" (input_format.total_bits each, unsigned),
+///   outputs "class" (ceil(log2 n) bits), "done" (1 bit),
+///           "score" (score_bits, the current cycle's weighted sum —
+///           exposed for verification and the Fig. 1 activity bench).
+[[nodiscard]] SequentialSvmCircuit build_sequential_svm(
+    const quant::QuantizedSvm& model);
+
+}  // namespace pml::arch

@@ -1,0 +1,27 @@
+#include "pml/arch/battery.hpp"
+
+namespace pml::arch {
+
+double PrintedBattery::lifetime_hours(double power_mw) const {
+  if (!can_power(power_mw) || power_mw <= 0.0) return 0.0;
+  return capacity_mwh / power_mw;
+}
+
+double PrintedBattery::classifications_per_charge(double energy_mj) const {
+  if (energy_mj <= 0.0) return 0.0;
+  // capacity [mWh] * 3600 = mJ.
+  return capacity_mwh * 3600.0 / energy_mj;
+}
+
+const std::vector<PrintedBattery>& printed_batteries() {
+  static const std::vector<PrintedBattery> kBatteries = {
+      {"Molex 30mW", 30.0, 36.0},       // the paper's reference source
+      {"Zinergy 15mW", 15.0, 27.0},     // flexible printed cell
+      {"BlueSpark 10mW", 10.0, 18.0},   // thin-film primary cell
+  };
+  return kBatteries;
+}
+
+const PrintedBattery& molex_30mw() { return printed_batteries().front(); }
+
+}  // namespace pml::arch

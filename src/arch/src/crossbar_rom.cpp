@@ -1,0 +1,37 @@
+#include "pml/arch/crossbar_rom.hpp"
+
+#include <cmath>
+
+namespace pml::arch {
+
+StorageCost crossbar_rom_cost(std::size_t words, int width,
+                              const CrossbarRomParams& p) {
+  StorageCost c;
+  const double bits = static_cast<double>(words) * width;
+  const double columns = static_cast<double>(width);
+  const double adc_bits = static_cast<double>(p.adc_resolution_bits);
+  c.area_cm2 = (bits * p.cell_area_mm2 +
+                columns * (p.sense_area_mm2 +
+                           adc_bits * p.adc_area_mm2_per_bit)) /
+               100.0;
+  c.power_mw = (bits * p.cell_static_uw +
+                columns * (p.sense_power_uw +
+                           adc_bits * p.adc_power_uw_per_bit)) /
+               1000.0;
+  return c;
+}
+
+StorageCost mux_storage_cost_estimate(std::size_t words, int width) {
+  // Folded MUX trees need at most (words - 1) MUX2 per bit, but hardwired
+  // constants collapse roughly half of each tree into inverters/wires;
+  // 0.55 MUX2-equivalents/bit matches the generated sequential designs.
+  constexpr double kMux2AreaMm2 = 0.24;
+  constexpr double kMux2StaticUw = 0.24 * 5.5;
+  const double mux_equiv = 0.55 * static_cast<double>(words) * width;
+  StorageCost c;
+  c.area_cm2 = mux_equiv * kMux2AreaMm2 / 100.0;
+  c.power_mw = mux_equiv * kMux2StaticUw / 1000.0;
+  return c;
+}
+
+}  // namespace pml::arch

@@ -1,0 +1,74 @@
+#pragma once
+// Printed (EGFET-like) standard-cell library.
+//
+// The paper evaluates with Synopsys DC/PrimeTime and the EGFET PDK of
+// Bleier et al. (ISCA'20): electrolyte-gated FET logic printed at ~10^2 um
+// feature sizes, ~1 V supply, gate delays in the 0.1-1 ms range (circuits
+// clocked at a few Hz to a few tens of Hz), areas of several cm^2 and
+// powers of a few to a few hundred mW for classifier-scale designs.
+//
+// We model each primitive with four parameters: area, propagation delay,
+// static (leakage + bias) power, and switching energy per output
+// transition.  The absolute values are *calibrated*, not extracted from a
+// real PDK: they are chosen so classifier-scale designs land in the
+// paper's reported magnitude (~0.5-0.7 kgates/cm^2, ~0.5 mW/cm^2 static,
+// ~2-3 mW/cm^2 switching-dominated for busy parallel logic, tens of Hz).
+// All relative results (who wins, by what factor) come from measured
+// structure: gate counts, critical paths, and event-accurate toggle counts.
+
+#include <array>
+
+#include "pml/netlist/types.hpp"
+
+namespace pml::cells {
+
+/// Electrical/physical parameters of one primitive cell.
+struct CellParams {
+  double area_mm2 = 0.0;        ///< printed footprint
+  double delay_ms = 0.0;        ///< pin-to-output propagation (clk-to-Q for DFF)
+  double static_power_uw = 0.0; ///< consumed whenever powered
+  double switch_energy_nj = 0.0;///< energy per output transition
+};
+
+/// Technology-level calibration knobs (single source of truth so the whole
+/// flow can be re-calibrated from one place; see DESIGN.md section 2).
+struct Calibration {
+  double static_density_uw_per_mm2 = 5.5;  ///< static power per cell area
+  double switch_density_nj_per_mm2 = 65.0; ///< switch energy per cell area
+  double fanout_energy_factor = 0.12;      ///< extra load energy per fanout
+  double fanout_delay_factor = 0.06;       ///< extra delay per extra sink
+  double routing_area_factor = 1.18;       ///< wiring overhead on cell area
+  double dff_clock_energy_nj = 10.0;        ///< per DFF per clock cycle
+  double dff_setup_ms = 1.25;              ///< added to critical path
+  double clock_tree_power_uw_per_dff = 1.4;///< clock distribution static cost
+};
+
+/// A complete characterized library for the primitive cell set.
+class CellLibrary {
+ public:
+  /// The default printed EGFET-like technology.
+  [[nodiscard]] static CellLibrary egfet();
+
+  /// A uniformly `speed`x faster / `scale`x denser variant, for technology
+  /// sensitivity studies.
+  [[nodiscard]] CellLibrary scaled(double area_scale, double delay_scale,
+                                   double power_scale) const;
+
+  [[nodiscard]] const CellParams& params(netlist::CellType type) const {
+    return params_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] CellParams& params(netlist::CellType type) {
+    return params_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] const Calibration& calibration() const { return cal_; }
+  [[nodiscard]] Calibration& calibration() { return cal_; }
+
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  std::array<CellParams, netlist::kNumCellTypes> params_{};
+  Calibration cal_{};
+  const char* name_ = "egfet";
+};
+
+}  // namespace pml::cells

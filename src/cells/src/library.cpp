@@ -1,0 +1,48 @@
+#include "pml/cells/library.hpp"
+
+using pml::netlist::CellType;
+
+namespace pml::cells {
+
+CellLibrary CellLibrary::egfet() {
+  CellLibrary lib;
+  auto set = [&lib](CellType t, double area_mm2, double delay_ms) {
+    CellParams& p = lib.params_[static_cast<std::size_t>(t)];
+    p.area_mm2 = area_mm2;
+    p.delay_ms = delay_ms;
+    p.static_power_uw = area_mm2 * lib.cal_.static_density_uw_per_mm2;
+    p.switch_energy_nj = area_mm2 * lib.cal_.switch_density_nj_per_mm2;
+  };
+  // Areas follow typical relative cell sizes; delays follow typical logical
+  // effort, anchored to ~0.2 ms for a NAND2 (EGFET ring oscillators run at
+  // roughly a hundred Hz per stage).
+  set(CellType::kInv, 0.070, 0.31);
+  set(CellType::kBuf, 0.060, 0.28);
+  set(CellType::kNand2, 0.130, 0.53);
+  set(CellType::kNor2, 0.130, 0.59);
+  set(CellType::kAnd2, 0.165, 0.73);
+  set(CellType::kOr2, 0.165, 0.78);
+  set(CellType::kXor2, 0.260, 1.12);
+  set(CellType::kXnor2, 0.260, 1.12);
+  set(CellType::kMux2, 0.240, 0.90);
+  set(CellType::kDff, 0.560, 1.54);  // delay = clk-to-Q
+  return lib;
+}
+
+CellLibrary CellLibrary::scaled(double area_scale, double delay_scale,
+                                double power_scale) const {
+  CellLibrary lib = *this;
+  for (auto& p : lib.params_) {
+    p.area_mm2 *= area_scale;
+    p.delay_ms *= delay_scale;
+    p.static_power_uw *= power_scale;
+    p.switch_energy_nj *= power_scale;
+  }
+  lib.cal_.dff_clock_energy_nj *= power_scale;
+  lib.cal_.clock_tree_power_uw_per_dff *= power_scale;
+  lib.cal_.dff_setup_ms *= delay_scale;
+  lib.name_ = "egfet-scaled";
+  return lib;
+}
+
+}  // namespace pml::cells

@@ -1,0 +1,50 @@
+#pragma once
+// Gate-level evaluation harness: the stand-in for the paper's Synopsys
+// DC + PrimeTime step.
+//
+//  1. *Verify*: simulate the circuit (zero-delay cycle simulator) on every
+//     workload sample and require the predicted class to equal the integer
+//     software model's prediction — bit-exactness is a hard gate.
+//  2. *Time*: STA gives the critical path => clock frequency and latency.
+//  3. *Power*: the event-driven simulator replays a sample subset with
+//     real gate delays, counting every transition (including glitches);
+//     the power model converts counts to dynamic power and adds static.
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/core/hardware_report.hpp"
+#include "pml/netlist/module.hpp"
+
+namespace pml::core {
+
+/// Feature codes (already quantized) and the reference prediction for each
+/// verification sample.
+struct CircuitWorkload {
+  std::vector<std::vector<std::int64_t>> feature_codes;
+  std::vector<int> expected_class;
+};
+
+struct EvaluateOptions {
+  /// Samples replayed through the event simulator for power (the full
+  /// workload is always used for functional verification).
+  std::size_t power_samples = 120;
+  /// Event-simulator tick (ms); smaller = finer glitch resolution.
+  double time_quantum_ms = 0.02;
+  /// Throw on any circuit-vs-model mismatch (always keep on; exposed for
+  /// the failure-injection tests).
+  bool require_bit_exact = true;
+};
+
+/// Evaluate `module` (inputs "x0".."x{m-1}", output "class") over the
+/// workload.  `cycles_per_inference` is 1 for combinational designs, n for
+/// the sequential SVM.  Fills every field of HardwareReport except
+/// `dataset`, `model`, and `accuracy` (the caller owns those).
+[[nodiscard]] HardwareReport evaluate_circuit(const netlist::Module& module,
+                                              int cycles_per_inference,
+                                              const cells::CellLibrary& lib,
+                                              const CircuitWorkload& workload,
+                                              const EvaluateOptions& options = {});
+
+}  // namespace pml::core

@@ -1,0 +1,37 @@
+#pragma once
+// The per-design result record — one row of the paper's Table I, plus the
+// structural detail behind it.
+
+#include <string>
+#include <vector>
+
+#include "pml/power/power.hpp"
+
+namespace pml::core {
+
+struct HardwareReport {
+  std::string dataset;
+  std::string model;         ///< "SVM [2]", "SVM [3]", "MLP [4]", "Ours"
+  double accuracy = 0.0;     ///< test accuracy of the *hardware* (quantized)
+  double area_cm2 = 0.0;
+  double power_mw = 0.0;
+  double frequency_hz = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+
+  // Detail for analysis benches.
+  double static_mw = 0.0;
+  double dynamic_mw = 0.0;
+  int logic_depth = 0;
+  std::size_t num_cells = 0;
+  std::size_t num_dffs = 0;
+  int cycles_per_inference = 1;
+  std::vector<power::GroupReport> groups;
+
+  /// Set when the gate-level predictions matched the integer software
+  /// model on every verification sample (the flow requires this).
+  bool verified = false;
+  std::size_t verified_samples = 0;
+};
+
+}  // namespace pml::core

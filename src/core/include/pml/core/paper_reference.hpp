@@ -1,0 +1,57 @@
+#pragma once
+// The published numbers of Table I (DATE'25 paper), kept verbatim so every
+// bench can print paper-vs-measured side by side.  A negative value means
+// the paper has no entry for that cell (e.g. Dermatology was only reported
+// for [2] and Ours).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pml::core {
+
+struct PaperRow {
+  std::string dataset;  ///< "Cardio", "Derm.", "PD", "RW", "WW"
+  std::string model;    ///< "SVM [2]", "SVM [3]", "MLP [4]", "Ours"
+  double accuracy_pct = 0.0;
+  double area_cm2 = 0.0;
+  double power_mw = 0.0;
+  double freq_hz = 0.0;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+};
+
+inline const std::vector<PaperRow>& paper_table1() {
+  static const std::vector<PaperRow> kRows = {
+      {"Cardio", "SVM [2]", 90.0, 15.1, 57.4, 13, 75, 4.31},
+      {"Cardio", "SVM [3]", 89.0, 17.0, 48.9, 13, 75, 3.67},
+      {"Cardio", "MLP [4]", 87.0, 6.1, 20.8, 5, 200, 4.16},
+      {"Cardio", "Ours", 93.4, 17.1, 17.6, 38, 78, 1.373},
+      {"Derm.", "SVM [2]", 97.2, 60.4, 182.9, 8, 120, 21.95},
+      {"Derm.", "Ours", 98.6, 13.9, 14.3, 38, 156, 2.231},
+      {"PD", "SVM [2]", 97.8, 123.8, 364.4, 4, 250, 91.1},
+      {"PD", "SVM [3]", 97.0, 97.0, 183.7, 4, 250, 45.92},
+      {"PD", "MLP [4]", 93.0, 32.7, 99.2, 4, 250, 24.8},
+      {"PD", "Ours", 93.1, 22.9, 22.9, 35, 280, 6.41},
+      {"RW", "SVM [2]", 57.0, 23.5, 92.8, 15, 66, 6.12},
+      {"RW", "SVM [3]", 56.0, 11.7, 21.3, 15, 66, 1.41},
+      {"RW", "MLP [4]", 56.0, 1.1, 3.9, 5, 200, 0.79},
+      {"RW", "Ours", 64.0, 6.2, 6.7, 42, 144, 0.965},
+      {"WW", "SVM [2]", 53.0, 28.3, 112.4, 17, 60, 6.74},
+      {"WW", "SVM [3]", 52.0, 11.0, 34.7, 17, 60, 2.08},
+      {"WW", "MLP [4]", 53.0, 6.5, 21.3, 5, 200, 4.26},
+      {"WW", "Ours", 56.0, 6.0, 6.4, 34, 203, 1.299},
+  };
+  return kRows;
+}
+
+/// Look up a paper row (nullopt when the paper has no such entry).
+[[nodiscard]] inline std::optional<PaperRow> paper_row(
+    const std::string& dataset, const std::string& model) {
+  for (const auto& r : paper_table1()) {
+    if (r.dataset == dataset && r.model == model) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace pml::core

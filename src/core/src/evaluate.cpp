@@ -1,0 +1,133 @@
+#include "pml/core/evaluate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "pml/power/power.hpp"
+#include "pml/sim/cycle_sim.hpp"
+#include "pml/sim/event_sim.hpp"
+#include "pml/sta/timing.hpp"
+
+namespace pml::core {
+
+namespace {
+
+/// Resolve the "x{j}" input ports once, in feature order.
+std::vector<const netlist::Port*> feature_ports(const netlist::Module& module,
+                                                std::size_t count) {
+  std::vector<const netlist::Port*> ports;
+  ports.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const netlist::Port* p = module.find_input("x" + std::to_string(j));
+    if (p == nullptr) {
+      throw std::invalid_argument("evaluate_circuit: missing port x" +
+                                  std::to_string(j));
+    }
+    ports.push_back(p);
+  }
+  return ports;
+}
+
+}  // namespace
+
+HardwareReport evaluate_circuit(const netlist::Module& module,
+                                int cycles_per_inference,
+                                const cells::CellLibrary& lib,
+                                const CircuitWorkload& workload,
+                                const EvaluateOptions& options) {
+  if (workload.feature_codes.empty() ||
+      workload.feature_codes.size() != workload.expected_class.size()) {
+    throw std::invalid_argument("evaluate_circuit: bad workload");
+  }
+  if (const auto err = module.validate()) {
+    throw std::runtime_error("evaluate_circuit: invalid module: " + *err);
+  }
+
+  HardwareReport rep;
+  const auto stats = module.stats();
+  rep.num_cells = stats.num_cells;
+  rep.num_dffs = stats.num_dffs;
+  rep.cycles_per_inference = cycles_per_inference;
+
+  // --- 1. functional verification (full workload, zero-delay) -------------
+  const auto ports = feature_ports(module, workload.feature_codes[0].size());
+  const netlist::Port* class_port = module.find_output("class");
+  if (class_port == nullptr) {
+    throw std::invalid_argument("evaluate_circuit: missing 'class' output");
+  }
+  sim::CycleSimulator csim(module);
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < workload.feature_codes.size(); ++s) {
+    const auto& codes = workload.feature_codes[s];
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      csim.set_port(*ports[j], static_cast<std::uint64_t>(codes[j]));
+    }
+    if (rep.num_dffs == 0) {
+      csim.propagate();
+    } else {
+      for (int c = 0; c < cycles_per_inference; ++c) csim.step();
+    }
+    const int predicted =
+        static_cast<int>(csim.port_unsigned(*class_port));
+    if (predicted != workload.expected_class[s]) {
+      ++mismatches;
+      if (options.require_bit_exact) {
+        throw std::runtime_error(
+            "evaluate_circuit: circuit/model mismatch on sample " +
+            std::to_string(s) + ": circuit=" + std::to_string(predicted) +
+            " model=" + std::to_string(workload.expected_class[s]));
+      }
+    }
+  }
+  rep.verified = (mismatches == 0);
+  rep.verified_samples = workload.feature_codes.size();
+
+  // --- 2. timing ------------------------------------------------------------
+  const sta::TimingReport timing = sta::analyze(module, lib);
+  rep.logic_depth = timing.logic_depth;
+  const double period_ms = timing.critical_path_ms;
+
+  // --- 3. power (event-driven subset replay) -------------------------------
+  const std::size_t n_power =
+      std::min(options.power_samples, workload.feature_codes.size());
+  sim::EventSimulator esim(module, lib, options.time_quantum_ms);
+  // Warm up on the first sample so counters start from steady state.
+  for (std::size_t j = 0; j < ports.size(); ++j) {
+    esim.set_port(*ports[j],
+                  static_cast<std::uint64_t>(workload.feature_codes[0][j]));
+  }
+  if (rep.num_dffs == 0) {
+    esim.settle();
+  } else {
+    for (int c = 0; c < cycles_per_inference; ++c) esim.step();
+  }
+  esim.clear_activity();
+  for (std::size_t s = 0; s < n_power; ++s) {
+    const auto& codes = workload.feature_codes[s];
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      esim.set_port(*ports[j], static_cast<std::uint64_t>(codes[j]));
+    }
+    if (rep.num_dffs == 0) {
+      esim.settle();
+    } else {
+      for (int c = 0; c < cycles_per_inference; ++c) esim.step();
+    }
+  }
+  const power::PowerReport pr =
+      power::estimate(module, lib, esim.activity(), n_power,
+                      static_cast<std::size_t>(cycles_per_inference),
+                      period_ms);
+
+  rep.area_cm2 = pr.area_cm2;
+  rep.static_mw = pr.static_mw;
+  rep.dynamic_mw = pr.dynamic_mw;
+  rep.power_mw = pr.total_mw;
+  rep.frequency_hz = pr.frequency_hz;
+  rep.latency_ms = pr.latency_ms;
+  rep.energy_mj = pr.energy_per_inference_mj;
+  rep.groups = pr.groups;
+  return rep;
+}
+
+}  // namespace pml::core

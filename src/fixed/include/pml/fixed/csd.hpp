@@ -1,0 +1,45 @@
+#pragma once
+// Canonical Signed Digit (CSD) recoding.
+//
+// Bespoke printed classifiers hardwire each trained coefficient into the
+// datapath.  A constant multiplier is then a network of shifts and
+// add/subtract stages, one per nonzero CSD digit; CSD minimizes the number
+// of nonzero digits (at most ceil(n/2), on average n/3), which directly
+// sets the area and energy of the multiplier.  The approximate baseline
+// [Armeniakos et al., TCAD'23] further *truncates* the CSD expansion,
+// keeping only the most significant digits — both paths live here.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pml::fixed {
+
+/// One signed digit of a CSD expansion: value * 2^shift with value in {-1,+1}.
+struct CsdDigit {
+  int shift = 0;    ///< power of two (0 = LSB of the constant)
+  int sign = +1;    ///< +1 or -1
+
+  [[nodiscard]] bool operator==(const CsdDigit&) const = default;
+};
+
+/// Full CSD recoding of a (possibly negative) integer constant.
+/// Guarantees no two adjacent nonzero digits.
+[[nodiscard]] std::vector<CsdDigit> csd_recode(std::int64_t constant);
+
+/// Reconstruct the integer value of a CSD digit list.
+[[nodiscard]] std::int64_t csd_value(const std::vector<CsdDigit>& digits);
+
+/// Keep only the `max_digits` most significant digits (largest shifts).
+/// Used by the cross-approximation baseline: truncating low-order digits
+/// perturbs the coefficient by less than 2^(smallest kept shift).
+[[nodiscard]] std::vector<CsdDigit> csd_truncate(std::vector<CsdDigit> digits,
+                                                 int max_digits);
+
+/// Number of nonzero digits (add/sub stages a bespoke multiplier needs).
+[[nodiscard]] int csd_cost(std::int64_t constant);
+
+/// Human-readable form, e.g. "+2^4 -2^1" for 14 == 16 - 2.
+[[nodiscard]] std::string csd_to_string(const std::vector<CsdDigit>& digits);
+
+}  // namespace pml::fixed

@@ -1,0 +1,80 @@
+#pragma once
+// Signed/unsigned fixed-point formats and conversion utilities.
+//
+// Printed bespoke classifiers store every coefficient as a small two's
+// complement integer with an implied binary point (Q-format).  The paper
+// trains with inputs normalized to [0, 1] and quantizes weights/biases
+// post-training to "the lowest precision that can retain acceptable
+// accuracy"; this header supplies the value <-> integer mapping that the
+// quantizer, the integer inference models, and the circuit generators all
+// share, so that hardware and software are bit-exact by construction.
+
+#include <cstdint>
+#include <string>
+
+namespace pml::fixed {
+
+/// Rounding mode applied when quantizing a real value onto a fixed grid.
+enum class Rounding {
+  kNearest,   ///< round half away from zero (default for coefficients)
+  kTruncate,  ///< round toward negative infinity (cheap hardware)
+};
+
+/// A fixed-point format: `total_bits` two's complement bits (when `is_signed`)
+/// of which `frac_bits` sit right of the binary point.
+///
+/// Example: FixedFormat{.total_bits=6, .frac_bits=4, .is_signed=true}
+/// represents values in [-2.0, 1.9375] with resolution 1/16.
+struct FixedFormat {
+  int total_bits = 8;
+  int frac_bits = 0;
+  bool is_signed = true;
+
+  [[nodiscard]] constexpr int integer_bits() const {
+    return total_bits - frac_bits - (is_signed ? 1 : 0);
+  }
+  /// Smallest representable integer (raw code).
+  [[nodiscard]] constexpr std::int64_t min_code() const {
+    return is_signed ? -(std::int64_t{1} << (total_bits - 1)) : 0;
+  }
+  /// Largest representable integer (raw code).
+  [[nodiscard]] constexpr std::int64_t max_code() const {
+    return (std::int64_t{1} << (total_bits - (is_signed ? 1 : 0))) - 1;
+  }
+  /// Value of one least-significant bit.
+  [[nodiscard]] double lsb() const;
+  /// Smallest representable real value.
+  [[nodiscard]] double min_value() const;
+  /// Largest representable real value.
+  [[nodiscard]] double max_value() const;
+
+  [[nodiscard]] bool operator==(const FixedFormat&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Quantize `value` to the raw integer code of `fmt`, saturating at the
+/// format bounds.  The inverse is `dequantize`.
+[[nodiscard]] std::int64_t quantize(double value, const FixedFormat& fmt,
+                                    Rounding rounding = Rounding::kNearest);
+
+/// Map a raw integer code back to its real value.
+[[nodiscard]] double dequantize(std::int64_t code, const FixedFormat& fmt);
+
+/// Round-trip a real value through the format (quantize then dequantize).
+[[nodiscard]] double quantize_value(double value, const FixedFormat& fmt,
+                                    Rounding rounding = Rounding::kNearest);
+
+/// Saturate a raw code into the representable range of `fmt`.
+[[nodiscard]] std::int64_t saturate(std::int64_t code, const FixedFormat& fmt);
+
+/// Number of bits needed to represent `code` in two's complement
+/// (including the sign bit).  `bits_for_code(0) == 1`.
+[[nodiscard]] int bits_for_code(std::int64_t code);
+
+/// Interpret the low `bits` bits of `raw` as a two's complement value.
+[[nodiscard]] std::int64_t sign_extend(std::uint64_t raw, int bits);
+
+/// Extract bit `i` (0 = LSB) of a two's complement code.
+[[nodiscard]] bool code_bit(std::int64_t code, int i);
+
+}  // namespace pml::fixed

@@ -1,0 +1,66 @@
+#include "pml/fixed/csd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pml::fixed {
+
+std::vector<CsdDigit> csd_recode(std::int64_t constant) {
+  std::vector<CsdDigit> digits;
+  // Classic non-adjacent form: examine two bits at a time of the residue.
+  std::int64_t v = constant;
+  int shift = 0;
+  while (v != 0) {
+    if (v & 1) {
+      // Choose digit d in {-1, +1} so that (v - d) is divisible by 4,
+      // which guarantees the next digit is zero (non-adjacency).
+      const int d = (v & 2) ? -1 : +1;
+      digits.push_back(CsdDigit{.shift = shift, .sign = d});
+      v -= d;
+    }
+    v >>= 1;
+    ++shift;
+  }
+  return digits;  // ascending shift order
+}
+
+std::int64_t csd_value(const std::vector<CsdDigit>& digits) {
+  std::int64_t v = 0;
+  for (const auto& d : digits) {
+    if (d.shift < 0 || d.shift > 62) {
+      throw std::invalid_argument("CSD digit shift out of range");
+    }
+    v += static_cast<std::int64_t>(d.sign) * (std::int64_t{1} << d.shift);
+  }
+  return v;
+}
+
+std::vector<CsdDigit> csd_truncate(std::vector<CsdDigit> digits,
+                                   int max_digits) {
+  if (max_digits < 0) throw std::invalid_argument("max_digits must be >= 0");
+  if (static_cast<int>(digits.size()) <= max_digits) return digits;
+  // Keep the most significant digits: sort by descending shift, cut, then
+  // restore ascending order for deterministic downstream synthesis.
+  std::sort(digits.begin(), digits.end(),
+            [](const CsdDigit& a, const CsdDigit& b) { return a.shift > b.shift; });
+  digits.resize(static_cast<std::size_t>(max_digits));
+  std::sort(digits.begin(), digits.end(),
+            [](const CsdDigit& a, const CsdDigit& b) { return a.shift < b.shift; });
+  return digits;
+}
+
+int csd_cost(std::int64_t constant) {
+  return static_cast<int>(csd_recode(constant).size());
+}
+
+std::string csd_to_string(const std::vector<CsdDigit>& digits) {
+  if (digits.empty()) return "0";
+  std::string out;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (!out.empty()) out += ' ';
+    out += (it->sign > 0 ? "+2^" : "-2^") + std::to_string(it->shift);
+  }
+  return out;
+}
+
+}  // namespace pml::fixed

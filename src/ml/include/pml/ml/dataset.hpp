@@ -1,0 +1,41 @@
+#pragma once
+// Dataset container and splitting, mirroring the paper's protocol:
+// inputs normalized to [0, 1], random 80/20 train/test split.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pml::ml {
+
+struct Dataset {
+  std::string name;
+  int num_features = 0;
+  int num_classes = 0;
+  /// Row-major samples; X[i] has num_features entries.
+  std::vector<std::vector<double>> X;
+  std::vector<int> y;
+
+  [[nodiscard]] std::size_t size() const { return X.size(); }
+  /// Samples per class.
+  [[nodiscard]] std::vector<std::size_t> class_counts() const;
+};
+
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split with `train_fraction` of the samples in `train`
+/// (the paper uses 0.8).  Deterministic for a given seed.
+[[nodiscard]] Split train_test_split(const Dataset& data,
+                                     double train_fraction,
+                                     std::uint64_t seed);
+
+/// Stratified variant: preserves per-class proportions in both subsets —
+/// important for the heavily imbalanced Cardio/wine profiles.
+[[nodiscard]] Split stratified_split(const Dataset& data,
+                                     double train_fraction,
+                                     std::uint64_t seed);
+
+}  // namespace pml::ml

@@ -1,0 +1,21 @@
+#pragma once
+// Classification metrics.
+
+#include <vector>
+
+namespace pml::ml {
+
+/// Fraction of matching entries; throws on size mismatch or empty input.
+[[nodiscard]] double accuracy(const std::vector<int>& predictions,
+                              const std::vector<int>& truth);
+
+/// confusion[t][p] = count of samples with true class t predicted as p.
+[[nodiscard]] std::vector<std::vector<int>> confusion_matrix(
+    const std::vector<int>& predictions, const std::vector<int>& truth,
+    int num_classes);
+
+/// Macro-averaged F1 (unweighted mean of per-class F1).
+[[nodiscard]] double macro_f1(const std::vector<int>& predictions,
+                              const std::vector<int>& truth, int num_classes);
+
+}  // namespace pml::ml

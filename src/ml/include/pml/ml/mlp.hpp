@@ -1,0 +1,46 @@
+#pragma once
+// Small multilayer perceptron — the substrate for the bespoke-MLP baseline
+// [Armeniakos et al., TC'23].  One ReLU hidden layer, softmax +
+// cross-entropy output, Adam optimizer, deterministic initialization.
+// Printed MLPs are tiny (a handful of hidden neurons) because every weight
+// becomes hardwired multipliers.
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/ml/dataset.hpp"
+
+namespace pml::ml {
+
+struct MlpModel {
+  int num_inputs = 0;
+  int num_hidden = 0;
+  int num_outputs = 0;
+  /// w1[h][j]: input j -> hidden h.  Row-major, bias separate.
+  std::vector<std::vector<double>> w1;
+  std::vector<double> b1;
+  /// w2[k][h]: hidden h -> output k.
+  std::vector<std::vector<double>> w2;
+  std::vector<double> b2;
+
+  [[nodiscard]] std::vector<double> hidden_activations(
+      const std::vector<double>& x) const;
+  [[nodiscard]] std::vector<double> logits(const std::vector<double>& x) const;
+  [[nodiscard]] int predict(const std::vector<double>& x) const;
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& X) const;
+};
+
+struct MlpTrainOptions {
+  int hidden = 8;
+  int epochs = 60;
+  int batch_size = 32;
+  double learning_rate = 3e-3;
+  double l2 = 1e-4;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] MlpModel train_mlp(const Dataset& train,
+                                 const MlpTrainOptions& options);
+
+}  // namespace pml::ml

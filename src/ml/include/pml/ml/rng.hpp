@@ -1,0 +1,74 @@
+#pragma once
+// Deterministic, implementation-independent random numbers.
+//
+// Standard-library distributions are not bit-stable across toolchains, so
+// every stochastic component (dataset synthesis, trainer shuffles, weight
+// init) uses this SplitMix64-based generator — results are reproducible
+// bit-for-bit anywhere, which the tests rely on.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace pml::ml {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (deterministic given the seed).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_ = r * std::sin(theta);
+    have_spare_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace pml::ml

@@ -1,0 +1,29 @@
+#pragma once
+// Min-max scaler to [0, 1], matching the paper's input normalization.
+// Fit on the training subset only; applied to both subsets.
+
+#include <vector>
+
+#include "pml/ml/dataset.hpp"
+
+namespace pml::ml {
+
+class MinMaxScaler {
+ public:
+  /// Learn per-feature min/max from `data`.
+  void fit(const Dataset& data);
+
+  /// Scale a sample in place; values clamp to [0, 1] so test-set outliers
+  /// stay inside the quantizer's input range, as bespoke hardware requires.
+  void transform(std::vector<double>& sample) const;
+  [[nodiscard]] Dataset transform(const Dataset& data) const;
+
+  [[nodiscard]] const std::vector<double>& mins() const { return min_; }
+  [[nodiscard]] const std::vector<double>& maxs() const { return max_; }
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+}  // namespace pml::ml

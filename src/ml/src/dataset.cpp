@@ -1,0 +1,90 @@
+#include "pml/ml/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pml/ml/rng.hpp"
+
+namespace pml::ml {
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes), 0);
+  for (const int label : y) {
+    counts.at(static_cast<std::size_t>(label))++;
+  }
+  return counts;
+}
+
+namespace {
+
+Split split_by_indices(const Dataset& data,
+                       const std::vector<std::size_t>& train_idx,
+                       const std::vector<std::size_t>& test_idx) {
+  Split s;
+  s.train.name = data.name + "/train";
+  s.test.name = data.name + "/test";
+  for (Dataset* d : {&s.train, &s.test}) {
+    d->num_features = data.num_features;
+    d->num_classes = data.num_classes;
+  }
+  s.train.X.reserve(train_idx.size());
+  s.train.y.reserve(train_idx.size());
+  for (const std::size_t i : train_idx) {
+    s.train.X.push_back(data.X[i]);
+    s.train.y.push_back(data.y[i]);
+  }
+  s.test.X.reserve(test_idx.size());
+  s.test.y.reserve(test_idx.size());
+  for (const std::size_t i : test_idx) {
+    s.test.X.push_back(data.X[i]);
+    s.test.y.push_back(data.y[i]);
+  }
+  return s;
+}
+
+}  // namespace
+
+Split train_test_split(const Dataset& data, double train_fraction,
+                       std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_fraction must be in (0,1)");
+  }
+  std::vector<std::size_t> idx(data.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const auto cut = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(idx.size()));
+  return split_by_indices(
+      data, {idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(cut)},
+      {idx.begin() + static_cast<std::ptrdiff_t>(cut), idx.end()});
+}
+
+Split stratified_split(const Dataset& data, double train_fraction,
+                       std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("train_fraction must be in (0,1)");
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (int c = 0; c < data.num_classes; ++c) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data.y[i] == c) members.push_back(i);
+    }
+    rng.shuffle(members);
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(members.size()));
+    train_idx.insert(train_idx.end(), members.begin(),
+                     members.begin() + static_cast<std::ptrdiff_t>(cut));
+    test_idx.insert(test_idx.end(),
+                    members.begin() + static_cast<std::ptrdiff_t>(cut),
+                    members.end());
+  }
+  // Re-shuffle so batches are not class-ordered.
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+  return split_by_indices(data, train_idx, test_idx);
+}
+
+}  // namespace pml::ml

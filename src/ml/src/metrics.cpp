@@ -1,0 +1,53 @@
+#include "pml/ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace pml::ml {
+
+double accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& truth) {
+  if (predictions.size() != truth.size() || predictions.empty()) {
+    throw std::invalid_argument("accuracy: bad inputs");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predictions[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+std::vector<std::vector<int>> confusion_matrix(
+    const std::vector<int>& predictions, const std::vector<int>& truth,
+    int num_classes) {
+  if (predictions.size() != truth.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  std::vector<std::vector<int>> cm(
+      static_cast<std::size_t>(num_classes),
+      std::vector<int>(static_cast<std::size_t>(num_classes), 0));
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    cm.at(static_cast<std::size_t>(truth[i]))
+        .at(static_cast<std::size_t>(predictions[i]))++;
+  }
+  return cm;
+}
+
+double macro_f1(const std::vector<int>& predictions,
+                const std::vector<int>& truth, int num_classes) {
+  const auto cm = confusion_matrix(predictions, truth, num_classes);
+  double f1_sum = 0.0;
+  for (int k = 0; k < num_classes; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    int tp = cm[ks][ks], fp = 0, fn = 0;
+    for (int j = 0; j < num_classes; ++j) {
+      if (j == k) continue;
+      fp += cm[static_cast<std::size_t>(j)][ks];
+      fn += cm[ks][static_cast<std::size_t>(j)];
+    }
+    const double denom = 2.0 * tp + fp + fn;
+    f1_sum += denom > 0 ? 2.0 * tp / denom : 0.0;
+  }
+  return f1_sum / num_classes;
+}
+
+}  // namespace pml::ml

@@ -1,0 +1,228 @@
+#include "pml/ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pml/ml/rng.hpp"
+
+namespace pml::ml {
+
+std::vector<double> MlpModel::hidden_activations(
+    const std::vector<double>& x) const {
+  std::vector<double> h(static_cast<std::size_t>(num_hidden));
+  for (int i = 0; i < num_hidden; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    double a = b1[is];
+    for (int j = 0; j < num_inputs; ++j) {
+      a += w1[is][static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+    }
+    h[is] = std::max(0.0, a);  // ReLU
+  }
+  return h;
+}
+
+std::vector<double> MlpModel::logits(const std::vector<double>& x) const {
+  const std::vector<double> h = hidden_activations(x);
+  std::vector<double> z(static_cast<std::size_t>(num_outputs));
+  for (int k = 0; k < num_outputs; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    double a = b2[ks];
+    for (int i = 0; i < num_hidden; ++i) {
+      a += w2[ks][static_cast<std::size_t>(i)] * h[static_cast<std::size_t>(i)];
+    }
+    z[ks] = a;
+  }
+  return z;
+}
+
+int MlpModel::predict(const std::vector<double>& x) const {
+  const std::vector<double> z = logits(x);
+  int best = 0;
+  for (int k = 1; k < num_outputs; ++k) {
+    if (z[static_cast<std::size_t>(k)] > z[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<int> MlpModel::predict_all(
+    const std::vector<std::vector<double>>& X) const {
+  std::vector<int> out;
+  out.reserve(X.size());
+  for (const auto& x : X) out.push_back(predict(x));
+  return out;
+}
+
+namespace {
+
+struct Adam {
+  std::vector<double> m, v;
+  double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  int t = 0;
+
+  explicit Adam(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+  void step(std::vector<double>& params, const std::vector<double>& grad,
+            double lr) {
+    ++t;
+    const double bc1 = 1.0 - std::pow(beta1, t);
+    const double bc2 = 1.0 - std::pow(beta2, t);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * grad[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * grad[i] * grad[i];
+      params[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + eps);
+    }
+  }
+};
+
+}  // namespace
+
+MlpModel train_mlp(const Dataset& train, const MlpTrainOptions& options) {
+  if (train.X.empty()) throw std::invalid_argument("train_mlp: empty data");
+  const int m = train.num_features;
+  const int h = options.hidden;
+  const int n = train.num_classes;
+
+  MlpModel model;
+  model.num_inputs = m;
+  model.num_hidden = h;
+  model.num_outputs = n;
+
+  Rng rng(options.seed);
+  // He initialization for the ReLU layer, Xavier-ish for the head —
+  // flattened parameter vector [w1 | b1 | w2 | b2] for the Adam state.
+  const std::size_t p1 = static_cast<std::size_t>(h) * static_cast<std::size_t>(m);
+  const std::size_t p2 = static_cast<std::size_t>(n) * static_cast<std::size_t>(h);
+  std::vector<double> params(p1 + static_cast<std::size_t>(h) + p2 +
+                             static_cast<std::size_t>(n));
+  const double s1 = std::sqrt(2.0 / m);
+  const double s2 = std::sqrt(1.0 / h);
+  for (std::size_t i = 0; i < p1; ++i) params[i] = rng.normal(0.0, s1);
+  for (std::size_t i = 0; i < p2; ++i) {
+    params[p1 + static_cast<std::size_t>(h) + i] = rng.normal(0.0, s2);
+  }
+
+  auto w1_at = [&](int hh, int jj) -> double& {
+    return params[static_cast<std::size_t>(hh) * static_cast<std::size_t>(m) +
+                  static_cast<std::size_t>(jj)];
+  };
+  auto b1_at = [&](int hh) -> double& {
+    return params[p1 + static_cast<std::size_t>(hh)];
+  };
+  auto w2_at = [&](int kk, int hh) -> double& {
+    return params[p1 + static_cast<std::size_t>(h) +
+                  static_cast<std::size_t>(kk) * static_cast<std::size_t>(h) +
+                  static_cast<std::size_t>(hh)];
+  };
+  auto b2_at = [&](int kk) -> double& {
+    return params[p1 + static_cast<std::size_t>(h) + p2 +
+                  static_cast<std::size_t>(kk)];
+  };
+
+  Adam adam(params.size());
+  std::vector<double> grad(params.size());
+  std::vector<std::size_t> order(train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  std::vector<double> hidden(static_cast<std::size_t>(h));
+  std::vector<double> pre(static_cast<std::size_t>(h));
+  std::vector<double> probs(static_cast<std::size_t>(n));
+  std::vector<double> dh(static_cast<std::size_t>(h));
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(),
+                   start + static_cast<std::size_t>(options.batch_size));
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (std::size_t s = start; s < end; ++s) {
+        const auto& x = train.X[order[s]];
+        const int label = train.y[order[s]];
+        // Forward.
+        for (int i = 0; i < h; ++i) {
+          double a = b1_at(i);
+          for (int j = 0; j < m; ++j) {
+            a += w1_at(i, j) * x[static_cast<std::size_t>(j)];
+          }
+          pre[static_cast<std::size_t>(i)] = a;
+          hidden[static_cast<std::size_t>(i)] = std::max(0.0, a);
+        }
+        double zmax = -1e300;
+        for (int k = 0; k < n; ++k) {
+          double a = b2_at(k);
+          for (int i = 0; i < h; ++i) {
+            a += w2_at(k, i) * hidden[static_cast<std::size_t>(i)];
+          }
+          probs[static_cast<std::size_t>(k)] = a;
+          zmax = std::max(zmax, a);
+        }
+        double zsum = 0.0;
+        for (int k = 0; k < n; ++k) {
+          auto& p = probs[static_cast<std::size_t>(k)];
+          p = std::exp(p - zmax);
+          zsum += p;
+        }
+        for (int k = 0; k < n; ++k) probs[static_cast<std::size_t>(k)] /= zsum;
+        // Backward (cross-entropy): dz_k = p_k - [k == label].
+        std::fill(dh.begin(), dh.end(), 0.0);
+        for (int k = 0; k < n; ++k) {
+          const double dz = probs[static_cast<std::size_t>(k)] -
+                            (k == label ? 1.0 : 0.0);
+          for (int i = 0; i < h; ++i) {
+            grad[p1 + static_cast<std::size_t>(h) +
+                 static_cast<std::size_t>(k) * static_cast<std::size_t>(h) +
+                 static_cast<std::size_t>(i)] +=
+                dz * hidden[static_cast<std::size_t>(i)];
+            dh[static_cast<std::size_t>(i)] += dz * w2_at(k, i);
+          }
+          grad[p1 + static_cast<std::size_t>(h) + p2 +
+               static_cast<std::size_t>(k)] += dz;
+        }
+        for (int i = 0; i < h; ++i) {
+          if (pre[static_cast<std::size_t>(i)] <= 0.0) continue;  // ReLU'
+          const double di = dh[static_cast<std::size_t>(i)];
+          for (int j = 0; j < m; ++j) {
+            grad[static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+                 static_cast<std::size_t>(j)] +=
+                di * x[static_cast<std::size_t>(j)];
+          }
+          grad[p1 + static_cast<std::size_t>(i)] += di;
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(end - start);
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] = grad[i] * inv + options.l2 * params[i];
+      }
+      adam.step(params, grad, options.learning_rate);
+    }
+  }
+
+  // Unpack.
+  model.w1.assign(static_cast<std::size_t>(h),
+                  std::vector<double>(static_cast<std::size_t>(m)));
+  model.b1.assign(static_cast<std::size_t>(h), 0.0);
+  model.w2.assign(static_cast<std::size_t>(n),
+                  std::vector<double>(static_cast<std::size_t>(h)));
+  model.b2.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < h; ++i) {
+    for (int j = 0; j < m; ++j) {
+      model.w1[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          w1_at(i, j);
+    }
+    model.b1[static_cast<std::size_t>(i)] = b1_at(i);
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < h; ++i) {
+      model.w2[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] =
+          w2_at(k, i);
+    }
+    model.b2[static_cast<std::size_t>(k)] = b2_at(k);
+  }
+  return model;
+}
+
+}  // namespace pml::ml

@@ -1,0 +1,39 @@
+#include "pml/ml/scaler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pml::ml {
+
+void MinMaxScaler::fit(const Dataset& data) {
+  if (data.X.empty()) throw std::invalid_argument("MinMaxScaler: empty data");
+  const auto m = static_cast<std::size_t>(data.num_features);
+  min_.assign(m, std::numeric_limits<double>::infinity());
+  max_.assign(m, -std::numeric_limits<double>::infinity());
+  for (const auto& row : data.X) {
+    for (std::size_t j = 0; j < m; ++j) {
+      min_[j] = std::min(min_[j], row[j]);
+      max_[j] = std::max(max_[j], row[j]);
+    }
+  }
+}
+
+void MinMaxScaler::transform(std::vector<double>& sample) const {
+  if (sample.size() != min_.size()) {
+    throw std::invalid_argument("MinMaxScaler: feature count mismatch");
+  }
+  for (std::size_t j = 0; j < sample.size(); ++j) {
+    const double range = max_[j] - min_[j];
+    double v = range > 0 ? (sample[j] - min_[j]) / range : 0.0;
+    sample[j] = std::clamp(v, 0.0, 1.0);
+  }
+}
+
+Dataset MinMaxScaler::transform(const Dataset& data) const {
+  Dataset out = data;
+  for (auto& row : out.X) transform(row);
+  return out;
+}
+
+}  // namespace pml::ml

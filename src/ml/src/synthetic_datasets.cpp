@@ -1,0 +1,230 @@
+#include "pml/ml/synthetic_datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pml/ml/rng.hpp"
+
+namespace pml::ml {
+
+namespace {
+
+/// Random unit vector in m dimensions.
+std::vector<double> unit_vector(Rng& rng, int m) {
+  std::vector<double> v(static_cast<std::size_t>(m));
+  double norm2 = 0.0;
+  for (auto& x : v) {
+    x = rng.normal();
+    norm2 += x * x;
+  }
+  const double inv = 1.0 / std::sqrt(std::max(norm2, 1e-12));
+  for (auto& x : v) x *= inv;
+  return v;
+}
+
+int sample_prior(Rng& rng, const std::vector<double>& priors) {
+  double u = rng.uniform();
+  for (std::size_t k = 0; k < priors.size(); ++k) {
+    if (u < priors[k]) return static_cast<int>(k);
+    u -= priors[k];
+  }
+  return static_cast<int>(priors.size()) - 1;
+}
+
+}  // namespace
+
+Dataset make_blobs(const std::string& name, int num_features, int num_classes,
+                   const std::vector<BlobSpec>& blobs, std::size_t samples,
+                   double label_noise, std::uint64_t seed) {
+  if (blobs.empty()) throw std::invalid_argument("make_blobs: no blobs");
+  double total_weight = 0.0;
+  for (const auto& b : blobs) total_weight += b.weight;
+
+  Rng rng(seed);
+  Dataset d;
+  d.name = name;
+  d.num_features = num_features;
+  d.num_classes = num_classes;
+  d.X.reserve(samples);
+  d.y.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Pick a blob by weight.
+    double u = rng.uniform() * total_weight;
+    const BlobSpec* blob = &blobs.back();
+    for (const auto& b : blobs) {
+      if (u < b.weight) {
+        blob = &b;
+        break;
+      }
+      u -= b.weight;
+    }
+    std::vector<double> x(static_cast<std::size_t>(num_features));
+    for (int j = 0; j < num_features; ++j) {
+      x[static_cast<std::size_t>(j)] =
+          rng.normal(blob->mean[static_cast<std::size_t>(j)], blob->sigma);
+    }
+    int label = blob->label;
+    if (label_noise > 0.0 && rng.uniform() < label_noise) {
+      label = static_cast<int>(rng.below(static_cast<std::uint64_t>(num_classes)));
+    }
+    d.X.push_back(std::move(x));
+    d.y.push_back(label);
+  }
+  return d;
+}
+
+Dataset make_ordinal(const std::string& name, int num_features,
+                     int num_classes, const std::vector<double>& priors,
+                     double feature_noise, double class_offset,
+                     std::size_t samples, std::uint64_t seed) {
+  if (static_cast<int>(priors.size()) != num_classes) {
+    throw std::invalid_argument("make_ordinal: priors/classes mismatch");
+  }
+  Rng rng(seed);
+  // Fixed random readout of the 1-D latent into feature space, plus a
+  // per-feature baseline, like physico-chemical measurements correlated
+  // with wine quality.
+  std::vector<double> readout(static_cast<std::size_t>(num_features));
+  std::vector<double> baseline(static_cast<std::size_t>(num_features));
+  for (int j = 0; j < num_features; ++j) {
+    readout[static_cast<std::size_t>(j)] = rng.uniform(-1.0, 1.0);
+    baseline[static_cast<std::size_t>(j)] = rng.uniform(0.2, 0.8);
+  }
+  // Secondary per-class structure orthogonal to the quality axis.
+  std::vector<std::vector<double>> offsets;
+  offsets.reserve(static_cast<std::size_t>(num_classes));
+  for (int k = 0; k < num_classes; ++k) {
+    auto dir = unit_vector(rng, num_features);
+    for (auto& v : dir) v *= class_offset;
+    offsets.push_back(std::move(dir));
+  }
+  Dataset d;
+  d.name = name;
+  d.num_features = num_features;
+  d.num_classes = num_classes;
+  d.X.reserve(samples);
+  d.y.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int k = sample_prior(rng, priors);
+    const auto ks = static_cast<std::size_t>(k);
+    // Latent quality: class index plus within-class spread.
+    const double t =
+        (static_cast<double>(k) + rng.normal(0.0, 0.35)) /
+        static_cast<double>(num_classes - 1);
+    std::vector<double> x(static_cast<std::size_t>(num_features));
+    for (int j = 0; j < num_features; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      x[js] = baseline[js] + readout[js] * t + offsets[ks][js] +
+              rng.normal(0.0, feature_noise);
+    }
+    d.X.push_back(std::move(x));
+    d.y.push_back(k);
+  }
+  return d;
+}
+
+namespace {
+
+Dataset make_cluster_profile(const std::string& name, int m, int n,
+                             std::size_t samples,
+                             const std::vector<double>& priors,
+                             int blobs_per_class, double radius, double sigma,
+                             double label_noise, std::uint64_t seed,
+                             double ordinal_shift = 0.0) {
+  Rng rng(seed);
+  // Optional shared "quality" axis along which class means progress —
+  // gives wine-like adjacent-class confusion on top of blob structure.
+  const auto axis = unit_vector(rng, m);
+  std::vector<BlobSpec> blobs;
+  for (int c = 0; c < n; ++c) {
+    // Class center on a sphere of `radius` around 0.5.
+    const auto center_dir = unit_vector(rng, m);
+    for (int s = 0; s < blobs_per_class; ++s) {
+      BlobSpec b;
+      b.label = c;
+      b.weight = priors.empty() ? 1.0
+                                : priors[static_cast<std::size_t>(c)] /
+                                      blobs_per_class;
+      b.sigma = sigma;
+      b.mean.resize(static_cast<std::size_t>(m));
+      // Style clusters sit at `radius` * 0.9 around the class direction.
+      const auto style_dir = unit_vector(rng, m);
+      for (int j = 0; j < m; ++j) {
+        const auto js = static_cast<std::size_t>(j);
+        double mean = 0.5 + radius * center_dir[js];
+        if (blobs_per_class > 1) {
+          mean += 0.9 * radius * style_dir[js];
+        }
+        mean += ordinal_shift * (c - 0.5 * (n - 1)) * axis[js];
+        b.mean[js] = mean;
+      }
+      blobs.push_back(std::move(b));
+    }
+  }
+  return make_blobs(name, m, n, blobs, samples, label_noise, rng.next_u64());
+}
+
+}  // namespace
+
+const std::vector<ProfileInfo>& all_profiles() {
+  static const std::vector<ProfileInfo> kProfiles = {
+      {UciProfile::kCardio, "Cardio", 21, 3, 2126},
+      {UciProfile::kDermatology, "Derm.", 34, 6, 366},
+      {UciProfile::kPenDigits, "PD", 16, 10, 10992},
+      {UciProfile::kRedWine, "RW", 11, 6, 1599},
+      {UciProfile::kWhiteWine, "WW", 11, 7, 4898},
+  };
+  return kProfiles;
+}
+
+const ProfileInfo& profile_info(UciProfile profile) {
+  for (const auto& p : all_profiles()) {
+    if (p.profile == profile) return p;
+  }
+  throw std::invalid_argument("unknown profile");
+}
+
+Dataset make_uci_like(UciProfile profile, std::uint64_t seed) {
+  const ProfileInfo& info = profile_info(profile);
+  switch (profile) {
+    case UciProfile::kCardio:
+      // NSP classes: normal 78%, suspect 14%, pathological 8%.
+      return make_cluster_profile(info.name, info.num_features,
+                                  info.num_classes, info.num_samples,
+                                  {0.78, 0.14, 0.08},
+                                  /*blobs_per_class=*/1, /*radius=*/0.20,
+                                  /*sigma=*/0.10, /*label_noise=*/0.015,
+                                  seed);
+    case UciProfile::kDermatology:
+      return make_cluster_profile(info.name, info.num_features,
+                                  info.num_classes, info.num_samples,
+                                  {0.31, 0.17, 0.20, 0.13, 0.14, 0.05},
+                                  /*blobs_per_class=*/1, /*radius=*/0.34,
+                                  /*sigma=*/0.07, /*label_noise=*/0.0, seed);
+    case UciProfile::kPenDigits:
+      // Two writing styles per digit: multimodal classes.
+      return make_cluster_profile(info.name, info.num_features,
+                                  info.num_classes, info.num_samples, {},
+                                  /*blobs_per_class=*/2, /*radius=*/0.30,
+                                  /*sigma=*/0.09, /*label_noise=*/0.0, seed);
+    case UciProfile::kRedWine:
+      // Skewed quality priors; heavy overlap caps linear accuracy near 60%.
+      return make_cluster_profile(info.name, info.num_features,
+                                  info.num_classes, info.num_samples,
+                                  {0.007, 0.033, 0.426, 0.399, 0.124, 0.011},
+                                  /*blobs_per_class=*/1, /*radius=*/0.165,
+                                  /*sigma=*/0.185, /*label_noise=*/0.02, seed,
+                                  /*ordinal_shift=*/0.04);
+    case UciProfile::kWhiteWine:
+      return make_cluster_profile(
+          info.name, info.num_features, info.num_classes, info.num_samples,
+          {0.004, 0.033, 0.297, 0.449, 0.180, 0.036, 0.001},
+          /*blobs_per_class=*/1, /*radius=*/0.17,
+          /*sigma=*/0.19, /*label_noise=*/0.03, seed,
+          /*ordinal_shift=*/0.035);
+  }
+  throw std::invalid_argument("unknown profile");
+}
+
+}  // namespace pml::ml

@@ -1,0 +1,152 @@
+#pragma once
+// Gate-level module: the central IR of the flow.
+//
+// A Module is a flat netlist of primitive cells over integer-indexed nets.
+// Nets 0/1 are constant 0/1; primary inputs and outputs are named, ordered
+// bit-vector ports (LSB first).  Cells carry a GroupId so analyses can
+// report per-component breakdowns (control / storage / compute / voter).
+//
+// The Module performs *peephole constant folding* when gates are created:
+// a MUX2 whose data inputs are both constants collapses to a constant, a
+// buffer, or an inverter.  This is what makes "bespoke" hardware cheap —
+// hardwired coefficients melt most of the storage and multiplier logic
+// away, exactly as logic synthesis does for the paper's circuits.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pml/netlist/types.hpp"
+
+namespace pml::netlist {
+
+/// One primitive cell instance.
+struct Cell {
+  CellType type = CellType::kBuf;
+  NetId in[3] = {kInvalidNet, kInvalidNet, kInvalidNet};
+  NetId out = kInvalidNet;
+  GroupId group = kDefaultGroup;
+  bool dff_init = false;  ///< power-on state (kDff only)
+};
+
+/// A named, ordered group of nets (LSB first).
+struct Port {
+  std::string name;
+  std::vector<NetId> nets;
+};
+
+/// Per-type / per-group cell statistics.
+struct ModuleStats {
+  std::size_t num_cells = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_dffs = 0;
+  std::size_t counts_by_type[kNumCellTypes] = {};
+  /// counts_by_group[group][type]
+  std::vector<std::vector<std::size_t>> counts_by_group;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name = "top");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // --- nets -------------------------------------------------------------
+  [[nodiscard]] NetId new_net();
+  [[nodiscard]] std::vector<NetId> new_nets(int count);
+  [[nodiscard]] std::size_t num_nets() const { return num_nets_; }
+
+  // --- component groups ---------------------------------------------------
+  /// Returns the id for `name`, creating it on first use, and makes it the
+  /// group assigned to subsequently created cells.
+  GroupId begin_group(const std::string& name);
+  /// Restore the default group.
+  void end_group() { current_group_ = kDefaultGroup; }
+  [[nodiscard]] const std::vector<std::string>& group_names() const {
+    return group_names_;
+  }
+  [[nodiscard]] GroupId current_group() const { return current_group_; }
+
+  // --- cells --------------------------------------------------------------
+  /// Create a combinational gate driving a fresh net; returns that net.
+  /// Constant inputs are folded (e.g. AND(x, 0) returns kConst0 and creates
+  /// no cell); duplicate structural gates are shared (light CSE).
+  NetId add_gate(CellType type, NetId a, NetId b = kInvalidNet,
+                 NetId s = kInvalidNet);
+
+  // Convenience wrappers.
+  NetId inv(NetId a) { return add_gate(CellType::kInv, a); }
+  NetId buf(NetId a) { return add_gate(CellType::kBuf, a); }
+  NetId nand2(NetId a, NetId b) { return add_gate(CellType::kNand2, a, b); }
+  NetId nor2(NetId a, NetId b) { return add_gate(CellType::kNor2, a, b); }
+  NetId and2(NetId a, NetId b) { return add_gate(CellType::kAnd2, a, b); }
+  NetId or2(NetId a, NetId b) { return add_gate(CellType::kOr2, a, b); }
+  NetId xor2(NetId a, NetId b) { return add_gate(CellType::kXor2, a, b); }
+  NetId xnor2(NetId a, NetId b) { return add_gate(CellType::kXnor2, a, b); }
+  /// out = s ? d1 : d0
+  NetId mux2(NetId d0, NetId d1, NetId s) {
+    return add_gate(CellType::kMux2, d0, d1, s);
+  }
+
+  /// Instantiate a gate with *no* folding and *no* structural sharing.
+  /// Used where the physical structure is the point — e.g. the interior
+  /// levels of bespoke MUX storage trees, which synthesis keeps as real
+  /// multiplexers even though their leaves are hardwired.
+  NetId add_gate_raw(CellType type, NetId a, NetId b = kInvalidNet,
+                     NetId s = kInvalidNet);
+  /// D flip-flop with power-on value `init`; returns the Q net.
+  NetId dff(NetId d, bool init = false);
+
+  /// Drive the pre-allocated, so-far-undriven net `target` from `src` via a
+  /// buffer cell.  This is how sequential feedback loops are closed: create
+  /// a fresh net, feed it to a DFF, build the next-state logic from the Q
+  /// output, then drive the fresh net with the next-state value.
+  void drive_net(NetId target, NetId src);
+
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+
+  // --- ports ----------------------------------------------------------------
+  /// Create `width` fresh nets registered as a primary-input port.
+  std::vector<NetId> add_input_port(const std::string& name, int width);
+  /// Register existing nets as a primary-output port.
+  void add_output_port(const std::string& name, std::vector<NetId> nets);
+
+  [[nodiscard]] const std::vector<Port>& input_ports() const { return inputs_; }
+  [[nodiscard]] const std::vector<Port>& output_ports() const {
+    return outputs_;
+  }
+  [[nodiscard]] const Port* find_input(const std::string& name) const;
+  [[nodiscard]] const Port* find_output(const std::string& name) const;
+
+  // --- analysis support -----------------------------------------------------
+  /// Index of the cell driving each net, or -1 for constants/PIs.
+  [[nodiscard]] std::vector<std::int32_t> driver_map() const;
+  /// True if `net` is a primary input net.
+  [[nodiscard]] bool is_primary_input(NetId net) const;
+
+  [[nodiscard]] ModuleStats stats() const;
+
+  /// Structural sanity check; returns an error description or nullopt.
+  /// Verified: every cell input is driven (constant, PI, or cell output),
+  /// single driver per net, no combinational cycles, ports well-formed.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+ private:
+  [[nodiscard]] std::optional<NetId> fold(CellType type, NetId a, NetId b,
+                                          NetId s);
+
+  std::string name_;
+  std::size_t num_nets_ = 2;  // nets 0 and 1 are the constants
+  std::vector<Cell> cells_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  std::vector<std::string> group_names_{"default"};
+  GroupId current_group_ = kDefaultGroup;
+  std::vector<bool> pi_nets_;  // indexed by NetId, true if primary input
+  // Structural hashing for combinational gates: key packs type+inputs.
+  std::unordered_map<std::uint64_t, NetId> cse_;
+};
+
+}  // namespace pml::netlist

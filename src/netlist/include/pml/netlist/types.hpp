@@ -1,0 +1,54 @@
+#pragma once
+// Primitive cell set of the printed gate-level IR.
+//
+// The EGFET standard-cell library we model (after Bleier et al., ISCA'20)
+// offers a small set of static gates; everything the datapath synthesizer
+// produces is expressed with these primitives so that timing, power, and
+// area analyses see one uniform representation.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pml::netlist {
+
+/// Gate primitives.  All combinational cells have one output; `kDff` is the
+/// only sequential element (single global clock, implicit).
+enum class CellType : std::uint8_t {
+  kInv,
+  kBuf,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kMux2,  ///< in0 = d0, in1 = d1, in2 = select; out = select ? d1 : d0
+  kDff,   ///< in0 = D; out = Q
+};
+
+inline constexpr int kNumCellTypes = 10;
+
+/// Number of input pins for a cell type.
+[[nodiscard]] int cell_num_inputs(CellType type);
+
+/// Human-readable cell name ("NAND2", "DFF", ...).
+[[nodiscard]] std::string_view cell_type_name(CellType type);
+
+/// Evaluate a combinational cell.  `s` is only read for kMux2.
+/// Calling this with kDff is a programming error (asserts).
+[[nodiscard]] bool eval_cell(CellType type, bool a, bool b = false,
+                             bool s = false);
+
+/// Index of a net in a Module.  Nets 0 and 1 are reserved constants.
+using NetId = std::uint32_t;
+
+inline constexpr NetId kConst0 = 0;  ///< always-0 net (tie-low)
+inline constexpr NetId kConst1 = 1;  ///< always-1 net (tie-high)
+inline constexpr NetId kInvalidNet = 0xFFFFFFFFu;
+
+/// Component-group tag used for per-component area/power breakdowns
+/// (e.g. "storage", "compute", "voter", "control" in the paper's Fig. 1).
+using GroupId = std::uint16_t;
+inline constexpr GroupId kDefaultGroup = 0;
+
+}  // namespace pml::netlist

@@ -1,0 +1,32 @@
+#pragma once
+// Structural Verilog export.
+//
+// Emits a synthesizable gate-level module (assign statements over the
+// primitive set, one always_ff block for the DFFs) so generated designs
+// can be taken into an external flow (or diffed against a reference).
+// The paper's tooling hands netlists to Synopsys DC; this is the exit
+// ramp to do the same with the circuits generated here.
+
+#include <iosfwd>
+#include <string>
+
+#include "pml/netlist/module.hpp"
+
+namespace pml::netlist {
+
+struct VerilogOptions {
+  std::string clock_name = "clk";
+  std::string reset_name = "rst_n";  ///< async active-low, loads dff_init
+  bool emit_groups_as_comments = true;
+};
+
+/// Write `module` as structural Verilog.  Net `n` becomes wire `n<id>`;
+/// ports keep their names (bit-blasted buses are emitted as [w-1:0] ports).
+void write_verilog(const Module& module, std::ostream& os,
+                   const VerilogOptions& options = {});
+
+/// Convenience: to string.
+[[nodiscard]] std::string to_verilog(const Module& module,
+                                     const VerilogOptions& options = {});
+
+}  // namespace pml::netlist

@@ -1,0 +1,270 @@
+#include "pml/netlist/module.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pml::netlist {
+
+namespace {
+
+bool is_commutative(CellType type) {
+  switch (type) {
+    case CellType::kNand2:
+    case CellType::kNor2:
+    case CellType::kAnd2:
+    case CellType::kOr2:
+    case CellType::kXor2:
+    case CellType::kXnor2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+// Pack (type, a, b, s) into a structural-hashing key.  Net ids must fit in
+// 20 bits each; designs beyond that simply skip CSE for the offending gate.
+std::uint64_t make_key(CellType type, NetId a, NetId b, NetId s) {
+  constexpr NetId kLimit = 1u << 20;
+  const NetId bb = (b == kInvalidNet) ? kLimit - 1 : b;
+  const NetId ss = (s == kInvalidNet) ? kLimit - 1 : s;
+  if (a >= kLimit - 1 || bb >= kLimit || ss >= kLimit) return kNoKey;
+  return (static_cast<std::uint64_t>(type) << 60) |
+         (static_cast<std::uint64_t>(a) << 40) |
+         (static_cast<std::uint64_t>(bb) << 20) | static_cast<std::uint64_t>(ss);
+}
+
+}  // namespace
+
+Module::Module(std::string name) : name_(std::move(name)) {}
+
+NetId Module::new_net() {
+  const auto id = static_cast<NetId>(num_nets_++);
+  return id;
+}
+
+std::vector<NetId> Module::new_nets(int count) {
+  std::vector<NetId> nets;
+  nets.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) nets.push_back(new_net());
+  return nets;
+}
+
+GroupId Module::begin_group(const std::string& name) {
+  for (std::size_t i = 0; i < group_names_.size(); ++i) {
+    if (group_names_[i] == name) {
+      current_group_ = static_cast<GroupId>(i);
+      return current_group_;
+    }
+  }
+  group_names_.push_back(name);
+  current_group_ = static_cast<GroupId>(group_names_.size() - 1);
+  return current_group_;
+}
+
+std::optional<NetId> Module::fold(CellType type, NetId a, NetId b, NetId s) {
+  const bool a0 = (a == kConst0), a1 = (a == kConst1);
+  const bool b0 = (b == kConst0), b1 = (b == kConst1);
+  switch (type) {
+    case CellType::kBuf:
+      return a;  // buffers are free in the IR; loading is modelled by fanout
+    case CellType::kInv:
+      if (a0) return kConst1;
+      if (a1) return kConst0;
+      return std::nullopt;
+    case CellType::kNand2:
+      if (a0 || b0) return kConst1;
+      if (a1) return inv(b);
+      if (b1) return inv(a);
+      if (a == b) return inv(a);
+      return std::nullopt;
+    case CellType::kNor2:
+      if (a1 || b1) return kConst0;
+      if (a0) return inv(b);
+      if (b0) return inv(a);
+      if (a == b) return inv(a);
+      return std::nullopt;
+    case CellType::kAnd2:
+      if (a0 || b0) return kConst0;
+      if (a1) return b;
+      if (b1) return a;
+      if (a == b) return a;
+      return std::nullopt;
+    case CellType::kOr2:
+      if (a1 || b1) return kConst1;
+      if (a0) return b;
+      if (b0) return a;
+      if (a == b) return a;
+      return std::nullopt;
+    case CellType::kXor2:
+      if (a0) return b;
+      if (b0) return a;
+      if (a1) return inv(b);
+      if (b1) return inv(a);
+      if (a == b) return kConst0;
+      return std::nullopt;
+    case CellType::kXnor2:
+      if (a1) return b;
+      if (b1) return a;
+      if (a0) return inv(b);
+      if (b0) return inv(a);
+      if (a == b) return kConst1;
+      return std::nullopt;
+    case CellType::kMux2: {
+      const bool s0 = (s == kConst0), s1 = (s == kConst1);
+      if (s0) return a;
+      if (s1) return b;
+      if (a == b) return a;
+      // Hardwired data inputs: the heart of bespoke storage folding.
+      if (a0 && b1) return s;
+      if (a1 && b0) return inv(s);
+      if (a0) return and2(s, b);
+      if (a1) return or2(inv(s), b);
+      if (b0) return and2(inv(s), a);
+      if (b1) return or2(s, a);
+      return std::nullopt;
+    }
+    case CellType::kDff:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+NetId Module::add_gate(CellType type, NetId a, NetId b, NetId s) {
+  assert(type != CellType::kDff && "use Module::dff for flip-flops");
+  const int arity = cell_num_inputs(type);
+  assert(a != kInvalidNet);
+  assert(arity < 2 || b != kInvalidNet);
+  assert(arity < 3 || s != kInvalidNet);
+  assert(a < num_nets_);
+  assert(arity < 2 || b < num_nets_);
+  assert(arity < 3 || s < num_nets_);
+
+  if (auto folded = fold(type, a, b, s)) return *folded;
+  if (is_commutative(type) && a > b) std::swap(a, b);
+
+  const std::uint64_t key = make_key(type, a, b, s);
+  if (key != kNoKey) {
+    if (auto it = cse_.find(key); it != cse_.end()) return it->second;
+  }
+
+  Cell cell;
+  cell.type = type;
+  cell.in[0] = a;
+  cell.in[1] = b;
+  cell.in[2] = s;
+  cell.out = new_net();
+  cell.group = current_group_;
+  cells_.push_back(cell);
+  if (key != kNoKey) cse_.emplace(key, cell.out);
+  return cell.out;
+}
+
+NetId Module::add_gate_raw(CellType type, NetId a, NetId b, NetId s) {
+  assert(type != CellType::kDff && "use Module::dff for flip-flops");
+  const int arity = cell_num_inputs(type);
+  assert(a != kInvalidNet && a < num_nets_);
+  assert(arity < 2 || (b != kInvalidNet && b < num_nets_));
+  assert(arity < 3 || (s != kInvalidNet && s < num_nets_));
+  (void)arity;
+  Cell cell;
+  cell.type = type;
+  cell.in[0] = a;
+  cell.in[1] = b;
+  cell.in[2] = s;
+  cell.out = new_net();
+  cell.group = current_group_;
+  cells_.push_back(cell);
+  return cell.out;
+}
+
+NetId Module::dff(NetId d, bool init) {
+  assert(d != kInvalidNet && d < num_nets_);
+  Cell cell;
+  cell.type = CellType::kDff;
+  cell.in[0] = d;
+  cell.out = new_net();
+  cell.group = current_group_;
+  cell.dff_init = init;
+  cells_.push_back(cell);
+  return cell.out;
+}
+
+void Module::drive_net(NetId target, NetId src) {
+  assert(target != kInvalidNet && target < num_nets_);
+  assert(src != kInvalidNet && src < num_nets_);
+  assert(target != kConst0 && target != kConst1);
+  assert(!is_primary_input(target));
+  Cell cell;
+  cell.type = CellType::kBuf;
+  cell.in[0] = src;
+  cell.out = target;
+  cell.group = current_group_;
+  cells_.push_back(cell);
+}
+
+std::vector<NetId> Module::add_input_port(const std::string& name, int width) {
+  if (width <= 0) throw std::invalid_argument("port width must be positive");
+  Port port;
+  port.name = name;
+  port.nets = new_nets(width);
+  for (NetId n : port.nets) {
+    if (pi_nets_.size() <= n) pi_nets_.resize(n + 1, false);
+    pi_nets_[n] = true;
+  }
+  inputs_.push_back(port);
+  return inputs_.back().nets;
+}
+
+void Module::add_output_port(const std::string& name, std::vector<NetId> nets) {
+  for (NetId n : nets) {
+    if (n == kInvalidNet || n >= num_nets_) {
+      throw std::invalid_argument("output port references invalid net");
+    }
+  }
+  outputs_.push_back(Port{name, std::move(nets)});
+}
+
+const Port* Module::find_input(const std::string& name) const {
+  for (const auto& p : inputs_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+const Port* Module::find_output(const std::string& name) const {
+  for (const auto& p : outputs_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::int32_t> Module::driver_map() const {
+  std::vector<std::int32_t> drivers(num_nets_, -1);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    drivers[cells_[i].out] = static_cast<std::int32_t>(i);
+  }
+  return drivers;
+}
+
+bool Module::is_primary_input(NetId net) const {
+  return net < pi_nets_.size() && pi_nets_[net];
+}
+
+ModuleStats Module::stats() const {
+  ModuleStats s;
+  s.num_cells = cells_.size();
+  s.num_nets = num_nets_;
+  s.counts_by_group.assign(group_names_.size(),
+                           std::vector<std::size_t>(kNumCellTypes, 0));
+  for (const auto& c : cells_) {
+    ++s.counts_by_type[static_cast<int>(c.type)];
+    ++s.counts_by_group[c.group][static_cast<int>(c.type)];
+    if (c.type == CellType::kDff) ++s.num_dffs;
+  }
+  return s;
+}
+
+}  // namespace pml::netlist

@@ -1,0 +1,60 @@
+#include "pml/netlist/types.hpp"
+
+#include <cassert>
+
+namespace pml::netlist {
+
+int cell_num_inputs(CellType type) {
+  switch (type) {
+    case CellType::kInv:
+    case CellType::kBuf:
+    case CellType::kDff:
+      return 1;
+    case CellType::kNand2:
+    case CellType::kNor2:
+    case CellType::kAnd2:
+    case CellType::kOr2:
+    case CellType::kXor2:
+    case CellType::kXnor2:
+      return 2;
+    case CellType::kMux2:
+      return 3;
+  }
+  return 0;
+}
+
+std::string_view cell_type_name(CellType type) {
+  switch (type) {
+    case CellType::kInv: return "INV";
+    case CellType::kBuf: return "BUF";
+    case CellType::kNand2: return "NAND2";
+    case CellType::kNor2: return "NOR2";
+    case CellType::kAnd2: return "AND2";
+    case CellType::kOr2: return "OR2";
+    case CellType::kXor2: return "XOR2";
+    case CellType::kXnor2: return "XNOR2";
+    case CellType::kMux2: return "MUX2";
+    case CellType::kDff: return "DFF";
+  }
+  return "?";
+}
+
+bool eval_cell(CellType type, bool a, bool b, bool s) {
+  switch (type) {
+    case CellType::kInv: return !a;
+    case CellType::kBuf: return a;
+    case CellType::kNand2: return !(a && b);
+    case CellType::kNor2: return !(a || b);
+    case CellType::kAnd2: return a && b;
+    case CellType::kOr2: return a || b;
+    case CellType::kXor2: return a != b;
+    case CellType::kXnor2: return a == b;
+    case CellType::kMux2: return s ? b : a;
+    case CellType::kDff:
+      assert(false && "eval_cell called on sequential cell");
+      return false;
+  }
+  return false;
+}
+
+}  // namespace pml::netlist

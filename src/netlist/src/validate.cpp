@@ -1,0 +1,105 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+
+namespace pml::netlist {
+
+// Structural checks used by tests and by the flow before analysis:
+//  1. every cell input references an existing net,
+//  2. every net has at most one driver,
+//  3. every net read by a cell or port is driven by a constant, a primary
+//     input, or exactly one cell,
+//  4. the combinational subgraph is acyclic (loops must pass through DFFs).
+std::optional<std::string> Module::validate() const {
+  std::vector<std::int32_t> driver(num_nets_, -1);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (c.out == kInvalidNet || c.out >= num_nets_) {
+      return "cell " + std::to_string(i) + " drives invalid net";
+    }
+    if (c.out == kConst0 || c.out == kConst1) {
+      return "cell " + std::to_string(i) + " drives a constant net";
+    }
+    if (is_primary_input(c.out)) {
+      return "cell " + std::to_string(i) + " drives a primary input";
+    }
+    if (driver[c.out] != -1) {
+      return "net " + std::to_string(c.out) + " has multiple drivers";
+    }
+    driver[c.out] = static_cast<std::int32_t>(i);
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) {
+      if (c.in[k] == kInvalidNet || c.in[k] >= num_nets_) {
+        return "cell " + std::to_string(i) + " reads invalid net";
+      }
+    }
+  }
+
+  auto driven = [&](NetId n) {
+    return n == kConst0 || n == kConst1 || is_primary_input(n) ||
+           driver[n] != -1;
+  };
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) {
+      if (!driven(c.in[k])) {
+        return "cell " + std::to_string(i) + " input net " +
+               std::to_string(c.in[k]) + " is undriven";
+      }
+    }
+  }
+  for (const auto& port : outputs_) {
+    for (NetId n : port.nets) {
+      if (!driven(n)) {
+        return "output port '" + port.name + "' net " + std::to_string(n) +
+               " is undriven";
+      }
+    }
+  }
+
+  // Cycle check over combinational cells (Kahn's algorithm).
+  std::vector<int> indegree(cells_.size(), 0);
+  std::vector<std::vector<std::uint32_t>> fanout(num_nets_);
+  std::size_t num_comb = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    if (c.type == CellType::kDff) continue;
+    ++num_comb;
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) {
+      const NetId n = c.in[k];
+      const bool from_comb_cell =
+          driver[n] != -1 &&
+          cells_[static_cast<std::size_t>(driver[n])].type != CellType::kDff;
+      if (from_comb_cell) {
+        fanout[n].push_back(static_cast<std::uint32_t>(i));
+        ++indegree[i];
+      }
+    }
+  }
+  std::vector<std::uint32_t> ready;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].type != CellType::kDff && indegree[i] == 0) {
+      ready.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const std::uint32_t i = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (std::uint32_t j : fanout[cells_[i].out]) {
+      if (--indegree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (visited != num_comb) {
+    return "combinational cycle detected (" +
+           std::to_string(num_comb - visited) + " cells in cycles)";
+  }
+  return std::nullopt;
+}
+
+}  // namespace pml::netlist

@@ -1,0 +1,64 @@
+#pragma once
+// Area, power, and energy estimation.
+//
+// Mirrors a PrimeTime-style averaged power analysis:
+//   P_static  = sum of cell leakage/bias power (+ clock tree per DFF),
+//   P_dynamic = (transition counts from the event simulator x per-cell
+//               switching energy x fanout load factor + DFF clock energy)
+//               / simulated wall time,
+//   E_per_inference = P_total x latency.
+// Area sums cell footprints times a routing overhead factor.
+//
+// The transition counts must come from EventSimulator so that glitch power
+// of deep parallel datapaths is represented (see event_sim.hpp).
+
+#include <string>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sim/event_sim.hpp"
+
+namespace pml::power {
+
+/// Per-component (Fig. 1 groups) slice of the totals.
+struct GroupReport {
+  std::string name;
+  double area_cm2 = 0.0;
+  double static_mw = 0.0;
+  double dynamic_mw = 0.0;
+  std::size_t cells = 0;
+  [[nodiscard]] double total_mw() const { return static_mw + dynamic_mw; }
+};
+
+struct PowerReport {
+  double area_cm2 = 0.0;     ///< incl. routing overhead
+  double static_mw = 0.0;    ///< incl. clock tree
+  double dynamic_mw = 0.0;
+  double total_mw = 0.0;
+  double latency_ms = 0.0;   ///< cycles_per_inference x clock period
+  double frequency_hz = 0.0;
+  double energy_per_inference_mj = 0.0;
+  std::vector<GroupReport> groups;  ///< pre-routing-overhead areas
+};
+
+/// Cell area only (cm^2, including routing overhead).
+[[nodiscard]] double area_cm2(const netlist::Module& module,
+                              const cells::CellLibrary& lib);
+
+/// Static power only (mW, including clock tree).
+[[nodiscard]] double static_power_mw(const netlist::Module& module,
+                                     const cells::CellLibrary& lib);
+
+/// Full report.
+///
+/// `activity` must cover `inferences` classifications of
+/// `cycles_per_inference` clock cycles each, executed at `period_ms`.
+[[nodiscard]] PowerReport estimate(const netlist::Module& module,
+                                   const cells::CellLibrary& lib,
+                                   const sim::ActivityStats& activity,
+                                   std::size_t inferences,
+                                   std::size_t cycles_per_inference,
+                                   double period_ms);
+
+}  // namespace pml::power

@@ -1,0 +1,97 @@
+#include "pml/power/power.hpp"
+
+#include <stdexcept>
+
+#include "pml/sim/levelize.hpp"
+
+namespace pml::power {
+
+using netlist::Cell;
+using netlist::CellType;
+
+double area_cm2(const netlist::Module& module, const cells::CellLibrary& lib) {
+  double mm2 = 0.0;
+  for (const Cell& c : module.cells()) {
+    mm2 += lib.params(c.type).area_mm2;
+  }
+  return mm2 * lib.calibration().routing_area_factor / 100.0;
+}
+
+double static_power_mw(const netlist::Module& module,
+                       const cells::CellLibrary& lib) {
+  double uw = 0.0;
+  std::size_t dffs = 0;
+  for (const Cell& c : module.cells()) {
+    uw += lib.params(c.type).static_power_uw;
+    if (c.type == CellType::kDff) ++dffs;
+  }
+  uw += static_cast<double>(dffs) * lib.calibration().clock_tree_power_uw_per_dff;
+  return uw / 1000.0;
+}
+
+PowerReport estimate(const netlist::Module& module,
+                     const cells::CellLibrary& lib,
+                     const sim::ActivityStats& activity,
+                     std::size_t inferences, std::size_t cycles_per_inference,
+                     double period_ms) {
+  if (inferences == 0 || cycles_per_inference == 0 || period_ms <= 0.0) {
+    throw std::invalid_argument("power::estimate: bad workload parameters");
+  }
+  if (activity.net_toggles.size() < module.num_nets()) {
+    throw std::invalid_argument("power::estimate: activity/module mismatch");
+  }
+  const auto& cal = lib.calibration();
+  const auto& cells_vec = module.cells();
+  const auto lv = sim::levelize(module);
+
+  PowerReport rep;
+  rep.groups.resize(module.group_names().size());
+  for (std::size_t g = 0; g < rep.groups.size(); ++g) {
+    rep.groups[g].name = module.group_names()[g];
+  }
+
+  const double total_time_ms =
+      static_cast<double>(inferences) *
+      static_cast<double>(cycles_per_inference) * period_ms;
+
+  double dyn_nj = 0.0;
+  for (const Cell& c : cells_vec) {
+    const auto& p = lib.params(c.type);
+    GroupReport& grp = rep.groups[c.group];
+    grp.area_cm2 += p.area_mm2 / 100.0;
+    grp.static_mw += p.static_power_uw / 1000.0;
+    ++grp.cells;
+    if (c.type == CellType::kDff) {
+      grp.static_mw += cal.clock_tree_power_uw_per_dff / 1000.0;
+    }
+    const std::uint64_t toggles = activity.net_toggles[c.out];
+    if (toggles != 0) {
+      const double fanout =
+          static_cast<double>(lv.fanout[c.out].empty()
+                                  ? 1
+                                  : lv.fanout[c.out].size());
+      const double load = 1.0 + cal.fanout_energy_factor * (fanout - 1.0);
+      const double cell_nj =
+          static_cast<double>(toggles) * p.switch_energy_nj * load;
+      dyn_nj += cell_nj;
+      // nJ over ms -> uW; /1000 -> mW.
+      grp.dynamic_mw += cell_nj / total_time_ms / 1000.0;
+    }
+  }
+  dyn_nj += static_cast<double>(activity.dff_clock_events) *
+            cal.dff_clock_energy_nj;
+  // Clock energy is attributed to the group of each DFF proportionally;
+  // for simplicity it lands in the totals only (groups keep logic energy).
+
+  rep.area_cm2 = area_cm2(module, lib);
+  rep.static_mw = static_power_mw(module, lib);
+  rep.dynamic_mw = dyn_nj / total_time_ms / 1000.0;  // nJ/ms = uW
+  rep.total_mw = rep.static_mw + rep.dynamic_mw;
+  rep.frequency_hz = 1000.0 / period_ms;
+  rep.latency_ms = static_cast<double>(cycles_per_inference) * period_ms;
+  // total_mw [mW] x latency [ms] = uJ; /1000 -> mJ.
+  rep.energy_per_inference_mj = rep.total_mw * rep.latency_ms / 1000.0;
+  return rep;
+}
+
+}  // namespace pml::power

@@ -1,0 +1,28 @@
+#pragma once
+// Format selection helpers shared by the SVM and MLP quantizers.
+
+#include <vector>
+
+#include "pml/fixed/format.hpp"
+
+namespace pml::quant {
+
+/// Unsigned input format for features normalized to [0, 1]:
+/// `bits` total, all fractional, so codes span [0, 2^bits - 1].
+[[nodiscard]] fixed::FixedFormat input_format(int bits);
+
+/// Signed format with `total_bits` whose binary point is placed so that
+/// `max_abs` is representable (maximizing fractional resolution).
+[[nodiscard]] fixed::FixedFormat fit_signed_format(double max_abs,
+                                                   int total_bits);
+
+/// Quantize a normalized feature vector to input codes.
+[[nodiscard]] std::vector<std::int64_t> quantize_features(
+    const std::vector<double>& x, const fixed::FixedFormat& fmt);
+
+/// Snap a normalized feature vector onto the input grid (values stay real;
+/// used to *train with low-precision inputs* as the paper does).
+[[nodiscard]] std::vector<double> snap_features(const std::vector<double>& x,
+                                                const fixed::FixedFormat& fmt);
+
+}  // namespace pml::quant

@@ -1,0 +1,58 @@
+#pragma once
+// Integer (fixed-point) MLP — bit-exact software twin of the bespoke MLP
+// circuit baseline.
+//
+// Layer 1 accumulates at scale 2^(fw1 + fx); the ReLU output is
+// right-shifted and saturated into an unsigned `hidden_bits` activation
+// format whose binary point is fitted to the largest activation observed
+// on the training set.  Layer 2 accumulates at scale 2^(fw2 + fh).
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/fixed/format.hpp"
+#include "pml/ml/dataset.hpp"
+#include "pml/ml/mlp.hpp"
+#include "pml/quant/formats.hpp"
+
+namespace pml::quant {
+
+struct QuantizedMlp {
+  int num_inputs = 0;
+  int num_hidden = 0;
+  int num_outputs = 0;
+  fixed::FixedFormat input_format;
+  fixed::FixedFormat w1_format;
+  fixed::FixedFormat hidden_format;  ///< unsigned activation codes
+  fixed::FixedFormat w2_format;
+  /// Arithmetic right-shift from layer-1 accumulator scale to hidden scale
+  /// (guaranteed >= 0 by construction).
+  int hidden_shift = 0;
+
+  std::vector<std::vector<std::int64_t>> w1;  ///< [hidden][input]
+  std::vector<std::int64_t> b1;               ///< layer-1 accumulator scale
+  std::vector<std::vector<std::int64_t>> w2;  ///< [output][hidden]
+  std::vector<std::int64_t> b2;               ///< layer-2 accumulator scale
+
+  [[nodiscard]] std::vector<std::int64_t> hidden_codes(
+      const std::vector<std::int64_t>& xq) const;
+  [[nodiscard]] std::vector<std::int64_t> logits_codes(
+      const std::vector<std::int64_t>& xq) const;
+  [[nodiscard]] int predict_codes(const std::vector<std::int64_t>& xq) const;
+  [[nodiscard]] int predict(const std::vector<double>& x) const;
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& X) const;
+
+  /// Overflow-safe bus widths for the circuit generator.
+  [[nodiscard]] int layer1_acc_bits() const;
+  [[nodiscard]] int layer2_acc_bits() const;
+};
+
+/// Quantize `model`, profiling hidden activations on `calibration` to place
+/// the hidden binary point.
+[[nodiscard]] QuantizedMlp quantize_mlp(const ml::MlpModel& model,
+                                        const ml::Dataset& calibration,
+                                        int input_bits, int weight_bits,
+                                        int hidden_bits);
+
+}  // namespace pml::quant

@@ -1,0 +1,63 @@
+#pragma once
+// Integer (fixed-point) multiclass linear SVM.
+//
+// This is the bit-exact software twin of the generated circuits: weights
+// quantized to `weight_format`, inputs to `input_format`, biases aligned
+// to the product scale 2^(fw + fx).  The hardware verifier compares every
+// circuit output against QuantizedSvm::predict over the whole test set.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pml/fixed/format.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/quant/formats.hpp"
+
+namespace pml::quant {
+
+struct QuantizedClassifier {
+  std::vector<std::int64_t> w;  ///< weight codes (weight_format)
+  std::int64_t b = 0;           ///< bias code (product scale)
+};
+
+struct QuantizedSvm {
+  ml::MulticlassStrategy strategy = ml::MulticlassStrategy::kOneVsRest;
+  int num_classes = 0;
+  fixed::FixedFormat input_format;
+  fixed::FixedFormat weight_format;
+  std::vector<QuantizedClassifier> classifiers;
+  std::vector<std::pair<int, int>> pairs;  ///< OvO only
+
+  /// Integer decision value of classifier `t` for input codes `xq`.
+  [[nodiscard]] std::int64_t decision(std::size_t t,
+                                      const std::vector<std::int64_t>& xq) const;
+  /// Predict from input codes (argmax for OvR, votes for OvO — identical
+  /// tie-breaking to the float models and the circuits).
+  [[nodiscard]] int predict_codes(const std::vector<std::int64_t>& xq) const;
+  /// Quantize a normalized sample, then predict.
+  [[nodiscard]] int predict(const std::vector<double>& x) const;
+  [[nodiscard]] std::vector<int> predict_all(
+      const std::vector<std::vector<double>>& X) const;
+
+  /// Upper bound on |decision| over the whole input domain — sizes the
+  /// accumulator/score buses so circuits can never overflow.
+  [[nodiscard]] std::int64_t score_bound() const;
+  /// Two's complement bits needed for any decision value.
+  [[nodiscard]] int score_bits() const;
+};
+
+/// Post-training quantization with `input_bits` for features and
+/// `weight_bits` for weights (binary point fitted to the largest |w|; the
+/// bias shares the weight grid scaled by the input width).
+[[nodiscard]] QuantizedSvm quantize_svm(const ml::MulticlassSvm& model,
+                                        int input_bits, int weight_bits);
+
+/// Cross-approximation baseline: replace every weight code by the value of
+/// its CSD expansion truncated to `max_csd_digits` nonzero digits
+/// (Armeniakos et al., TCAD'23).  Bias is kept exact (it is one constant
+/// per classifier).  Bit-exact twin of the approximate parallel circuit.
+[[nodiscard]] QuantizedSvm approximate_svm_csd(QuantizedSvm model,
+                                               int max_csd_digits);
+
+}  // namespace pml::quant

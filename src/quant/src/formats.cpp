@@ -1,0 +1,46 @@
+#include "pml/quant/formats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pml::quant {
+
+fixed::FixedFormat input_format(int bits) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("input_format: bits out of range [1,16]");
+  }
+  return fixed::FixedFormat{.total_bits = bits,
+                            .frac_bits = bits,
+                            .is_signed = false};
+}
+
+fixed::FixedFormat fit_signed_format(double max_abs, int total_bits) {
+  if (total_bits < 2 || total_bits > 32) {
+    throw std::invalid_argument("fit_signed_format: bits out of range [2,32]");
+  }
+  // Integer bits needed so that max_abs <= 2^int_bits (sign bit separate).
+  int int_bits = 0;
+  while (std::ldexp(1.0, int_bits) < max_abs && int_bits < 30) ++int_bits;
+  const int frac = total_bits - 1 - int_bits;
+  return fixed::FixedFormat{.total_bits = total_bits,
+                            .frac_bits = frac,
+                            .is_signed = true};
+}
+
+std::vector<std::int64_t> quantize_features(const std::vector<double>& x,
+                                            const fixed::FixedFormat& fmt) {
+  std::vector<std::int64_t> out;
+  out.reserve(x.size());
+  for (const double v : x) out.push_back(fixed::quantize(v, fmt));
+  return out;
+}
+
+std::vector<double> snap_features(const std::vector<double>& x,
+                                  const fixed::FixedFormat& fmt) {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const double v : x) out.push_back(fixed::quantize_value(v, fmt));
+  return out;
+}
+
+}  // namespace pml::quant

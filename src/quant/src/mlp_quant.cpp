@@ -1,0 +1,169 @@
+#include "pml/quant/mlp_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pml::quant {
+
+std::vector<std::int64_t> QuantizedMlp::hidden_codes(
+    const std::vector<std::int64_t>& xq) const {
+  if (static_cast<int>(xq.size()) != num_inputs) {
+    throw std::invalid_argument("QuantizedMlp: input dimension mismatch");
+  }
+  std::vector<std::int64_t> h(static_cast<std::size_t>(num_hidden));
+  const std::int64_t h_max = hidden_format.max_code();
+  for (int i = 0; i < num_hidden; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    std::int64_t acc = b1[is];
+    for (int j = 0; j < num_inputs; ++j) {
+      acc += w1[is][static_cast<std::size_t>(j)] *
+             xq[static_cast<std::size_t>(j)];
+    }
+    if (acc < 0) acc = 0;  // ReLU
+    acc >>= hidden_shift;  // non-negative, so >> == floor division
+    h[is] = std::min(acc, h_max);
+  }
+  return h;
+}
+
+std::vector<std::int64_t> QuantizedMlp::logits_codes(
+    const std::vector<std::int64_t>& xq) const {
+  const std::vector<std::int64_t> h = hidden_codes(xq);
+  std::vector<std::int64_t> z(static_cast<std::size_t>(num_outputs));
+  for (int k = 0; k < num_outputs; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    std::int64_t acc = b2[ks];
+    for (int i = 0; i < num_hidden; ++i) {
+      acc += w2[ks][static_cast<std::size_t>(i)] *
+             h[static_cast<std::size_t>(i)];
+    }
+    z[ks] = acc;
+  }
+  return z;
+}
+
+int QuantizedMlp::predict_codes(const std::vector<std::int64_t>& xq) const {
+  const std::vector<std::int64_t> z = logits_codes(xq);
+  int best = 0;
+  for (int k = 1; k < num_outputs; ++k) {
+    if (z[static_cast<std::size_t>(k)] > z[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+int QuantizedMlp::predict(const std::vector<double>& x) const {
+  return predict_codes(quantize_features(x, input_format));
+}
+
+std::vector<int> QuantizedMlp::predict_all(
+    const std::vector<std::vector<double>>& X) const {
+  std::vector<int> out;
+  out.reserve(X.size());
+  for (const auto& x : X) out.push_back(predict(x));
+  return out;
+}
+
+int QuantizedMlp::layer1_acc_bits() const {
+  const std::int64_t xmax = input_format.max_code();
+  std::int64_t bound = 1;
+  for (int i = 0; i < num_hidden; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    std::int64_t s = std::llabs(b1[is]);
+    for (const std::int64_t w : w1[is]) s += std::llabs(w) * xmax;
+    bound = std::max(bound, s);
+  }
+  int bits = 2;
+  while ((std::int64_t{1} << (bits - 1)) <= bound) ++bits;
+  return bits;
+}
+
+int QuantizedMlp::layer2_acc_bits() const {
+  const std::int64_t hmax = hidden_format.max_code();
+  std::int64_t bound = 1;
+  for (int k = 0; k < num_outputs; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    std::int64_t s = std::llabs(b2[ks]);
+    for (const std::int64_t w : w2[ks]) s += std::llabs(w) * hmax;
+    bound = std::max(bound, s);
+  }
+  int bits = 2;
+  while ((std::int64_t{1} << (bits - 1)) <= bound) ++bits;
+  return bits;
+}
+
+QuantizedMlp quantize_mlp(const ml::MlpModel& model,
+                          const ml::Dataset& calibration, int input_bits,
+                          int weight_bits, int hidden_bits) {
+  QuantizedMlp q;
+  q.num_inputs = model.num_inputs;
+  q.num_hidden = model.num_hidden;
+  q.num_outputs = model.num_outputs;
+  q.input_format = input_format(input_bits);
+
+  auto max_abs_of = [](const std::vector<std::vector<double>>& w,
+                       const std::vector<double>& b) {
+    double m = 1e-9;
+    for (const auto& row : w) {
+      for (const double v : row) m = std::max(m, std::fabs(v));
+    }
+    for (const double v : b) m = std::max(m, std::fabs(v));
+    return m;
+  };
+  q.w1_format = fit_signed_format(max_abs_of(model.w1, model.b1), weight_bits);
+  q.w2_format = fit_signed_format(max_abs_of(model.w2, model.b2), weight_bits);
+
+  // Profile float hidden activations to place the activation binary point.
+  double h_max = 1e-9;
+  for (const auto& x : calibration.X) {
+    for (const double h : model.hidden_activations(x)) {
+      h_max = std::max(h_max, h);
+    }
+  }
+  int int_bits = 0;
+  while (std::ldexp(1.0, int_bits) < h_max && int_bits < 24) ++int_bits;
+  q.hidden_format = fixed::FixedFormat{.total_bits = hidden_bits,
+                                       .frac_bits = hidden_bits - int_bits,
+                                       .is_signed = false};
+  const int acc1_frac = q.w1_format.frac_bits + q.input_format.frac_bits;
+  q.hidden_shift = acc1_frac - q.hidden_format.frac_bits;
+  if (q.hidden_shift < 0) {
+    // Hidden grid finer than the accumulator grid: coarsen the hidden
+    // format instead of shifting left (keeps the circuit a pure wire-drop).
+    q.hidden_format.frac_bits += q.hidden_shift;
+    q.hidden_shift = 0;
+  }
+
+  const fixed::FixedFormat b1_fmt{
+      .total_bits = 62, .frac_bits = acc1_frac, .is_signed = true};
+  const fixed::FixedFormat b2_fmt{
+      .total_bits = 62,
+      .frac_bits = q.w2_format.frac_bits + q.hidden_format.frac_bits,
+      .is_signed = true};
+
+  q.w1.resize(static_cast<std::size_t>(q.num_hidden));
+  q.b1.resize(static_cast<std::size_t>(q.num_hidden));
+  for (int i = 0; i < q.num_hidden; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    q.w1[is].reserve(static_cast<std::size_t>(q.num_inputs));
+    for (const double w : model.w1[is]) {
+      q.w1[is].push_back(fixed::quantize(w, q.w1_format));
+    }
+    q.b1[is] = fixed::quantize(model.b1[is], b1_fmt);
+  }
+  q.w2.resize(static_cast<std::size_t>(q.num_outputs));
+  q.b2.resize(static_cast<std::size_t>(q.num_outputs));
+  for (int k = 0; k < q.num_outputs; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    q.w2[ks].reserve(static_cast<std::size_t>(q.num_hidden));
+    for (const double w : model.w2[ks]) {
+      q.w2[ks].push_back(fixed::quantize(w, q.w2_format));
+    }
+    q.b2[ks] = fixed::quantize(model.b2[ks], b2_fmt);
+  }
+  return q;
+}
+
+}  // namespace pml::quant

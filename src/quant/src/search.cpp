@@ -1,0 +1,67 @@
+#include "pml/quant/search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pml/ml/metrics.hpp"
+
+namespace pml::quant {
+
+PrecisionSearchResult search_min_precision(
+    const ml::MulticlassSvm& model, const ml::Dataset& holdout,
+    const PrecisionSearchOptions& options) {
+  if (holdout.X.empty()) {
+    throw std::invalid_argument("search_min_precision: empty holdout");
+  }
+  PrecisionSearchResult result;
+  result.float_accuracy =
+      ml::accuracy(model.predict_all(holdout.X), holdout.y);
+
+  // Enumerate candidates ordered by hardware cost.  Multiplier area scales
+  // roughly with input_bits * weight_bits; ties prefer fewer weight bits
+  // (weights dominate storage).
+  struct Cand {
+    int bx, bw;
+  };
+  std::vector<Cand> cands;
+  for (int bx = options.min_input_bits; bx <= options.max_input_bits; ++bx) {
+    for (int bw = options.min_weight_bits; bw <= options.max_weight_bits;
+         ++bw) {
+      cands.push_back({bx, bw});
+    }
+  }
+  std::stable_sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+    const int ca = a.bx * a.bw, cb = b.bx * b.bw;
+    if (ca != cb) return ca < cb;
+    return a.bw < b.bw;
+  });
+
+  bool found = false;
+  for (const Cand& c : cands) {
+    const QuantizedSvm q = quantize_svm(model, c.bx, c.bw);
+    const double acc = ml::accuracy(q.predict_all(holdout.X), holdout.y);
+    result.sweep.push_back({c.bx, c.bw, acc});
+    if (!found && acc + 1e-12 >= result.float_accuracy - options.tolerance) {
+      result.input_bits = c.bx;
+      result.weight_bits = c.bw;
+      result.quantized_accuracy = acc;
+      found = true;
+      // Keep sweeping to fill the sweep table?  No: the sweep is O(grid),
+      // and callers wanting the full surface use the sweep up to here plus
+      // explicit quantize_svm calls.  Stop at the winner.
+      break;
+    }
+  }
+  if (!found) {
+    // Fall back to the most precise configuration.
+    const QuantizedSvm q =
+        quantize_svm(model, options.max_input_bits, options.max_weight_bits);
+    result.input_bits = options.max_input_bits;
+    result.weight_bits = options.max_weight_bits;
+    result.quantized_accuracy =
+        ml::accuracy(q.predict_all(holdout.X), holdout.y);
+  }
+  return result;
+}
+
+}  // namespace pml::quant

@@ -1,0 +1,127 @@
+#include "pml/quant/svm_quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "pml/fixed/csd.hpp"
+
+namespace pml::quant {
+
+std::int64_t QuantizedSvm::decision(std::size_t t,
+                                    const std::vector<std::int64_t>& xq) const {
+  const QuantizedClassifier& c = classifiers.at(t);
+  if (xq.size() != c.w.size()) {
+    throw std::invalid_argument("QuantizedSvm::decision: dimension mismatch");
+  }
+  std::int64_t acc = c.b;
+  for (std::size_t j = 0; j < c.w.size(); ++j) acc += c.w[j] * xq[j];
+  return acc;
+}
+
+int QuantizedSvm::predict_codes(const std::vector<std::int64_t>& xq) const {
+  if (strategy == ml::MulticlassStrategy::kOneVsRest) {
+    int best = 0;
+    std::int64_t best_score = decision(0, xq);
+    for (int k = 1; k < static_cast<int>(classifiers.size()); ++k) {
+      const std::int64_t s = decision(static_cast<std::size_t>(k), xq);
+      if (s > best_score) {
+        best_score = s;
+        best = k;
+      }
+    }
+    return best;
+  }
+  std::vector<int> votes(static_cast<std::size_t>(num_classes), 0);
+  for (std::size_t t = 0; t < pairs.size(); ++t) {
+    const auto [i, j] = pairs[t];
+    ++votes[static_cast<std::size_t>(decision(t, xq) > 0 ? i : j)];
+  }
+  int best = 0;
+  for (int k = 1; k < num_classes; ++k) {
+    if (votes[static_cast<std::size_t>(k)] >
+        votes[static_cast<std::size_t>(best)]) {
+      best = k;
+    }
+  }
+  return best;
+}
+
+int QuantizedSvm::predict(const std::vector<double>& x) const {
+  return predict_codes(quantize_features(x, input_format));
+}
+
+std::vector<int> QuantizedSvm::predict_all(
+    const std::vector<std::vector<double>>& X) const {
+  std::vector<int> out;
+  out.reserve(X.size());
+  for (const auto& x : X) out.push_back(predict(x));
+  return out;
+}
+
+std::int64_t QuantizedSvm::score_bound() const {
+  const std::int64_t xmax = input_format.max_code();
+  std::int64_t bound = 0;
+  for (const auto& c : classifiers) {
+    std::int64_t s = std::llabs(c.b);
+    for (const std::int64_t w : c.w) s += std::llabs(w) * xmax;
+    bound = std::max(bound, s);
+  }
+  return bound;
+}
+
+int QuantizedSvm::score_bits() const {
+  const std::int64_t bound = score_bound();
+  int bits = 2;
+  while ((std::int64_t{1} << (bits - 1)) <= bound) ++bits;
+  return bits;
+}
+
+QuantizedSvm quantize_svm(const ml::MulticlassSvm& model, int input_bits,
+                          int weight_bits) {
+  QuantizedSvm q;
+  q.strategy = model.strategy;
+  q.num_classes = model.num_classes;
+  q.pairs = model.pairs;
+  q.input_format = input_format(input_bits);
+
+  double max_abs = 1e-9;
+  for (const auto& c : model.classifiers) {
+    for (const double w : c.w) max_abs = std::max(max_abs, std::fabs(w));
+    // The bias shares the weight grid; include it so it stays representable
+    // after scaling by the input range.
+    max_abs = std::max(max_abs, std::fabs(c.b));
+  }
+  q.weight_format = fit_signed_format(max_abs, weight_bits);
+
+  // Product scale: weight codes are w * 2^fw, input codes x * 2^fx,
+  // so decisions live at scale 2^(fw + fx) and the bias joins there.
+  const fixed::FixedFormat bias_fmt{
+      .total_bits = 62,
+      .frac_bits = q.weight_format.frac_bits + q.input_format.frac_bits,
+      .is_signed = true};
+
+  for (const auto& c : model.classifiers) {
+    QuantizedClassifier qc;
+    qc.w.reserve(c.w.size());
+    for (const double w : c.w) {
+      qc.w.push_back(fixed::quantize(w, q.weight_format));
+    }
+    qc.b = fixed::quantize(c.b, bias_fmt);
+    q.classifiers.push_back(std::move(qc));
+  }
+  return q;
+}
+
+QuantizedSvm approximate_svm_csd(QuantizedSvm model, int max_csd_digits) {
+  for (auto& c : model.classifiers) {
+    for (auto& w : c.w) {
+      const auto digits =
+          fixed::csd_truncate(fixed::csd_recode(w), max_csd_digits);
+      w = fixed::csd_value(digits);
+    }
+  }
+  return model;
+}
+
+}  // namespace pml::quant

@@ -1,0 +1,34 @@
+#pragma once
+// Minimal fixed-width / markdown table rendering for benches and examples.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pml::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; must match the header count.
+  void add_row(std::vector<std::string> row);
+  /// Add a horizontal separator line.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Fixed-precision double formatting ("12.34").
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+/// Ratio formatting ("6.5x").
+[[nodiscard]] std::string fmt_ratio(double value, int precision = 1);
+/// Percentage formatting from a fraction ("93.4").
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace pml::report

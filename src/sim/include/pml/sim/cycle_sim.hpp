@@ -1,0 +1,83 @@
+#pragma once
+// Zero-delay cycle-accurate simulator.
+//
+// Evaluates the combinational logic in levelized order once per clock
+// cycle, then clocks all DFFs.  This is the *functional* reference: the
+// flow uses it to prove every generated circuit bit-exact against the
+// quantized software model.  (Power uses the event simulator, which also
+// sees glitches.)
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/levelize.hpp"
+
+namespace pml::sim {
+
+class CycleSimulator {
+ public:
+  explicit CycleSimulator(const netlist::Module& module);
+
+  /// Restore all DFFs to their power-on values and clear net values.
+  void reset();
+
+  /// Drive a single primary-input net.
+  void set_net(netlist::NetId net, bool value);
+  /// Drive an input port (LSB first) with the low bits of `value`.
+  void set_port(const std::string& name, std::uint64_t value);
+  void set_port(const netlist::Port& port, std::uint64_t value);
+
+  /// Propagate combinational logic (no clock edge).
+  void propagate();
+  /// Propagate, then clock every DFF (capture D into Q).
+  void step();
+
+  [[nodiscard]] bool net(netlist::NetId net) const {
+    return values_[net] != 0;
+  }
+  /// Read a port as an unsigned integer (LSB first).
+  [[nodiscard]] std::uint64_t port_unsigned(const std::string& name) const;
+  [[nodiscard]] std::uint64_t port_unsigned(const netlist::Port& port) const;
+  /// Read a port as a two's complement signed integer.
+  [[nodiscard]] std::int64_t port_signed(const std::string& name) const;
+  [[nodiscard]] std::int64_t port_signed(const netlist::Port& port) const;
+
+  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const Levelization& levelization() const { return lv_; }
+
+  /// Cumulative zero-delay toggle count per net since construction/reset
+  /// (functional transitions only; excludes glitches by definition).
+  [[nodiscard]] const std::vector<std::uint64_t>& toggles() const {
+    return toggles_;
+  }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  // --- fault injection ------------------------------------------------------
+  // Printed processes have orders-of-magnitude higher defect rates than
+  // silicon; stuck-at faults are the standard abstraction.  A forced net
+  // overrides its driver (stuck-at-0/1) until cleared; the simulator then
+  // reports how the classifier misbehaves.
+
+  /// Force `net` to `value` (stuck-at fault).  Applies from the next
+  /// propagate()/step().
+  void force_net(netlist::NetId net, bool value);
+  /// Remove one / all forces.
+  void unforce_net(netlist::NetId net);
+  void clear_forces();
+  [[nodiscard]] std::size_t num_forced() const { return num_forced_; }
+
+ private:
+  const netlist::Module& module_;
+  Levelization lv_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> dff_state_;
+  std::vector<std::uint64_t> toggles_;
+  /// 0 = free, 1 = stuck-at-0, 2 = stuck-at-1 (indexed by net).
+  std::vector<std::uint8_t> forces_;
+  std::size_t num_forced_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace pml::sim

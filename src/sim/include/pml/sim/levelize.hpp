@@ -1,0 +1,32 @@
+#pragma once
+// Topological ordering of the combinational subgraph.
+//
+// Shared by the cycle simulator (evaluation order), the event simulator
+// (consistent initialization), and the timing analyzer (longest-path DP).
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+
+namespace pml::sim {
+
+struct Levelization {
+  /// Indices of combinational cells in a valid evaluation order.
+  std::vector<std::uint32_t> comb_order;
+  /// Indices of all DFF cells.
+  std::vector<std::uint32_t> dffs;
+  /// Logic depth (number of combinational cells on the longest path feeding
+  /// each net); constants/PIs/DFF outputs have depth 0.
+  std::vector<std::uint32_t> net_depth;
+  /// fanout[net] = cells reading that net.
+  std::vector<std::vector<std::uint32_t>> fanout;
+  /// Maximum combinational depth over all nets.
+  std::uint32_t max_depth = 0;
+};
+
+/// Compute the levelization.  Throws std::runtime_error on combinational
+/// cycles (Module::validate reports them more descriptively).
+[[nodiscard]] Levelization levelize(const netlist::Module& module);
+
+}  // namespace pml::sim

@@ -1,0 +1,51 @@
+#pragma once
+// VCD (Value Change Dump) waveform recording from the cycle simulator.
+//
+// Records the module's ports (and optionally named internal buses) each
+// clock cycle so a debug session can be inspected in GTKWave & co.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/cycle_sim.hpp"
+#include "pml/synth/bus.hpp"
+
+namespace pml::sim {
+
+class VcdWriter {
+ public:
+  /// Registers all input/output ports of the simulator's module.
+  /// `timescale` is the nominal time of one clock cycle.
+  VcdWriter(const CycleSimulator& sim, std::ostream& os,
+            const std::string& timescale = "1 ms");
+
+  /// Additionally trace an internal bus under `name` (call before the
+  /// first sample()).
+  void add_signal(const std::string& name, const synth::Bus& bus);
+
+  /// Emit the header; called automatically by the first sample().
+  void write_header();
+
+  /// Record the current values at time `cycle`.
+  void sample(std::uint64_t cycle);
+
+ private:
+  struct Signal {
+    std::string name;
+    std::vector<netlist::NetId> nets;
+    std::string id;               // VCD short identifier
+    std::uint64_t last_value = ~std::uint64_t{0};
+    bool dumped = false;
+  };
+
+  const CycleSimulator& sim_;
+  std::ostream& os_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  bool header_written_ = false;
+};
+
+}  // namespace pml::sim

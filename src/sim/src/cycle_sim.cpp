@@ -1,0 +1,149 @@
+#include "pml/sim/cycle_sim.hpp"
+
+#include <stdexcept>
+
+namespace pml::sim {
+
+using netlist::Cell;
+using netlist::CellType;
+using netlist::NetId;
+using netlist::Port;
+
+CycleSimulator::CycleSimulator(const netlist::Module& module)
+    : module_(module), lv_(levelize(module)) {
+  values_.assign(module.num_nets(), 0);
+  toggles_.assign(module.num_nets(), 0);
+  forces_.assign(module.num_nets(), 0);
+  dff_state_.assign(lv_.dffs.size(), 0);
+  reset();
+}
+
+void CycleSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  values_[netlist::kConst1] = 1;
+  const auto& cells = module_.cells();
+  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
+    const Cell& c = cells[lv_.dffs[i]];
+    dff_state_[i] = c.dff_init ? 1 : 0;
+    values_[c.out] = dff_state_[i];
+  }
+  // Settle combinational logic so reads at time zero are consistent, then
+  // discard the settling transitions — counting starts from steady state.
+  propagate();
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycles_ = 0;
+}
+
+void CycleSimulator::set_net(NetId net, bool value) {
+  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
+  values_[net] = value ? 1 : 0;
+}
+
+void CycleSimulator::set_port(const std::string& name, std::uint64_t value) {
+  const Port* port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+  set_port(*port, value);
+}
+
+void CycleSimulator::set_port(const Port& port, std::uint64_t value) {
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    set_net(port.nets[i], ((value >> i) & 1u) != 0);
+  }
+}
+
+void CycleSimulator::propagate() {
+  const auto& cells = module_.cells();
+  // Apply stuck-at forces on primary inputs before evaluating.
+  if (num_forced_ != 0) {
+    for (netlist::NetId n = 0; n < forces_.size(); ++n) {
+      if (forces_[n] != 0) values_[n] = forces_[n] == 2 ? 1 : 0;
+    }
+  }
+  for (const std::uint32_t idx : lv_.comb_order) {
+    const Cell& c = cells[idx];
+    const bool a = values_[c.in[0]] != 0;
+    const bool b = c.in[1] != netlist::kInvalidNet && values_[c.in[1]] != 0;
+    const bool s = c.in[2] != netlist::kInvalidNet && values_[c.in[2]] != 0;
+    std::uint8_t v = netlist::eval_cell(c.type, a, b, s) ? 1 : 0;
+    if (num_forced_ != 0 && forces_[c.out] != 0) {
+      v = forces_[c.out] == 2 ? 1 : 0;
+    }
+    if (v != values_[c.out]) {
+      values_[c.out] = v;
+      ++toggles_[c.out];
+    }
+  }
+}
+
+void CycleSimulator::force_net(NetId net, bool value) {
+  if (net >= forces_.size()) throw std::out_of_range("force_net: bad net");
+  if (net == netlist::kConst0 || net == netlist::kConst1) {
+    throw std::invalid_argument("force_net: cannot force a constant net");
+  }
+  if (forces_[net] == 0) ++num_forced_;
+  forces_[net] = value ? 2 : 1;
+}
+
+void CycleSimulator::unforce_net(NetId net) {
+  if (net >= forces_.size()) throw std::out_of_range("unforce_net: bad net");
+  if (forces_[net] != 0) --num_forced_;
+  forces_[net] = 0;
+}
+
+void CycleSimulator::clear_forces() {
+  std::fill(forces_.begin(), forces_.end(), 0);
+  num_forced_ = 0;
+}
+
+void CycleSimulator::step() {
+  propagate();
+  const auto& cells = module_.cells();
+  // Two-phase clocking: sample every D first, then update every Q, so DFF
+  // chains shift correctly regardless of order.
+  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
+    dff_state_[i] = values_[cells[lv_.dffs[i]].in[0]];
+  }
+  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
+    const NetId q = cells[lv_.dffs[i]].out;
+    if (values_[q] != dff_state_[i]) {
+      values_[q] = dff_state_[i];
+      ++toggles_[q];
+    }
+  }
+  ++cycles_;
+  propagate();
+}
+
+std::uint64_t CycleSimulator::port_unsigned(const Port& port) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    if (values_[port.nets[i]]) v |= (std::uint64_t{1} << i);
+  }
+  return v;
+}
+
+std::uint64_t CycleSimulator::port_unsigned(const std::string& name) const {
+  const Port* port = module_.find_output(name);
+  if (port == nullptr) port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no port: " + name);
+  return port_unsigned(*port);
+}
+
+std::int64_t CycleSimulator::port_signed(const Port& port) const {
+  const std::uint64_t raw = port_unsigned(port);
+  const int bits = static_cast<int>(port.nets.size());
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  if (bits < 64 && (raw & sign)) {
+    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+std::int64_t CycleSimulator::port_signed(const std::string& name) const {
+  const Port* port = module_.find_output(name);
+  if (port == nullptr) port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no port: " + name);
+  return port_signed(*port);
+}
+
+}  // namespace pml::sim

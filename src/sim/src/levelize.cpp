@@ -1,0 +1,79 @@
+#include "pml/sim/levelize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pml::sim {
+
+using netlist::Cell;
+using netlist::CellType;
+
+Levelization levelize(const netlist::Module& module) {
+  const auto& cells = module.cells();
+  Levelization lv;
+  lv.fanout.resize(module.num_nets());
+  lv.net_depth.assign(module.num_nets(), 0);
+
+  std::vector<int> indegree(cells.size(), 0);
+  const auto drivers = module.driver_map();
+
+  auto comb_driver = [&](netlist::NetId n) -> std::int32_t {
+    const std::int32_t d = drivers[n];
+    if (d < 0) return -1;
+    return cells[static_cast<std::size_t>(d)].type == CellType::kDff ? -1 : d;
+  };
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    const int arity = netlist::cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) {
+      lv.fanout[c.in[k]].push_back(static_cast<std::uint32_t>(i));
+    }
+    if (c.type == CellType::kDff) {
+      lv.dffs.push_back(static_cast<std::uint32_t>(i));
+      continue;
+    }
+    for (int k = 0; k < arity; ++k) {
+      if (comb_driver(c.in[k]) >= 0) ++indegree[i];
+    }
+  }
+
+  std::vector<std::uint32_t> ready;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].type != CellType::kDff && indegree[i] == 0) {
+      ready.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  lv.comb_order.reserve(cells.size() - lv.dffs.size());
+  while (!ready.empty()) {
+    const std::uint32_t i = ready.back();
+    ready.pop_back();
+    lv.comb_order.push_back(i);
+    const Cell& c = cells[i];
+    std::uint32_t depth = 0;
+    const int arity = netlist::cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) {
+      depth = std::max(depth, lv.net_depth[c.in[k]]);
+    }
+    lv.net_depth[c.out] = depth + 1;
+    lv.max_depth = std::max(lv.max_depth, depth + 1);
+    for (std::uint32_t j : lv.fanout[c.out]) {
+      if (cells[j].type == CellType::kDff) continue;
+      if (--indegree[j] == 0) ready.push_back(j);
+    }
+  }
+  if (lv.comb_order.size() + lv.dffs.size() != cells.size()) {
+    throw std::runtime_error("levelize: combinational cycle in module '" +
+                             module.name() + "'");
+  }
+  // `ready`-stack order is already topologically valid, but sorting by depth
+  // makes evaluation cache-friendlier and deterministic.
+  std::stable_sort(lv.comb_order.begin(), lv.comb_order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return lv.net_depth[cells[a].out] <
+                            lv.net_depth[cells[b].out];
+                   });
+  return lv;
+}
+
+}  // namespace pml::sim

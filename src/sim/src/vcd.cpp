@@ -1,0 +1,88 @@
+#include "pml/sim/vcd.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace pml::sim {
+
+namespace {
+
+/// VCD identifier alphabet: printable ASCII, shortest-first.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const CycleSimulator& sim, std::ostream& os,
+                     const std::string& timescale)
+    : sim_(sim), os_(os), timescale_(timescale) {
+  for (const auto& port : sim.module().input_ports()) {
+    add_signal(port.name, synth::Bus{port.nets});
+  }
+  for (const auto& port : sim.module().output_ports()) {
+    add_signal(port.name, synth::Bus{port.nets});
+  }
+}
+
+void VcdWriter::add_signal(const std::string& name, const synth::Bus& bus) {
+  if (header_written_) {
+    throw std::logic_error("VcdWriter: add_signal after header");
+  }
+  Signal s;
+  s.name = name;
+  s.nets = bus.bits;
+  s.id = vcd_id(signals_.size());
+  signals_.push_back(std::move(s));
+}
+
+void VcdWriter::write_header() {
+  if (header_written_) return;
+  header_written_ = true;
+  os_ << "$date printed-seqsvm $end\n"
+      << "$version pml::sim::VcdWriter $end\n"
+      << "$timescale " << timescale_ << " $end\n"
+      << "$scope module " << sim_.module().name() << " $end\n";
+  for (const auto& s : signals_) {
+    os_ << "$var wire " << s.nets.size() << ' ' << s.id << ' ' << s.name
+        << (s.nets.size() > 1
+                ? " [" + std::to_string(s.nets.size() - 1) + ":0]"
+                : "")
+        << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::sample(std::uint64_t cycle) {
+  write_header();
+  bool stamped = false;
+  for (auto& s : signals_) {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < s.nets.size(); ++i) {
+      if (sim_.net(s.nets[i])) value |= (std::uint64_t{1} << i);
+    }
+    if (s.dumped && value == s.last_value) continue;
+    if (!stamped) {
+      os_ << '#' << cycle << '\n';
+      stamped = true;
+    }
+    if (s.nets.size() == 1) {
+      os_ << (value ? '1' : '0') << s.id << '\n';
+    } else {
+      os_ << 'b';
+      for (std::size_t i = s.nets.size(); i-- > 0;) {
+        os_ << (((value >> i) & 1) ? '1' : '0');
+      }
+      os_ << ' ' << s.id << '\n';
+    }
+    s.last_value = value;
+    s.dumped = true;
+  }
+}
+
+}  // namespace pml::sim

@@ -1,0 +1,39 @@
+#pragma once
+// Static timing analysis: longest combinational path -> max clock frequency.
+//
+// Printed classifiers run at a handful of Hz; the paper reports the
+// post-synthesis frequency of each design (13-42 Hz in Table I) and
+// derives latency as cycles/frequency.  We reproduce that with a
+// topological longest-path pass: sources are primary inputs (t=0) and DFF
+// outputs (t=clk-to-Q); sinks are primary outputs and DFF D pins
+// (+setup).  The critical path is also extracted for reporting.
+
+#include <string>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+
+namespace pml::sta {
+
+/// One hop of the extracted critical path.
+struct PathStep {
+  netlist::NetId net = netlist::kInvalidNet;
+  netlist::CellType through = netlist::CellType::kBuf;
+  double arrival_ms = 0.0;
+};
+
+struct TimingReport {
+  double critical_path_ms = 0.0;  ///< worst arrival incl. clk-to-Q + setup
+  double max_frequency_hz = 0.0;  ///< 1 / critical_path
+  int logic_depth = 0;            ///< gates on the critical path
+  std::vector<PathStep> critical_path;  ///< source -> sink
+  std::string sink_description;   ///< which PO/DFF limits the clock
+};
+
+/// Analyze `module` under `lib`.  The module must be acyclic
+/// (combinationally); Module::validate() reports violations first.
+[[nodiscard]] TimingReport analyze(const netlist::Module& module,
+                                   const cells::CellLibrary& lib);
+
+}  // namespace pml::sta

@@ -1,0 +1,123 @@
+#include "pml/sta/timing.hpp"
+
+#include <algorithm>
+
+#include "pml/sim/levelize.hpp"
+
+namespace pml::sta {
+
+using netlist::Cell;
+using netlist::CellType;
+using netlist::NetId;
+
+TimingReport analyze(const netlist::Module& module,
+                     const cells::CellLibrary& lib) {
+  const auto lv = sim::levelize(module);
+  const auto& cells = module.cells();
+
+  const double clk_to_q = lib.params(CellType::kDff).delay_ms;
+  const double setup = lib.calibration().dff_setup_ms;
+
+  std::vector<double> arrival(module.num_nets(), 0.0);
+  // Predecessor net on the longest path into each net; -1 for sources.
+  std::vector<std::int64_t> pred(module.num_nets(), -1);
+  std::vector<std::int32_t> via_cell(module.num_nets(), -1);
+
+  const double kf0 = lib.calibration().fanout_delay_factor;
+  auto source_load = [&](netlist::NetId n) {
+    const double sinks =
+        lv.fanout[n].empty() ? 1.0 : static_cast<double>(lv.fanout[n].size());
+    return 1.0 + kf0 * (sinks - 1.0);
+  };
+  for (std::size_t i = 0; i < lv.dffs.size(); ++i) {
+    const NetId q = cells[lv.dffs[i]].out;
+    arrival[q] = clk_to_q * source_load(q);
+  }
+  // Primary inputs arrive through an (implicit) input buffer whose drive
+  // suffers the same fanout loading.
+  const double buf_delay = lib.params(CellType::kBuf).delay_ms;
+  for (const auto& port : module.input_ports()) {
+    for (const NetId n : port.nets) {
+      if (lv.fanout[n].size() > 1) {
+        arrival[n] = buf_delay * source_load(n);
+      }
+    }
+  }
+
+  // Printed interconnect is resistive and cell drive is weak: loading a
+  // net with many sinks slows it down markedly.  Model delay as
+  // cell delay x (1 + k x (fanout - 1)) — this is why huge fully-parallel
+  // designs clock far below small sequential ones in the paper.
+  const double kf = lib.calibration().fanout_delay_factor;
+  for (const std::uint32_t idx : lv.comb_order) {
+    const Cell& c = cells[idx];
+    const int arity = netlist::cell_num_inputs(c.type);
+    double worst = 0.0;
+    NetId worst_in = c.in[0];
+    for (int k = 0; k < arity; ++k) {
+      if (arrival[c.in[k]] >= worst) {
+        worst = arrival[c.in[k]];
+        worst_in = c.in[k];
+      }
+    }
+    const double sinks =
+        lv.fanout[c.out].empty() ? 1.0 : static_cast<double>(lv.fanout[c.out].size());
+    const double load = 1.0 + kf * (sinks - 1.0);
+    arrival[c.out] = worst + lib.params(c.type).delay_ms * load;
+    pred[c.out] = static_cast<std::int64_t>(worst_in);
+    via_cell[c.out] = static_cast<std::int32_t>(idx);
+  }
+
+  TimingReport report;
+  NetId worst_net = netlist::kInvalidNet;
+  auto consider = [&](NetId n, double extra, const std::string& what) {
+    const double t = arrival[n] + extra;
+    if (t > report.critical_path_ms) {
+      report.critical_path_ms = t;
+      worst_net = n;
+      report.sink_description = what;
+    }
+  };
+  for (const auto& port : module.output_ports()) {
+    for (std::size_t b = 0; b < port.nets.size(); ++b) {
+      consider(port.nets[b], 0.0,
+               "output '" + port.name + "' bit " + std::to_string(b));
+    }
+  }
+  for (const std::uint32_t idx : lv.dffs) {
+    consider(cells[idx].in[0], setup, "DFF D pin (setup)");
+  }
+
+  if (report.critical_path_ms <= 0.0) {
+    // Fully constant design; report a nominal single-gate period.
+    report.critical_path_ms = lib.params(CellType::kBuf).delay_ms;
+    report.sink_description = "(constant design)";
+  }
+  report.max_frequency_hz = 1000.0 / report.critical_path_ms;
+
+  // Walk predecessors to extract the critical path (sink -> source).
+  std::vector<PathStep> rev;
+  std::int64_t n = (worst_net == netlist::kInvalidNet)
+                       ? -1
+                       : static_cast<std::int64_t>(worst_net);
+  while (n >= 0) {
+    PathStep step;
+    step.net = static_cast<NetId>(n);
+    step.arrival_ms = arrival[static_cast<std::size_t>(n)];
+    const std::int32_t ci = via_cell[static_cast<std::size_t>(n)];
+    if (ci >= 0) step.through = cells[static_cast<std::size_t>(ci)].type;
+    rev.push_back(step);
+    if (ci < 0) break;
+    n = pred[static_cast<std::size_t>(n)];
+  }
+  report.critical_path.assign(rev.rbegin(), rev.rend());
+  // Depth counts gates traversed; the path also contains the source net.
+  int depth = 0;
+  for (const auto& step : report.critical_path) {
+    if (via_cell[step.net] >= 0) ++depth;
+  }
+  report.logic_depth = depth;
+  return report;
+}
+
+}  // namespace pml::sta

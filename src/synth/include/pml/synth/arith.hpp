@@ -1,0 +1,79 @@
+#pragma once
+// Adders, subtractors, comparators.
+//
+// Everything is built from the primitive cell set with ripple carries —
+// the area-optimal choice for printed technology, where Hz-range clocks
+// leave enormous timing slack and every gate costs ~0.1 mm^2.  Widths are
+// managed so results never overflow: signed adds extend by one bit,
+// multi-operand trees grow logarithmically.
+
+#include <utility>
+#include <vector>
+
+#include "pml/synth/bus.hpp"
+
+namespace pml::synth {
+
+/// sum/carry pair of a 1-bit adder.
+struct BitAdd {
+  netlist::NetId sum;
+  netlist::NetId carry;
+};
+
+[[nodiscard]] BitAdd half_adder(netlist::Module& m, netlist::NetId a,
+                                netlist::NetId b);
+[[nodiscard]] BitAdd full_adder(netlist::Module& m, netlist::NetId a,
+                                netlist::NetId b, netlist::NetId cin);
+
+/// Unsigned ripple-carry addition; result width = max(wa, wb) + 1.
+[[nodiscard]] Bus add_unsigned(netlist::Module& m, const Bus& a, const Bus& b);
+
+/// Signed (two's complement) addition; result width = max(wa, wb) + 1,
+/// never overflows.
+[[nodiscard]] Bus add_signed(netlist::Module& m, const Bus& a, const Bus& b);
+
+/// Signed subtraction a - b; result width = max(wa, wb) + 1.
+[[nodiscard]] Bus sub_signed(netlist::Module& m, const Bus& a, const Bus& b);
+
+/// Two's complement negation; result width = w + 1.
+[[nodiscard]] Bus negate(netlist::Module& m, const Bus& a);
+
+/// Balanced tree of signed adders over `operands` (the paper's
+/// "multi-operand adder").  Result width grows by ceil(log2(k)) + 1.
+[[nodiscard]] Bus adder_tree_signed(netlist::Module& m,
+                                    std::vector<Bus> operands);
+
+/// Linear chain of signed adders: acc = ((op0 + op1) + op2) + ...
+/// This is how the state-of-the-art bespoke generators emit weighted sums
+/// (MICRO'20-style `acc += w_i * x_i` HLS output): k-1 sequentially
+/// dependent adders whose depth — and glitching — grow linearly with k,
+/// unlike the logarithmic multi-operand adder our engine uses.
+[[nodiscard]] Bus adder_chain_signed(netlist::Module& m,
+                                     const std::vector<Bus>& operands);
+
+/// Truncated signed adder used by the cross-approximation baseline:
+/// the `drop` least significant bits of both operands are discarded before
+/// the ripple chain (their sum is approximated as 0).  Result is aligned
+/// back (shifted left by `drop`) so widths compose.
+[[nodiscard]] Bus add_signed_truncated(netlist::Module& m, const Bus& a,
+                                       const Bus& b, int drop);
+
+/// a == b (nets compared pairwise after width alignment, unsigned).
+[[nodiscard]] netlist::NetId equal_unsigned(netlist::Module& m, const Bus& a,
+                                            const Bus& b);
+
+/// Signed a > b.
+[[nodiscard]] netlist::NetId greater_signed(netlist::Module& m, const Bus& a,
+                                            const Bus& b);
+/// Signed a >= b.
+[[nodiscard]] netlist::NetId greater_equal_signed(netlist::Module& m,
+                                                  const Bus& a, const Bus& b);
+/// Unsigned a > b.
+[[nodiscard]] netlist::NetId greater_unsigned(netlist::Module& m, const Bus& a,
+                                              const Bus& b);
+
+/// OR-reduce / AND-reduce of a bus.
+[[nodiscard]] netlist::NetId reduce_or(netlist::Module& m, const Bus& a);
+[[nodiscard]] netlist::NetId reduce_and(netlist::Module& m, const Bus& a);
+
+}  // namespace pml::synth

@@ -1,0 +1,42 @@
+#pragma once
+// Multipliers: general (for the sequential compute engine, where the
+// weight changes every cycle) and bespoke constant multipliers (for the
+// fully-parallel baselines, where every coefficient is hardwired and CSD
+// recoding turns multiplication into a few shift-add/sub stages).
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/fixed/csd.hpp"
+#include "pml/synth/bus.hpp"
+
+namespace pml::synth {
+
+/// Unsigned x unsigned array multiplier; result width = wa + wb.
+[[nodiscard]] Bus mult_unsigned(netlist::Module& m, const Bus& a,
+                                const Bus& b);
+
+/// Signed weight x unsigned activation (the classifier inner-product case);
+/// result is signed, width = ww + wx.
+[[nodiscard]] Bus mult_signed_unsigned(netlist::Module& m, const Bus& w_signed,
+                                       const Bus& x_unsigned);
+
+/// LSB-truncated variant: partial-product columns below `drop` are not
+/// generated.  The result approximates floor(w*x / 2^drop) * 2^drop.
+[[nodiscard]] Bus mult_signed_unsigned_truncated(netlist::Module& m,
+                                                 const Bus& w_signed,
+                                                 const Bus& x_unsigned,
+                                                 int drop);
+
+/// Bespoke constant multiplier: y = constant * x (x unsigned), built from
+/// the CSD digits of `constant`.  Result is signed and exact.
+[[nodiscard]] Bus mult_const_csd(netlist::Module& m, std::int64_t constant,
+                                 const Bus& x_unsigned);
+
+/// Same, but from a caller-supplied (possibly truncated) digit list — the
+/// cross-approximation baseline passes csd_truncate()d digits here.
+[[nodiscard]] Bus mult_csd_digits(netlist::Module& m,
+                                  const std::vector<fixed::CsdDigit>& digits,
+                                  const Bus& x_unsigned);
+
+}  // namespace pml::synth

@@ -1,0 +1,37 @@
+#pragma once
+// Bus multiplexers and bespoke MUX-based storage.
+//
+// The paper's storage component is an N-way MUX whose data inputs are
+// *hardwired* to the quantized support-vector coefficients (feasible
+// because printed NRE cost is negligible).  `mux_storage` builds exactly
+// that: thanks to Module's constant folding, a column of hardwired bits
+// collapses into a small and/or/inv network — the bespoke advantage.
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/synth/bus.hpp"
+
+namespace pml::synth {
+
+/// out = sel ? d1 : d0 (bitwise; widths aligned by sign extension).
+[[nodiscard]] Bus mux2_bus(netlist::Module& m, const Bus& d0, const Bus& d1,
+                           netlist::NetId sel, bool signed_align = true);
+
+/// N-way mux tree: options[i] is selected when `select` == i.
+/// Options beyond the last are don't-care (the last option is replicated).
+[[nodiscard]] Bus mux_n(netlist::Module& m, std::vector<Bus> options,
+                        const Bus& select, bool signed_align = true);
+
+/// Bespoke ROM: `words[i]` (two's complement, `width` bits) appears on the
+/// output when `select` == i.  This is the paper's MUX-based storage unit.
+///
+/// The leaf level (whose data pins are the hardwired constants) is folded
+/// away by synthesis — that is the bespoke advantage — but the interior
+/// levels are instantiated as *physical* MUX2 cells without cross-column
+/// sharing, matching how a placed-and-routed storage macro is built.
+[[nodiscard]] Bus mux_storage(netlist::Module& m,
+                              const std::vector<std::int64_t>& words,
+                              int width, const Bus& select);
+
+}  // namespace pml::synth

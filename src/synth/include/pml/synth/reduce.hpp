@@ -1,0 +1,31 @@
+#pragma once
+// Reduction networks: parallel argmax trees (the fully-parallel baselines'
+// voter), popcount (OvO vote counting), and the comparator update used by
+// the paper's two-register sequential voter.
+
+#include <vector>
+
+#include "pml/synth/bus.hpp"
+
+namespace pml::synth {
+
+struct ArgMax {
+  Bus index;  ///< index of the winning entry (unsigned)
+  Bus value;  ///< the winning value (signed)
+};
+
+/// Combinational argmax over signed scores.  Ties resolve to the *lowest*
+/// index (matches the software models and the sequential voter, which only
+/// replaces on strictly-greater).
+[[nodiscard]] ArgMax argmax_signed(netlist::Module& m,
+                                   const std::vector<Bus>& scores);
+
+/// Combinational argmax over unsigned values (vote counts).
+[[nodiscard]] ArgMax argmax_unsigned(netlist::Module& m,
+                                     const std::vector<Bus>& counts);
+
+/// Population count of single-bit nets; result width = ceil(log2(n+1)).
+[[nodiscard]] Bus popcount(netlist::Module& m,
+                           const std::vector<netlist::NetId>& bits);
+
+}  // namespace pml::synth

@@ -1,0 +1,34 @@
+#pragma once
+// Sequential building blocks: registers with enable, modulo-N counters.
+//
+// The paper's control component is exactly a log2(n)-bit counter that
+// walks the stored support vectors and terminates after n cycles; the
+// voter keeps two registers (best score / best id).  Both are built here.
+
+#include <cstdint>
+
+#include "pml/synth/bus.hpp"
+
+namespace pml::synth {
+
+/// DFF bank.  When `enable` is kConst1 the register loads every cycle;
+/// otherwise q' = enable ? d : q.  `init` is the power-on value.
+[[nodiscard]] Bus register_bus(netlist::Module& m, const Bus& d,
+                               netlist::NetId enable, std::int64_t init = 0);
+
+struct Counter {
+  Bus count;                ///< current value (registered)
+  netlist::NetId at_last;   ///< combinational: count == modulo-1
+  Bus next;                 ///< combinational next value (wraps to 0)
+};
+
+/// Modulo-`modulo` up-counter, width = ceil(log2(modulo)) bits, starting
+/// at 0 after reset.  `at_last` pulses during the final cycle of each
+/// sweep — the paper's "terminate the multi-cycle process" signal.
+[[nodiscard]] Counter counter_mod(netlist::Module& m, std::int64_t modulo);
+
+/// Bus increment by one (half-adder chain); result keeps `a`'s width
+/// (wraps modulo 2^w).
+[[nodiscard]] Bus increment(netlist::Module& m, const Bus& a);
+
+}  // namespace pml::synth

@@ -1,0 +1,165 @@
+#include "pml/synth/arith.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pml::synth {
+
+using netlist::kConst0;
+using netlist::kConst1;
+using netlist::Module;
+using netlist::NetId;
+
+BitAdd half_adder(Module& m, NetId a, NetId b) {
+  return BitAdd{m.xor2(a, b), m.and2(a, b)};
+}
+
+BitAdd full_adder(Module& m, NetId a, NetId b, NetId cin) {
+  const NetId p = m.xor2(a, b);
+  const NetId sum = m.xor2(p, cin);
+  const NetId carry = m.or2(m.and2(a, b), m.and2(p, cin));
+  return BitAdd{sum, carry};
+}
+
+namespace {
+
+/// Core ripple chain over equal-width buses with carry-in; returns
+/// width+1 bits (carry-out as MSB).
+Bus ripple(Module& m, const Bus& a, const Bus& b, NetId cin) {
+  if (a.width() != b.width()) throw std::invalid_argument("ripple: widths");
+  Bus out;
+  out.bits.reserve(static_cast<std::size_t>(a.width()) + 1);
+  NetId carry = cin;
+  for (int i = 0; i < a.width(); ++i) {
+    const BitAdd fa = full_adder(m, a[i], b[i], carry);
+    out.bits.push_back(fa.sum);
+    carry = fa.carry;
+  }
+  out.bits.push_back(carry);
+  return out;
+}
+
+}  // namespace
+
+Bus add_unsigned(Module& m, const Bus& a, const Bus& b) {
+  const int w = std::max(a.width(), b.width());
+  return ripple(m, zext(a, w), zext(b, w), kConst0);
+}
+
+Bus add_signed(Module& m, const Bus& a, const Bus& b) {
+  // Sign-extend to the final width first, then discard the ripple carry:
+  // (w+1)-bit two's complement addition of (w+1)-bit operands cannot
+  // overflow when the operands were w-bit values.
+  const int w = std::max(a.width(), b.width()) + 1;
+  Bus r = ripple(m, sext(a, w), sext(b, w), kConst0);
+  r.bits.pop_back();
+  return r;
+}
+
+Bus sub_signed(Module& m, const Bus& a, const Bus& b) {
+  const int w = std::max(a.width(), b.width()) + 1;
+  Bus r = ripple(m, sext(a, w), invert(m, sext(b, w)), kConst1);
+  r.bits.pop_back();
+  return r;
+}
+
+Bus negate(Module& m, const Bus& a) {
+  return sub_signed(m, constant_bus(0, 1), a);
+}
+
+Bus adder_tree_signed(Module& m, std::vector<Bus> operands) {
+  if (operands.empty()) return constant_bus(0, 1);
+  while (operands.size() > 1) {
+    std::vector<Bus> next;
+    next.reserve(operands.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < operands.size(); i += 2) {
+      next.push_back(add_signed(m, operands[i], operands[i + 1]));
+    }
+    if (operands.size() % 2 == 1) next.push_back(operands.back());
+    operands = std::move(next);
+  }
+  return operands.front();
+}
+
+Bus adder_chain_signed(Module& m, const std::vector<Bus>& operands) {
+  if (operands.empty()) return constant_bus(0, 1);
+  Bus acc = operands.front();
+  for (std::size_t i = 1; i < operands.size(); ++i) {
+    acc = add_signed(m, acc, operands[i]);
+  }
+  return acc;
+}
+
+Bus add_signed_truncated(Module& m, const Bus& a, const Bus& b, int drop) {
+  if (drop <= 0) return add_signed(m, a, b);
+  // floor(x / 2^drop): arithmetic shift right; a fully-shifted-out operand
+  // degenerates to its sign bit (0 or -1).
+  const Bus ta =
+      drop < a.width() ? drop_lsbs(a, drop) : Bus{{a.msb()}};
+  const Bus tb =
+      drop < b.width() ? drop_lsbs(b, drop) : Bus{{b.msb()}};
+  return shl(add_signed(m, ta, tb), drop);
+}
+
+NetId equal_unsigned(Module& m, const Bus& a, const Bus& b) {
+  const int w = std::max(a.width(), b.width());
+  const Bus za = zext(a, w);
+  const Bus zb = zext(b, w);
+  NetId acc = kConst1;
+  for (int i = 0; i < w; ++i) {
+    acc = m.and2(acc, m.xnor2(za[i], zb[i]));
+  }
+  return acc;
+}
+
+NetId greater_signed(Module& m, const Bus& a, const Bus& b) {
+  // a > b  <=>  (a - b) > 0  <=>  !sign(d) && d != 0 with a full-width
+  // subtraction that cannot overflow.
+  const Bus d = sub_signed(m, a, b);
+  const NetId nonzero = reduce_or(m, d);
+  return m.and2(m.inv(d.msb()), nonzero);
+}
+
+NetId greater_equal_signed(Module& m, const Bus& a, const Bus& b) {
+  const Bus d = sub_signed(m, a, b);
+  return m.inv(d.msb());
+}
+
+NetId greater_unsigned(Module& m, const Bus& a, const Bus& b) {
+  // Zero-extend one extra bit so signed comparison implements unsigned.
+  const int w = std::max(a.width(), b.width()) + 1;
+  return greater_signed(m, zext(a, w), zext(b, w));
+}
+
+NetId reduce_or(Module& m, const Bus& a) {
+  if (a.bits.empty()) return kConst0;
+  // Balanced tree for delay.
+  std::vector<NetId> level = a.bits;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(m.or2(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+NetId reduce_and(Module& m, const Bus& a) {
+  if (a.bits.empty()) return kConst1;
+  std::vector<NetId> level = a.bits;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(m.and2(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace pml::synth

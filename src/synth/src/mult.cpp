@@ -1,0 +1,97 @@
+#include "pml/synth/mult.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pml/fixed/format.hpp"
+#include "pml/synth/arith.hpp"
+
+namespace pml::synth {
+
+using netlist::Module;
+using netlist::NetId;
+
+Bus mult_unsigned(Module& m, const Bus& a, const Bus& b) {
+  const int wr = a.width() + b.width();
+  std::vector<Bus> pps;
+  pps.reserve(static_cast<std::size_t>(b.width()));
+  for (int j = 0; j < b.width(); ++j) {
+    Bus pp;
+    pp.bits.reserve(static_cast<std::size_t>(a.width()));
+    for (int i = 0; i < a.width(); ++i) {
+      pp.bits.push_back(m.and2(a[i], b[j]));
+    }
+    pps.push_back(zext(shl(pp, j), wr + 1));  // keep tree unsigned-safe
+  }
+  Bus r = adder_tree_signed(m, std::move(pps));
+  return zext(r, wr);
+}
+
+Bus mult_signed_unsigned(Module& m, const Bus& w_signed,
+                         const Bus& x_unsigned) {
+  // w * x = sum_j x_j * (w << j): each partial product is the signed weight
+  // gated by one activation bit, so a plain signed adder tree is exact.
+  const int wr = w_signed.width() + x_unsigned.width();
+  std::vector<Bus> pps;
+  pps.reserve(static_cast<std::size_t>(x_unsigned.width()));
+  for (int j = 0; j < x_unsigned.width(); ++j) {
+    Bus pp;
+    pp.bits.reserve(static_cast<std::size_t>(w_signed.width()));
+    for (int i = 0; i < w_signed.width(); ++i) {
+      pp.bits.push_back(m.and2(w_signed[i], x_unsigned[j]));
+    }
+    pps.push_back(sext(shl(pp, j), wr));
+  }
+  Bus r = adder_tree_signed(m, std::move(pps));
+  return sext(r, wr);
+}
+
+Bus mult_signed_unsigned_truncated(Module& m, const Bus& w_signed,
+                                   const Bus& x_unsigned, int drop) {
+  if (drop <= 0) return mult_signed_unsigned(m, w_signed, x_unsigned);
+  const int wr = w_signed.width() + x_unsigned.width();
+  std::vector<Bus> pps;
+  for (int j = 0; j < x_unsigned.width(); ++j) {
+    // Partial product j covers result columns [j, j + ww); generate only
+    // the columns >= drop.
+    const int lo = std::max(0, drop - j);
+    if (lo >= w_signed.width()) continue;
+    Bus pp;
+    for (int i = lo; i < w_signed.width(); ++i) {
+      pp.bits.push_back(m.and2(w_signed[i], x_unsigned[j]));
+    }
+    pps.push_back(sext(shl(pp, j + lo - drop), wr - drop));
+  }
+  if (pps.empty()) return constant_bus(0, 1);
+  Bus r = adder_tree_signed(m, std::move(pps));
+  return shl(sext(r, wr - drop), drop);
+}
+
+Bus mult_csd_digits(Module& m, const std::vector<fixed::CsdDigit>& digits,
+                    const Bus& x_unsigned) {
+  if (digits.empty()) return constant_bus(0, 1);
+  int max_shift = 0;
+  for (const auto& d : digits) max_shift = std::max(max_shift, d.shift);
+  const int wr = x_unsigned.width() + max_shift + 2;
+
+  // Accumulate a chain: positive digits add, negative digits subtract.
+  // Start from the digit with the smallest shift to keep early buses thin.
+  Bus acc;
+  bool has_acc = false;
+  for (const auto& d : digits) {
+    const Bus term = zext(shl(x_unsigned, d.shift), wr);
+    if (!has_acc) {
+      acc = d.sign > 0 ? term : negate(m, term);
+      has_acc = true;
+    } else {
+      acc = d.sign > 0 ? add_signed(m, acc, term) : sub_signed(m, acc, term);
+    }
+  }
+  return sext(acc, wr);
+}
+
+Bus mult_const_csd(Module& m, std::int64_t constant, const Bus& x_unsigned) {
+  return mult_csd_digits(m, fixed::csd_recode(constant), x_unsigned);
+}
+
+}  // namespace pml::synth

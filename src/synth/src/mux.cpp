@@ -1,0 +1,86 @@
+#include "pml/synth/mux.hpp"
+
+#include <stdexcept>
+
+namespace pml::synth {
+
+using netlist::Module;
+using netlist::NetId;
+
+Bus mux2_bus(Module& m, const Bus& d0, const Bus& d1, NetId sel,
+             bool signed_align) {
+  const int w = std::max(d0.width(), d1.width());
+  const Bus a = signed_align ? sext(d0, w) : zext(d0, w);
+  const Bus b = signed_align ? sext(d1, w) : zext(d1, w);
+  Bus out;
+  out.bits.reserve(static_cast<std::size_t>(w));
+  for (int i = 0; i < w; ++i) {
+    out.bits.push_back(m.mux2(a[i], b[i], sel));
+  }
+  return out;
+}
+
+Bus mux_n(Module& m, std::vector<Bus> options, const Bus& select,
+          bool signed_align) {
+  if (options.empty()) throw std::invalid_argument("mux_n: no options");
+  // Pad to a power-of-two option count by replicating the last entry
+  // (don't-care selects never occur by construction of the control).
+  const std::size_t want = std::size_t{1} << select.width();
+  if (options.size() > want) {
+    throw std::invalid_argument("mux_n: select too narrow");
+  }
+  while (options.size() < want) options.push_back(options.back());
+  // Fold select bits LSB-first: stage k pairs entries differing in bit k.
+  for (int k = 0; k < select.width(); ++k) {
+    std::vector<Bus> next;
+    next.reserve(options.size() / 2);
+    for (std::size_t i = 0; i < options.size(); i += 2) {
+      next.push_back(
+          mux2_bus(m, options[i], options[i + 1], select[k], signed_align));
+    }
+    options = std::move(next);
+  }
+  return options.front();
+}
+
+Bus mux_storage(Module& m, const std::vector<std::int64_t>& words, int width,
+                const Bus& select) {
+  if (words.empty()) throw std::invalid_argument("mux_storage: no words");
+  std::vector<Bus> options;
+  options.reserve(words.size());
+  for (const std::int64_t w : words) {
+    options.push_back(constant_bus(w, width));
+  }
+  const std::size_t leaf_count = std::size_t{1} << select.width();
+  if (options.size() > leaf_count) {
+    throw std::invalid_argument("mux_storage: select too narrow");
+  }
+  while (options.size() < leaf_count) options.push_back(options.back());
+
+  // Leaf level: constants fold into inverters/wires of select[0].
+  std::vector<Bus> level;
+  level.reserve(options.size() / 2);
+  for (std::size_t i = 0; i < options.size(); i += 2) {
+    level.push_back(mux2_bus(m, options[i], options[i + 1], select[0],
+                             /*signed_align=*/true));
+  }
+  // Interior levels: physical MUX2 cells (no folding / sharing).
+  for (int k = 1; k < select.width(); ++k) {
+    std::vector<Bus> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      Bus row;
+      row.bits.reserve(static_cast<std::size_t>(width));
+      for (int b = 0; b < width; ++b) {
+        row.bits.push_back(m.add_gate_raw(netlist::CellType::kMux2,
+                                          level[i][b], level[i + 1][b],
+                                          select[k]));
+      }
+      next.push_back(std::move(row));
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace pml::synth

@@ -1,0 +1,79 @@
+#include "pml/synth/reduce.hpp"
+
+#include <stdexcept>
+
+#include "pml/synth/arith.hpp"
+#include "pml/synth/mux.hpp"
+
+namespace pml::synth {
+
+using netlist::Module;
+using netlist::NetId;
+
+namespace {
+
+struct Entry {
+  Bus index;
+  Bus value;
+};
+
+ArgMax argmax_impl(Module& m, const std::vector<Bus>& values, bool is_signed) {
+  if (values.empty()) throw std::invalid_argument("argmax: no entries");
+  int index_width = 1;
+  while ((std::size_t{1} << index_width) < values.size()) ++index_width;
+
+  std::vector<Entry> level;
+  level.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    level.push_back(Entry{constant_bus(static_cast<std::int64_t>(i),
+                                       index_width),
+                          values[i]});
+  }
+  // Pairwise tournament, left-biased on ties so the lowest index wins
+  // (right replaces left only when strictly greater).
+  while (level.size() > 1) {
+    std::vector<Entry> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const Entry& a = level[i];
+      const Entry& b = level[i + 1];
+      const NetId b_wins = is_signed ? greater_signed(m, b.value, a.value)
+                                     : greater_unsigned(m, b.value, a.value);
+      Entry e;
+      e.index = mux2_bus(m, a.index, b.index, b_wins, /*signed_align=*/false);
+      e.value = is_signed
+                    ? mux2_bus(m, a.value, b.value, b_wins, true)
+                    : mux2_bus(m, a.value, b.value, b_wins, false);
+      next.push_back(e);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return ArgMax{level.front().index, level.front().value};
+}
+
+}  // namespace
+
+ArgMax argmax_signed(Module& m, const std::vector<Bus>& scores) {
+  return argmax_impl(m, scores, /*is_signed=*/true);
+}
+
+ArgMax argmax_unsigned(Module& m, const std::vector<Bus>& counts) {
+  return argmax_impl(m, counts, /*is_signed=*/false);
+}
+
+Bus popcount(Module& m, const std::vector<NetId>& bits) {
+  if (bits.empty()) return constant_bus(0, 1);
+  std::vector<Bus> operands;
+  operands.reserve(bits.size());
+  for (NetId b : bits) operands.push_back(Bus{{b}});
+  // 1-bit operands are non-negative; zero-extend so the signed tree is an
+  // unsigned sum.
+  for (auto& op : operands) op = zext(op, 2);
+  Bus sum = adder_tree_signed(m, std::move(operands));
+  int width = 1;
+  while ((std::size_t{1} << width) < bits.size() + 1) ++width;
+  return zext(sum, width);
+}
+
+}  // namespace pml::synth

@@ -1,0 +1,73 @@
+#include "pml/synth/seq.hpp"
+
+#include <stdexcept>
+
+#include "pml/synth/arith.hpp"
+#include "pml/synth/mux.hpp"
+
+namespace pml::synth {
+
+using netlist::kConst0;
+using netlist::kConst1;
+using netlist::Module;
+using netlist::NetId;
+
+Bus register_bus(Module& m, const Bus& d, NetId enable, std::int64_t init) {
+  Bus q;
+  q.bits.reserve(d.bits.size());
+  if (enable == kConst1) {
+    for (int i = 0; i < d.width(); ++i) {
+      q.bits.push_back(m.dff(d[i], ((init >> i) & 1) != 0));
+    }
+    return q;
+  }
+  // q' = enable ? d : q needs feedback: forward-declare the D net, create
+  // the DFF, then drive the D net from the enable mux over Q.
+  for (int i = 0; i < d.width(); ++i) {
+    const NetId d_net = m.new_net();
+    const NetId qn = m.dff(d_net, ((init >> i) & 1) != 0);
+    const NetId mux_out = m.mux2(qn, d[i], enable);
+    m.drive_net(d_net, mux_out);
+    q.bits.push_back(qn);
+  }
+  return q;
+}
+
+Bus increment(Module& m, const Bus& a) {
+  Bus out;
+  out.bits.reserve(a.bits.size());
+  NetId carry = kConst1;
+  for (int i = 0; i < a.width(); ++i) {
+    const BitAdd ha = half_adder(m, a[i], carry);
+    out.bits.push_back(ha.sum);
+    carry = ha.carry;
+  }
+  return out;
+}
+
+Counter counter_mod(Module& m, std::int64_t modulo) {
+  if (modulo < 1) throw std::invalid_argument("counter_mod: modulo < 1");
+  int width = 1;
+  while ((std::int64_t{1} << width) < modulo) ++width;
+
+  // Forward-declare the next-state nets, register them, then close the loop.
+  std::vector<NetId> d_nets;
+  Counter c;
+  for (int i = 0; i < width; ++i) {
+    const NetId d = m.new_net();
+    d_nets.push_back(d);
+    c.count.bits.push_back(m.dff(d, false));
+  }
+  c.at_last = equal_unsigned(m, c.count, constant_bus(modulo - 1, width));
+  const Bus inc = increment(m, c.count);
+  const NetId keep_counting = m.inv(c.at_last);
+  for (int i = 0; i < width; ++i) {
+    c.next.bits.push_back(m.and2(inc[i], keep_counting));
+  }
+  for (int i = 0; i < width; ++i) {
+    m.drive_net(d_nets[i], c.next[i]);
+  }
+  return c;
+}
+
+}  // namespace pml::synth

@@ -1,0 +1,51 @@
+#pragma once
+// Shared helpers for gate-level unit tests: drive input ports, propagate,
+// read buses as integers.
+
+#include <cstdint>
+#include <string>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/cycle_sim.hpp"
+#include "pml/synth/bus.hpp"
+
+namespace pml::testutil {
+
+/// Evaluate a combinational function of the named ports: assigns each
+/// (port, value) pair, propagates, and returns the signed value of `out`.
+class Harness {
+ public:
+  explicit Harness(const netlist::Module& m) : sim_(m) {}
+
+  void set(const std::string& port, std::uint64_t value) {
+    sim_.set_port(port, value);
+  }
+  void run() { sim_.propagate(); }
+  void step() { sim_.step(); }
+
+  [[nodiscard]] std::int64_t signed_of(const synth::Bus& bus) {
+    std::int64_t v = 0;
+    for (int i = 0; i < bus.width(); ++i) {
+      if (sim_.net(bus[i])) v |= (std::int64_t{1} << i);
+    }
+    const int bits = bus.width();
+    if (bits < 64 && (v & (std::int64_t{1} << (bits - 1)))) {
+      v -= (std::int64_t{1} << bits);
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint64_t unsigned_of(const synth::Bus& bus) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < bus.width(); ++i) {
+      if (sim_.net(bus[i])) v |= (std::uint64_t{1} << i);
+    }
+    return v;
+  }
+  [[nodiscard]] bool net(netlist::NetId n) { return sim_.net(n); }
+  [[nodiscard]] sim::CycleSimulator& sim() { return sim_; }
+
+ private:
+  sim::CycleSimulator sim_;
+};
+
+}  // namespace pml::testutil

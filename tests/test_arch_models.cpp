@@ -1,0 +1,80 @@
+// Analytic models: printed batteries and the crossbar-ROM storage
+// alternative the paper rejected.
+
+#include <gtest/gtest.h>
+
+#include "pml/arch/battery.hpp"
+#include "pml/arch/crossbar_rom.hpp"
+
+namespace pml::arch {
+namespace {
+
+TEST(Battery, MolexBudgetIs30mW) {
+  const PrintedBattery& molex = molex_30mw();
+  EXPECT_EQ(molex.power_budget_mw, 30.0);
+  EXPECT_TRUE(molex.can_power(22.9));   // the paper's peak "ours"
+  EXPECT_TRUE(molex.can_power(17.6));
+  EXPECT_FALSE(molex.can_power(57.4));  // parallel SVM [2] on Cardio
+  EXPECT_FALSE(molex.can_power(364.4)); // parallel SVM [2] on PenDigits
+}
+
+TEST(Battery, LifetimeInverselyProportionalToPower) {
+  const PrintedBattery& molex = molex_30mw();
+  const double at10 = molex.lifetime_hours(10.0);
+  const double at20 = molex.lifetime_hours(20.0);
+  EXPECT_GT(at10, 0.0);
+  EXPECT_NEAR(at10, 2.0 * at20, 1e-9);
+  EXPECT_EQ(molex.lifetime_hours(100.0), 0.0) << "infeasible load";
+  EXPECT_EQ(molex.lifetime_hours(0.0), 0.0);
+}
+
+TEST(Battery, ClassificationsPerCharge) {
+  const PrintedBattery b{"test", 30.0, 1.0};  // 1 mWh = 3600 mJ
+  EXPECT_NEAR(b.classifications_per_charge(1.0), 3600.0, 1e-9);
+  EXPECT_NEAR(b.classifications_per_charge(2.46), 3600.0 / 2.46, 1e-6);
+  EXPECT_EQ(b.classifications_per_charge(0.0), 0.0);
+}
+
+TEST(Battery, CatalogueIsOrderedByBudget) {
+  const auto& batteries = printed_batteries();
+  ASSERT_GE(batteries.size(), 3u);
+  for (std::size_t i = 1; i < batteries.size(); ++i) {
+    EXPECT_GT(batteries[i - 1].power_budget_mw, batteries[i].power_budget_mw);
+  }
+}
+
+TEST(CrossbarRom, AdcDominatesSmallStorage) {
+  // A classifier-sized store: ~66 words x 6 bits (Cardio sequential SVM).
+  const StorageCost xbar = crossbar_rom_cost(66, 6);
+  const CrossbarRomParams p;
+  const double adc_area =
+      6 * (p.sense_area_mm2 + p.adc_resolution_bits * p.adc_area_mm2_per_bit) /
+      100.0;
+  EXPECT_GT(adc_area / xbar.area_cm2, 0.8)
+      << "read-out must dominate at small sizes";
+}
+
+TEST(CrossbarRom, MuxWinsSmallCrossbarWinsHuge) {
+  // The paper: "for the required storage size, crossbars prove more
+  // costly".  Small (classifier-scale) storage: MUX cheaper.
+  const StorageCost mux_small = mux_storage_cost_estimate(66, 6);
+  const StorageCost xbar_small = crossbar_rom_cost(66, 6);
+  EXPECT_LT(mux_small.area_cm2, xbar_small.area_cm2);
+  EXPECT_LT(mux_small.power_mw, xbar_small.power_mw);
+  // Very large storage: crossbar density eventually wins.
+  const StorageCost mux_big = mux_storage_cost_estimate(100000, 6);
+  const StorageCost xbar_big = crossbar_rom_cost(100000, 6);
+  EXPECT_GT(mux_big.area_cm2, xbar_big.area_cm2);
+}
+
+TEST(CrossbarRom, CostsScaleMonotonically) {
+  double prev_area = 0.0;
+  for (const std::size_t words : {16u, 64u, 256u, 1024u}) {
+    const StorageCost c = crossbar_rom_cost(words, 8);
+    EXPECT_GT(c.area_cm2, prev_area);
+    prev_area = c.area_cm2;
+  }
+}
+
+}  // namespace
+}  // namespace pml::arch

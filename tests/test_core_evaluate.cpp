@@ -1,0 +1,113 @@
+// The evaluation harness: verification gating, report fields, failure
+// injection.
+
+#include <gtest/gtest.h>
+
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/core/evaluate.hpp"
+
+namespace pml::core {
+namespace {
+
+quant::QuantizedSvm tiny_model() {
+  quant::QuantizedSvm q;
+  q.strategy = ml::MulticlassStrategy::kOneVsRest;
+  q.num_classes = 3;
+  q.input_format = quant::input_format(3);
+  q.weight_format =
+      fixed::FixedFormat{.total_bits = 4, .frac_bits = 3, .is_signed = true};
+  q.classifiers = {quant::QuantizedClassifier{{3, -2}, 1},
+                   quant::QuantizedClassifier{{-1, 4}, 0},
+                   quant::QuantizedClassifier{{2, 2}, -3}};
+  return q;
+}
+
+CircuitWorkload make_workload(const quant::QuantizedSvm& q) {
+  CircuitWorkload wl;
+  for (std::int64_t a = 0; a <= 7; ++a) {
+    for (std::int64_t b = 0; b <= 7; ++b) {
+      wl.feature_codes.push_back({a, b});
+      wl.expected_class.push_back(q.predict_codes({a, b}));
+    }
+  }
+  return wl;
+}
+
+TEST(Evaluate, ProducesConsistentReport) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  const auto wl = make_workload(q);
+  const HardwareReport rep =
+      evaluate_circuit(circuit.module, circuit.cycles_per_inference, lib, wl);
+
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.verified_samples, wl.feature_codes.size());
+  EXPECT_GT(rep.area_cm2, 0.0);
+  EXPECT_GT(rep.static_mw, 0.0);
+  EXPECT_GT(rep.dynamic_mw, 0.0);
+  EXPECT_NEAR(rep.power_mw, rep.static_mw + rep.dynamic_mw, 1e-9);
+  EXPECT_GT(rep.frequency_hz, 0.0);
+  // latency = cycles / frequency.
+  EXPECT_NEAR(rep.latency_ms, 3.0 * 1000.0 / rep.frequency_hz, 1e-6);
+  EXPECT_NEAR(rep.energy_mj, rep.power_mw * rep.latency_ms / 1000.0, 1e-9);
+  EXPECT_EQ(rep.cycles_per_inference, 3);
+  EXPECT_GT(rep.num_cells, 0u);
+  EXPECT_GT(rep.num_dffs, 0u);
+  EXPECT_GT(rep.logic_depth, 0);
+  EXPECT_FALSE(rep.groups.empty());
+}
+
+TEST(Evaluate, ThrowsOnModelMismatch) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  auto wl = make_workload(q);
+  // Corrupt one expectation.
+  wl.expected_class[5] = (wl.expected_class[5] + 1) % 3;
+  EXPECT_THROW((void)evaluate_circuit(circuit.module,
+                                      circuit.cycles_per_inference, lib, wl),
+               std::runtime_error);
+}
+
+TEST(Evaluate, MismatchToleratedWhenNotBitExactRequired) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  auto wl = make_workload(q);
+  wl.expected_class[5] = (wl.expected_class[5] + 1) % 3;
+  EvaluateOptions opts;
+  opts.require_bit_exact = false;
+  const HardwareReport rep = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, opts);
+  EXPECT_FALSE(rep.verified);
+}
+
+TEST(Evaluate, RejectsEmptyOrMalformedWorkloads) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  CircuitWorkload empty;
+  EXPECT_THROW((void)evaluate_circuit(circuit.module, 3, lib, empty),
+               std::invalid_argument);
+  CircuitWorkload lopsided;
+  lopsided.feature_codes = {{1, 2}};
+  EXPECT_THROW((void)evaluate_circuit(circuit.module, 3, lib, lopsided),
+               std::invalid_argument);
+}
+
+TEST(Evaluate, PowerSampleSubsetStillFillsReport) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  const auto wl = make_workload(q);
+  EvaluateOptions opts;
+  opts.power_samples = 4;
+  const HardwareReport rep = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, opts);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_GT(rep.dynamic_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace pml::core

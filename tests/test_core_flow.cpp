@@ -1,0 +1,92 @@
+// End-to-end flow integration: train -> quantize -> circuit -> verify ->
+// measure, on a reduced dataset for speed.
+
+#include <gtest/gtest.h>
+
+#include "pml/core/flow.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+
+namespace pml::core {
+namespace {
+
+struct Data {
+  ml::Dataset train;
+  ml::Dataset test;
+};
+
+Data cardio_subset() {
+  // A 600-sample slice keeps the integration test fast.
+  ml::Dataset d = ml::make_uci_like(ml::UciProfile::kCardio);
+  d.X.resize(600);
+  d.y.resize(600);
+  ml::Split s = ml::stratified_split(d, 0.8, 7);
+  ml::MinMaxScaler scaler;
+  scaler.fit(s.train);
+  return {scaler.transform(s.train), scaler.transform(s.test)};
+}
+
+TEST(Flow, EndToEndProducesVerifiedDesign) {
+  const Data data = cardio_subset();
+  const auto lib = cells::CellLibrary::egfet();
+  SequentialSvmFlowOptions opts;
+  opts.c_grid = {0.25, 1.0, 4.0};
+  opts.evaluate.power_samples = 16;
+  const SequentialSvmDesign design =
+      design_sequential_svm(data.train, data.test, lib, opts);
+
+  EXPECT_TRUE(design.hw.verified);
+  EXPECT_EQ(design.hw.verified_samples, data.test.size());
+  EXPECT_EQ(design.hw.model, "Ours");
+  EXPECT_GT(design.float_test_accuracy, 0.8);
+  EXPECT_GT(design.quantized_test_accuracy, 0.8);
+  EXPECT_EQ(design.circuit.cycles_per_inference, 3);
+  EXPECT_GE(design.precision.input_bits, opts.precision.min_input_bits);
+  EXPECT_LE(design.precision.weight_bits, opts.precision.max_weight_bits);
+  EXPECT_EQ(design.quantized.input_format.total_bits,
+            design.precision.input_bits);
+  // The quantized model must not fall far below the float model.
+  EXPECT_GT(design.quantized_test_accuracy,
+            design.float_test_accuracy - 0.06);
+  EXPECT_GT(design.hw.energy_mj, 0.0);
+  EXPECT_GT(design.hw.frequency_hz, 1.0);
+  EXPECT_LT(design.hw.frequency_hz, 200.0) << "printed circuits run in Hz";
+}
+
+TEST(Flow, WorkloadExpectationsComeFromIntegerModel) {
+  const Data data = cardio_subset();
+  const auto lib = cells::CellLibrary::egfet();
+  SequentialSvmFlowOptions opts;
+  opts.c_grid = {1.0};
+  opts.bias_calibration_rounds = 0;
+  opts.evaluate.power_samples = 8;
+  const SequentialSvmDesign design =
+      design_sequential_svm(data.train, data.test, lib, opts);
+  const CircuitWorkload wl = make_svm_workload(design.quantized, data.test);
+  ASSERT_EQ(wl.feature_codes.size(), data.test.size());
+  for (std::size_t i = 0; i < wl.feature_codes.size(); ++i) {
+    EXPECT_EQ(wl.expected_class[i],
+              design.quantized.predict_codes(wl.feature_codes[i]));
+    for (const auto code : wl.feature_codes[i]) {
+      EXPECT_GE(code, 0);
+      EXPECT_LE(code, design.quantized.input_format.max_code());
+    }
+  }
+}
+
+TEST(Flow, DeterministicForFixedSeeds) {
+  const Data data = cardio_subset();
+  const auto lib = cells::CellLibrary::egfet();
+  SequentialSvmFlowOptions opts;
+  opts.c_grid = {1.0, 4.0};
+  opts.evaluate.power_samples = 8;
+  const auto a = design_sequential_svm(data.train, data.test, lib, opts);
+  const auto b = design_sequential_svm(data.train, data.test, lib, opts);
+  EXPECT_EQ(a.precision.input_bits, b.precision.input_bits);
+  EXPECT_EQ(a.precision.weight_bits, b.precision.weight_bits);
+  EXPECT_DOUBLE_EQ(a.quantized_test_accuracy, b.quantized_test_accuracy);
+  EXPECT_DOUBLE_EQ(a.hw.energy_mj, b.hw.energy_mj);
+}
+
+}  // namespace
+}  // namespace pml::core

@@ -1,0 +1,106 @@
+// Canonical-signed-digit recoding: exactness, minimality, truncation.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "pml/fixed/csd.hpp"
+
+namespace pml::fixed {
+namespace {
+
+TEST(Csd, KnownRecodings) {
+  // 7 = 8 - 1
+  const auto d7 = csd_recode(7);
+  ASSERT_EQ(d7.size(), 2u);
+  EXPECT_EQ(d7[0], (CsdDigit{.shift = 0, .sign = -1}));
+  EXPECT_EQ(d7[1], (CsdDigit{.shift = 3, .sign = +1}));
+  // 14 = 16 - 2
+  EXPECT_EQ(csd_to_string(csd_recode(14)), "+2^4 -2^1");
+  EXPECT_EQ(csd_to_string(csd_recode(0)), "0");
+  EXPECT_TRUE(csd_recode(0).empty());
+}
+
+TEST(Csd, PowersOfTwoAreSingleDigit) {
+  for (int s = 0; s < 40; ++s) {
+    EXPECT_EQ(csd_cost(std::int64_t{1} << s), 1);
+    EXPECT_EQ(csd_cost(-(std::int64_t{1} << s)), 1);
+  }
+}
+
+// Property: recode is exact and non-adjacent for a wide range.
+TEST(Csd, RoundTripAndNonAdjacency) {
+  for (std::int64_t v = -4096; v <= 4096; ++v) {
+    const auto digits = csd_recode(v);
+    EXPECT_EQ(csd_value(digits), v);
+    for (std::size_t i = 1; i < digits.size(); ++i) {
+      EXPECT_GE(digits[i].shift - digits[i - 1].shift, 2)
+          << "adjacent digits for " << v;
+    }
+  }
+}
+
+// Property: CSD digit count is at most ceil(bits/2) + 1 and no worse than
+// the number of set bits.
+TEST(Csd, CostBounds) {
+  for (std::int64_t v = 1; v <= 4096; ++v) {
+    const int cost = csd_cost(v);
+    const int pop = __builtin_popcountll(static_cast<unsigned long long>(v));
+    EXPECT_LE(cost, pop + 1);
+    int bits = 0;
+    std::int64_t t = v;
+    while (t) {
+      ++bits;
+      t >>= 1;
+    }
+    EXPECT_LE(cost, bits / 2 + 1);
+  }
+}
+
+TEST(CsdTruncate, KeepsMostSignificantDigits) {
+  // 0b101010101 = 341 -> digits at shifts {0,2,4,6,8}
+  const auto full = csd_recode(341);
+  ASSERT_EQ(full.size(), 5u);
+  const auto t2 = csd_truncate(full, 2);
+  ASSERT_EQ(t2.size(), 2u);
+  EXPECT_EQ(t2[0].shift, 6);
+  EXPECT_EQ(t2[1].shift, 8);
+  EXPECT_EQ(csd_value(t2), 256 + 64);
+}
+
+TEST(CsdTruncate, NoOpWhenShort) {
+  const auto d = csd_recode(5);
+  EXPECT_EQ(csd_truncate(d, 10), d);
+  EXPECT_EQ(csd_truncate(d, static_cast<int>(d.size())), d);
+}
+
+TEST(CsdTruncate, ZeroDigitsGivesZero) {
+  EXPECT_TRUE(csd_truncate(csd_recode(123), 0).empty());
+  EXPECT_THROW((void)csd_truncate(csd_recode(3), -1), std::invalid_argument);
+}
+
+// Property: truncation error is bounded by the dropped digits' magnitude
+// (< 2^(smallest kept shift)).
+TEST(CsdTruncate, ErrorBound) {
+  for (std::int64_t v = -2048; v <= 2048; v += 7) {
+    const auto full = csd_recode(v);
+    for (int keep = 1; keep <= 3; ++keep) {
+      if (static_cast<int>(full.size()) <= keep) continue;
+      const auto trunc = csd_truncate(full, keep);
+      ASSERT_FALSE(trunc.empty());
+      const std::int64_t err = std::llabs(v - csd_value(trunc));
+      EXPECT_LT(err, std::int64_t{1} << trunc.front().shift)
+          << "v=" << v << " keep=" << keep;
+    }
+  }
+}
+
+TEST(CsdValue, RejectsBadShift) {
+  EXPECT_THROW((void)csd_value({CsdDigit{.shift = -1, .sign = 1}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)csd_value({CsdDigit{.shift = 63, .sign = 1}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pml::fixed

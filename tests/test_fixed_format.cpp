@@ -1,0 +1,137 @@
+// Unit and property tests for fixed-point formats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pml/fixed/format.hpp"
+
+namespace pml::fixed {
+namespace {
+
+TEST(FixedFormat, BasicProperties) {
+  const FixedFormat f{.total_bits = 6, .frac_bits = 4, .is_signed = true};
+  EXPECT_EQ(f.integer_bits(), 1);
+  EXPECT_EQ(f.min_code(), -32);
+  EXPECT_EQ(f.max_code(), 31);
+  EXPECT_DOUBLE_EQ(f.lsb(), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(f.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 31.0 / 16.0);
+  EXPECT_EQ(f.to_string(), "s6q4");
+}
+
+TEST(FixedFormat, UnsignedProperties) {
+  const FixedFormat f{.total_bits = 4, .frac_bits = 4, .is_signed = false};
+  EXPECT_EQ(f.min_code(), 0);
+  EXPECT_EQ(f.max_code(), 15);
+  EXPECT_DOUBLE_EQ(f.max_value(), 15.0 / 16.0);
+  EXPECT_EQ(f.to_string(), "u4q4");
+}
+
+TEST(Quantize, RoundsToNearest) {
+  const FixedFormat f{.total_bits = 8, .frac_bits = 4, .is_signed = true};
+  EXPECT_EQ(quantize(0.5, f), 8);
+  EXPECT_EQ(quantize(0.53, f), 8);
+  EXPECT_EQ(quantize(0.47, f), 8);  // 7.52 -> 8
+  EXPECT_EQ(quantize(-0.5, f), -8);
+  EXPECT_EQ(quantize(0.0, f), 0);
+}
+
+TEST(Quantize, TruncateRoundsDown) {
+  const FixedFormat f{.total_bits = 8, .frac_bits = 4, .is_signed = true};
+  EXPECT_EQ(quantize(0.99, f, Rounding::kTruncate), 15);
+  EXPECT_EQ(quantize(-0.01, f, Rounding::kTruncate), -1);
+}
+
+TEST(Quantize, SaturatesAtBounds) {
+  const FixedFormat f{.total_bits = 4, .frac_bits = 2, .is_signed = true};
+  EXPECT_EQ(quantize(100.0, f), f.max_code());
+  EXPECT_EQ(quantize(-100.0, f), f.min_code());
+  EXPECT_EQ(quantize(1e300, f), f.max_code());
+  EXPECT_EQ(quantize(-1e300, f), f.min_code());
+}
+
+TEST(Quantize, RejectsBadWidths) {
+  EXPECT_THROW((void)quantize(1.0, FixedFormat{.total_bits = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)quantize(1.0, FixedFormat{.total_bits = 63}),
+               std::invalid_argument);
+}
+
+TEST(Dequantize, InvertsQuantizeOnGrid) {
+  const FixedFormat f{.total_bits = 10, .frac_bits = 6, .is_signed = true};
+  for (std::int64_t code = f.min_code(); code <= f.max_code(); ++code) {
+    EXPECT_EQ(quantize(dequantize(code, f), f), code);
+  }
+}
+
+TEST(Saturate, ClampsToRange) {
+  const FixedFormat f{.total_bits = 5, .frac_bits = 0, .is_signed = true};
+  EXPECT_EQ(saturate(100, f), 15);
+  EXPECT_EQ(saturate(-100, f), -16);
+  EXPECT_EQ(saturate(7, f), 7);
+}
+
+TEST(BitsForCode, MinimalWidths) {
+  EXPECT_EQ(bits_for_code(0), 1);
+  EXPECT_EQ(bits_for_code(1), 2);
+  EXPECT_EQ(bits_for_code(-1), 1);
+  EXPECT_EQ(bits_for_code(-2), 2);
+  EXPECT_EQ(bits_for_code(3), 3);
+  EXPECT_EQ(bits_for_code(-4), 3);
+  EXPECT_EQ(bits_for_code(127), 8);
+  EXPECT_EQ(bits_for_code(-128), 8);
+  EXPECT_EQ(bits_for_code(128), 9);
+}
+
+TEST(SignExtend, RecoversNegatives) {
+  EXPECT_EQ(sign_extend(0b1111, 4), -1);
+  EXPECT_EQ(sign_extend(0b0111, 4), 7);
+  EXPECT_EQ(sign_extend(0b1000, 4), -8);
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_THROW((void)sign_extend(0, 0), std::invalid_argument);
+}
+
+TEST(CodeBit, ExtractsBits) {
+  EXPECT_TRUE(code_bit(-1, 0));
+  EXPECT_TRUE(code_bit(-1, 62));
+  EXPECT_TRUE(code_bit(4, 2));
+  EXPECT_FALSE(code_bit(4, 0));
+}
+
+// Property: quantization error is at most half an LSB inside the range.
+class RoundTripProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(RoundTripProperty, ErrorBounded) {
+  const auto [total, frac, is_signed] = GetParam();
+  const FixedFormat f{.total_bits = total, .frac_bits = frac,
+                      .is_signed = is_signed};
+  const double lo = f.min_value();
+  const double hi = f.max_value();
+  for (int i = 0; i <= 200; ++i) {
+    const double v = lo + (hi - lo) * i / 200.0;
+    const double back = quantize_value(v, f);
+    EXPECT_LE(std::fabs(back - v), f.lsb() / 2 + 1e-12)
+        << "value " << v << " in " << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, RoundTripProperty,
+    ::testing::Values(std::make_tuple(4, 4, false), std::make_tuple(4, 3, true),
+                      std::make_tuple(6, 4, true), std::make_tuple(8, 8, false),
+                      std::make_tuple(8, 6, true), std::make_tuple(10, 2, true),
+                      std::make_tuple(12, 12, true),
+                      std::make_tuple(16, 8, true)));
+
+// Property: negative frac_bits (coarse grids) still work.
+TEST(Quantize, CoarseGrid) {
+  const FixedFormat f{.total_bits = 4, .frac_bits = -2, .is_signed = true};
+  EXPECT_DOUBLE_EQ(f.lsb(), 4.0);
+  EXPECT_EQ(quantize(9.0, f), 2);  // 9/4 = 2.25 -> 2
+  EXPECT_DOUBLE_EQ(dequantize(2, f), 8.0);
+}
+
+}  // namespace
+}  // namespace pml::fixed

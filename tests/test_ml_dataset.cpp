@@ -1,0 +1,164 @@
+// Dataset handling: splits, stratification, scaling, determinism.
+
+#include <gtest/gtest.h>
+
+#include "pml/ml/dataset.hpp"
+#include "pml/ml/rng.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+
+namespace pml::ml {
+namespace {
+
+Dataset tiny_dataset(std::size_t n, int classes) {
+  Dataset d;
+  d.name = "tiny";
+  d.num_features = 2;
+  d.num_classes = classes;
+  Rng rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.X.push_back({rng.uniform(), rng.uniform() * 4 - 2});
+    d.y.push_back(static_cast<int>(i % static_cast<std::size_t>(classes)));
+  }
+  return d;
+}
+
+TEST(Split, ProportionsRespected) {
+  const Dataset d = tiny_dataset(100, 2);
+  const Split s = train_test_split(d, 0.8, 1);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.test.size(), 20u);
+  EXPECT_EQ(s.train.num_features, 2);
+  EXPECT_EQ(s.test.num_classes, 2);
+}
+
+TEST(Split, DisjointAndComplete) {
+  const Dataset d = tiny_dataset(50, 2);
+  const Split s = train_test_split(d, 0.6, 7);
+  EXPECT_EQ(s.train.size() + s.test.size(), d.size());
+  // Feature vectors are unique in tiny_dataset, so membership is checkable.
+  for (const auto& row : s.test.X) {
+    EXPECT_EQ(std::count(s.train.X.begin(), s.train.X.end(), row), 0);
+  }
+}
+
+TEST(Split, DeterministicPerSeed) {
+  const Dataset d = tiny_dataset(60, 3);
+  const Split a = train_test_split(d, 0.8, 5);
+  const Split b = train_test_split(d, 0.8, 5);
+  const Split c = train_test_split(d, 0.8, 6);
+  EXPECT_EQ(a.train.X, b.train.X);
+  EXPECT_NE(a.train.X, c.train.X);
+}
+
+TEST(Split, RejectsBadFraction) {
+  const Dataset d = tiny_dataset(10, 2);
+  EXPECT_THROW((void)train_test_split(d, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)train_test_split(d, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)stratified_split(d, -0.5, 1), std::invalid_argument);
+}
+
+TEST(StratifiedSplit, PreservesClassBalance) {
+  Dataset d = tiny_dataset(200, 2);
+  // Make it imbalanced: 180 of class 0, 20 of class 1.
+  for (std::size_t i = 0; i < d.size(); ++i) d.y[i] = i < 180 ? 0 : 1;
+  const Split s = stratified_split(d, 0.8, 3);
+  const auto train_counts = s.train.class_counts();
+  const auto test_counts = s.test.class_counts();
+  EXPECT_EQ(train_counts[0], 144u);
+  EXPECT_EQ(train_counts[1], 16u);
+  EXPECT_EQ(test_counts[0], 36u);
+  EXPECT_EQ(test_counts[1], 4u);
+}
+
+TEST(ClassCounts, TalliesLabels) {
+  const Dataset d = tiny_dataset(9, 3);
+  const auto counts = d.class_counts();
+  EXPECT_EQ(counts, (std::vector<std::size_t>{3, 3, 3}));
+}
+
+TEST(Scaler, MapsTrainRangeToUnitInterval) {
+  Dataset d;
+  d.num_features = 2;
+  d.num_classes = 2;
+  d.X = {{0.0, -10.0}, {5.0, 10.0}, {2.5, 0.0}};
+  d.y = {0, 1, 0};
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  const Dataset t = scaler.transform(d);
+  EXPECT_DOUBLE_EQ(t.X[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(t.X[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(t.X[2][0], 0.5);
+  EXPECT_DOUBLE_EQ(t.X[2][1], 0.5);
+}
+
+TEST(Scaler, ClampsOutOfRangeTestValues) {
+  Dataset d;
+  d.num_features = 1;
+  d.num_classes = 2;
+  d.X = {{0.0}, {1.0}};
+  d.y = {0, 1};
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  std::vector<double> sample{5.0};
+  scaler.transform(sample);
+  EXPECT_DOUBLE_EQ(sample[0], 1.0);
+  sample = {-5.0};
+  scaler.transform(sample);
+  EXPECT_DOUBLE_EQ(sample[0], 0.0);
+}
+
+TEST(Scaler, ConstantFeatureMapsToZero) {
+  Dataset d;
+  d.num_features = 1;
+  d.num_classes = 2;
+  d.X = {{3.0}, {3.0}};
+  d.y = {0, 1};
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  std::vector<double> sample{3.0};
+  scaler.transform(sample);
+  EXPECT_DOUBLE_EQ(sample[0], 0.0);
+}
+
+TEST(Scaler, RejectsMismatchedWidth) {
+  Dataset d = tiny_dataset(5, 2);
+  MinMaxScaler scaler;
+  scaler.fit(d);
+  std::vector<double> bad{1.0, 2.0, 3.0};
+  EXPECT_THROW(scaler.transform(bad), std::invalid_argument);
+  Dataset empty;
+  EXPECT_THROW(scaler.fit(empty), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace pml::ml

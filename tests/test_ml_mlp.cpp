@@ -1,0 +1,109 @@
+// MLP training: convergence, determinism, shapes.
+
+#include <gtest/gtest.h>
+
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/mlp.hpp"
+#include "pml/ml/rng.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+
+namespace pml::ml {
+namespace {
+
+TEST(Mlp, LearnsNonLinearBoundary) {
+  // XOR-style four-cluster data: unsolvable by a linear model.
+  Rng rng(5);
+  Dataset d;
+  d.num_features = 2;
+  d.num_classes = 2;
+  for (int i = 0; i < 600; ++i) {
+    const int qa = i % 2, qb = (i / 2) % 2;
+    d.X.push_back({rng.normal(qa ? 0.75 : 0.25, 0.06),
+                   rng.normal(qb ? 0.75 : 0.25, 0.06)});
+    d.y.push_back(qa ^ qb);
+  }
+  MlpTrainOptions opts;
+  opts.hidden = 8;
+  opts.epochs = 120;
+  const MlpModel model = train_mlp(d, opts);
+  EXPECT_GT(accuracy(model.predict_all(d.X), d.y), 0.95);
+}
+
+TEST(Mlp, ShapesMatchOptions) {
+  const Dataset d = make_uci_like(UciProfile::kCardio);
+  MlpTrainOptions opts;
+  opts.hidden = 6;
+  opts.epochs = 2;
+  const MlpModel model = train_mlp(d, opts);
+  EXPECT_EQ(model.num_inputs, 21);
+  EXPECT_EQ(model.num_hidden, 6);
+  EXPECT_EQ(model.num_outputs, 3);
+  EXPECT_EQ(model.w1.size(), 6u);
+  EXPECT_EQ(model.w1[0].size(), 21u);
+  EXPECT_EQ(model.w2.size(), 3u);
+  EXPECT_EQ(model.w2[0].size(), 6u);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  const Dataset d = make_uci_like(UciProfile::kRedWine);
+  MlpTrainOptions opts;
+  opts.epochs = 3;
+  const MlpModel a = train_mlp(d, opts);
+  const MlpModel b = train_mlp(d, opts);
+  EXPECT_EQ(a.w1, b.w1);
+  EXPECT_EQ(a.b2, b.b2);
+  opts.seed = 2;
+  const MlpModel c = train_mlp(d, opts);
+  EXPECT_NE(a.w1, c.w1);
+}
+
+TEST(Mlp, HiddenActivationsAreNonNegative) {
+  const Dataset d = make_uci_like(UciProfile::kWhiteWine);
+  MlpTrainOptions opts;
+  opts.epochs = 3;
+  const MlpModel model = train_mlp(d, opts);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (const double h : model.hidden_activations(d.X[i])) {
+      EXPECT_GE(h, 0.0);
+    }
+  }
+}
+
+TEST(Mlp, PredictIsArgmaxOfLogits) {
+  const Dataset d = make_uci_like(UciProfile::kCardio);
+  MlpTrainOptions opts;
+  opts.epochs = 2;
+  const MlpModel model = train_mlp(d, opts);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto z = model.logits(d.X[i]);
+    int best = 0;
+    for (int k = 1; k < model.num_outputs; ++k) {
+      if (z[static_cast<std::size_t>(k)] > z[static_cast<std::size_t>(best)]) {
+        best = k;
+      }
+    }
+    EXPECT_EQ(model.predict(d.X[i]), best);
+  }
+}
+
+TEST(Mlp, RejectsEmptyData) {
+  Dataset empty;
+  EXPECT_THROW((void)train_mlp(empty, MlpTrainOptions{}), std::invalid_argument);
+}
+
+TEST(Mlp, BeatsRandomOnAllProfiles) {
+  for (const auto& info : all_profiles()) {
+    const Dataset d = make_uci_like(info.profile);
+    const Split s = stratified_split(d, 0.8, 41);
+    MlpTrainOptions opts;
+    opts.hidden = 6;
+    opts.epochs = 15;
+    const MlpModel model = train_mlp(s.train, opts);
+    const double acc = accuracy(model.predict_all(s.test.X), s.test.y);
+    EXPECT_GT(acc, 1.5 / info.num_classes)
+        << info.name << " accuracy " << acc;
+  }
+}
+
+}  // namespace
+}  // namespace pml::ml

@@ -1,0 +1,214 @@
+// Linear SVM training: separability, margins, multiclass wrappers,
+// class weighting, tuning, bias calibration.
+
+#include <gtest/gtest.h>
+
+#include "pml/ml/linear_svm.hpp"
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/ml/rng.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+
+namespace pml::ml {
+namespace {
+
+/// Two linearly separable 2-D blobs.
+Dataset separable_blobs(std::size_t n, double gap, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d;
+  d.name = "sep";
+  d.num_features = 2;
+  d.num_classes = 2;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    const double cx = label == 0 ? 0.3 : 0.3 + gap;
+    d.X.push_back({rng.normal(cx, 0.05), rng.normal(0.5, 0.05)});
+    d.y.push_back(label);
+  }
+  return d;
+}
+
+TEST(BinarySvm, SeparatesCleanBlobs) {
+  const Dataset d = separable_blobs(200, 0.5, 3);
+  std::vector<int> y;
+  for (const int label : d.y) y.push_back(label == 0 ? -1 : +1);
+  const BinarySvm model = train_binary_svm(d.X, y, SvmTrainOptions{});
+  int correct = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double f = model.decision(d.X[i]);
+    if ((f > 0) == (y[i] > 0)) ++correct;
+  }
+  EXPECT_EQ(correct, 200);
+}
+
+TEST(BinarySvm, WeightsPointAcrossTheGap) {
+  const Dataset d = separable_blobs(200, 0.5, 4);
+  std::vector<int> y;
+  for (const int label : d.y) y.push_back(label == 0 ? -1 : +1);
+  const BinarySvm model = train_binary_svm(d.X, y, SvmTrainOptions{});
+  // Class +1 sits at larger x0: w[0] must dominate and be positive.
+  EXPECT_GT(model.w[0], 0.0);
+  EXPECT_GT(std::abs(model.w[0]), std::abs(model.w[1]) * 3);
+}
+
+TEST(BinarySvm, RegularizationShrinksWeights) {
+  const Dataset d = separable_blobs(100, 0.2, 5);
+  std::vector<int> y;
+  for (const int label : d.y) y.push_back(label == 0 ? -1 : +1);
+  SvmTrainOptions strong;
+  strong.C = 0.001;
+  SvmTrainOptions weak;
+  weak.C = 100.0;
+  const auto m_strong = train_binary_svm(d.X, y, strong);
+  const auto m_weak = train_binary_svm(d.X, y, weak);
+  const auto norm = [](const BinarySvm& m) {
+    double s = 0;
+    for (const double w : m.w) s += w * w;
+    return s;
+  };
+  EXPECT_LT(norm(m_strong), norm(m_weak));
+}
+
+TEST(BinarySvm, RejectsBadInputs) {
+  EXPECT_THROW((void)train_binary_svm({}, {}, SvmTrainOptions{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)train_binary_svm({{1.0}}, {1, -1}, SvmTrainOptions{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)train_binary_svm({{1.0}}, {1}, SvmTrainOptions{}, {1.0, 2.0}),
+      std::invalid_argument);
+  const BinarySvm m{{1.0, 2.0}, 0.0};
+  EXPECT_THROW((void)m.decision({1.0}), std::invalid_argument);
+}
+
+TEST(OneVsRest, HighAccuracyOnBlobProfile) {
+  const Dataset d = make_uci_like(UciProfile::kDermatology);
+  const Split s = stratified_split(d, 0.8, 11);
+  MulticlassTrainOptions opts;
+  const MulticlassSvm model = train_one_vs_rest(s.train, opts);
+  EXPECT_EQ(model.classifiers.size(), 6u);
+  EXPECT_GT(accuracy(model.predict_all(s.test.X), s.test.y), 0.9);
+}
+
+TEST(OneVsOne, PairCountAndAccuracy) {
+  const Dataset d = make_uci_like(UciProfile::kDermatology);
+  const Split s = stratified_split(d, 0.8, 11);
+  MulticlassTrainOptions opts;
+  const MulticlassSvm model = train_one_vs_one(s.train, opts);
+  EXPECT_EQ(model.classifiers.size(), 15u);  // 6*5/2
+  EXPECT_EQ(model.pairs.size(), 15u);
+  EXPECT_EQ(model.pairs[0], (std::pair<int, int>{0, 1}));
+  EXPECT_GT(accuracy(model.predict_all(s.test.X), s.test.y), 0.9);
+}
+
+TEST(Multiclass, StoredCoefficientsCount) {
+  const Dataset d = make_uci_like(UciProfile::kCardio);
+  const Split s = stratified_split(d, 0.9, 11);
+  MulticlassTrainOptions opts;
+  const auto ovr = train_one_vs_rest(s.train, opts);
+  const auto ovo = train_one_vs_one(s.train, opts);
+  EXPECT_EQ(ovr.stored_coefficients(), 3u * 22u);   // n=3 classifiers
+  EXPECT_EQ(ovo.stored_coefficients(), 3u * 22u);   // 3 pairs for n=3
+  // OvR stores strictly fewer coefficients for n > 3.
+  const Dataset pd = make_uci_like(UciProfile::kPenDigits);
+  const Split ps = stratified_split(pd, 0.5, 11);
+  const auto pd_ovr = train_one_vs_rest(ps.train, opts);
+  const auto pd_ovo = train_one_vs_one(ps.train, opts);
+  EXPECT_EQ(pd_ovr.stored_coefficients(), 10u * 17u);
+  EXPECT_EQ(pd_ovo.stored_coefficients(), 45u * 17u);
+}
+
+TEST(Multiclass, PredictTieGoesToLowestIndex) {
+  MulticlassSvm model;
+  model.strategy = MulticlassStrategy::kOneVsRest;
+  model.num_classes = 3;
+  // All-zero classifiers: every decision is the bias.
+  model.classifiers = {{{0.0}, 1.0}, {{0.0}, 1.0}, {{0.0}, 0.5}};
+  EXPECT_EQ(model.predict({0.0}), 0);
+}
+
+TEST(Multiclass, OvoVoteSemantics) {
+  MulticlassSvm model;
+  model.strategy = MulticlassStrategy::kOneVsOne;
+  model.num_classes = 3;
+  model.pairs = {{0, 1}, {0, 2}, {1, 2}};
+  // decisions: (0,1) -> +1 votes 0; (0,2) -> -1 votes 2; (1,2) -> +1 votes 1.
+  // One vote each: tie resolves to class 0.
+  model.classifiers = {{{0.0}, 1.0}, {{0.0}, -1.0}, {{0.0}, 1.0}};
+  EXPECT_EQ(model.predict({0.0}), 0);
+  // Zero decision votes the SECOND class of the pair.
+  model.classifiers = {{{0.0}, 0.0}, {{0.0}, -1.0}, {{0.0}, -1.0}};
+  // (0,1)->1, (0,2)->2, (1,2)->2: class 2 wins with 2 votes.
+  EXPECT_EQ(model.predict({0.0}), 2);
+}
+
+TEST(ClassBalancing, HelpsMinorityRecall) {
+  // 95/5 imbalance: balanced costs should recover minority predictions.
+  Rng rng(17);
+  Dataset d;
+  d.num_features = 2;
+  d.num_classes = 2;
+  for (int i = 0; i < 400; ++i) {
+    const bool minority = i % 20 == 0;
+    d.X.push_back({rng.normal(minority ? 0.62 : 0.4, 0.08),
+                   rng.normal(0.5, 0.08)});
+    d.y.push_back(minority ? 1 : 0);
+  }
+  MulticlassTrainOptions plain;
+  MulticlassTrainOptions balanced;
+  balanced.class_balanced = true;
+  const auto m_plain = train_one_vs_rest(d, plain);
+  const auto m_bal = train_one_vs_rest(d, balanced);
+  const auto cm_plain = confusion_matrix(m_plain.predict_all(d.X), d.y, 2);
+  const auto cm_bal = confusion_matrix(m_bal.predict_all(d.X), d.y, 2);
+  EXPECT_GE(cm_bal[1][1], cm_plain[1][1])
+      << "balanced training should not reduce minority true positives";
+}
+
+TEST(TrainTuned, PicksWorkingConfiguration) {
+  const Dataset d = make_uci_like(UciProfile::kCardio);
+  const Split s = stratified_split(d, 0.8, 21);
+  const MulticlassSvm model =
+      train_tuned(s.train, MulticlassStrategy::kOneVsRest, {0.1, 1.0, 8.0},
+                  /*search_balanced=*/true, 0.25, 7);
+  EXPECT_GT(accuracy(model.predict_all(s.test.X), s.test.y), 0.85);
+  EXPECT_THROW((void)train_tuned(s.train, MulticlassStrategy::kOneVsRest, {},
+                                 true, 0.25, 7),
+               std::invalid_argument);
+}
+
+TEST(BiasCalibration, NeverHurtsValidationAccuracy) {
+  const Dataset d = make_uci_like(UciProfile::kRedWine);
+  const Split s = stratified_split(d, 0.8, 31);
+  MulticlassTrainOptions opts;
+  MulticlassSvm model = train_one_vs_rest(s.train, opts);
+  const Split val = stratified_split(s.train, 0.75, 32);
+  const double before = accuracy(model.predict_all(val.test.X), val.test.y);
+  calibrate_ovr_biases(model, val.test);
+  const double after = accuracy(model.predict_all(val.test.X), val.test.y);
+  EXPECT_GE(after + 1e-12, before) << "coordinate ascent cannot regress";
+}
+
+TEST(BiasCalibration, RejectsOvo) {
+  MulticlassSvm model;
+  model.strategy = MulticlassStrategy::kOneVsOne;
+  Dataset d;
+  EXPECT_THROW(calibrate_ovr_biases(model, d), std::invalid_argument);
+}
+
+TEST(Metrics, AccuracyAndConfusion) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 0, 1}, {1, 1, 1}), 2.0 / 3.0);
+  EXPECT_THROW((void)accuracy({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)accuracy({1}, {1, 2}), std::invalid_argument);
+  const auto cm = confusion_matrix({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  EXPECT_EQ(cm[0][0], 2);
+  EXPECT_EQ(cm[0][1], 1);
+  EXPECT_EQ(cm[1][1], 1);
+  EXPECT_EQ(cm[1][0], 0);
+  const double f1 = macro_f1({0, 1, 1, 0}, {0, 1, 0, 0}, 2);
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LE(f1, 1.0);
+}
+
+}  // namespace
+}  // namespace pml::ml

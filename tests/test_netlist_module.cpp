@@ -1,0 +1,168 @@
+// Netlist IR: gate creation, constant folding, structural sharing, ports,
+// groups, stats.
+
+#include <gtest/gtest.h>
+
+#include "pml/netlist/module.hpp"
+
+namespace pml::netlist {
+namespace {
+
+TEST(CellTypes, ArityAndNames) {
+  EXPECT_EQ(cell_num_inputs(CellType::kInv), 1);
+  EXPECT_EQ(cell_num_inputs(CellType::kNand2), 2);
+  EXPECT_EQ(cell_num_inputs(CellType::kMux2), 3);
+  EXPECT_EQ(cell_num_inputs(CellType::kDff), 1);
+  EXPECT_EQ(cell_type_name(CellType::kXnor2), "XNOR2");
+}
+
+TEST(EvalCell, TruthTables) {
+  EXPECT_TRUE(eval_cell(CellType::kInv, false));
+  EXPECT_TRUE(eval_cell(CellType::kNand2, true, false));
+  EXPECT_FALSE(eval_cell(CellType::kNand2, true, true));
+  EXPECT_TRUE(eval_cell(CellType::kXor2, true, false));
+  EXPECT_FALSE(eval_cell(CellType::kXor2, true, true));
+  EXPECT_TRUE(eval_cell(CellType::kMux2, false, true, true));   // sel=1 -> d1
+  EXPECT_FALSE(eval_cell(CellType::kMux2, false, true, false)); // sel=0 -> d0
+}
+
+TEST(Module, ConstantFoldingTwoInput) {
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  EXPECT_EQ(m.and2(a, kConst0), kConst0);
+  EXPECT_EQ(m.and2(a, kConst1), a);
+  EXPECT_EQ(m.or2(a, kConst1), kConst1);
+  EXPECT_EQ(m.or2(a, kConst0), a);
+  EXPECT_EQ(m.xor2(a, kConst0), a);
+  EXPECT_EQ(m.and2(a, a), a);
+  EXPECT_EQ(m.or2(a, a), a);
+  EXPECT_EQ(m.xor2(a, a), kConst0);
+  EXPECT_EQ(m.xnor2(a, a), kConst1);
+  EXPECT_EQ(m.cells().size(), 0u) << "all folds, no cells";
+  // NAND/NOR with constants produce at most an inverter.
+  const auto n = m.nand2(a, kConst1);
+  EXPECT_EQ(m.cells().size(), 1u);
+  EXPECT_EQ(m.cells()[0].type, CellType::kInv);
+  EXPECT_EQ(m.nor2(a, kConst0), n) << "shares the same inverter via CSE";
+}
+
+TEST(Module, MuxFolding) {
+  Module m;
+  const auto d0 = m.add_input_port("d0", 1)[0];
+  const auto d1 = m.add_input_port("d1", 1)[0];
+  const auto s = m.add_input_port("s", 1)[0];
+  EXPECT_EQ(m.mux2(d0, d1, kConst0), d0);
+  EXPECT_EQ(m.mux2(d0, d1, kConst1), d1);
+  EXPECT_EQ(m.mux2(d0, d0, s), d0);
+  EXPECT_EQ(m.mux2(kConst0, kConst1, s), s);
+  // mux(1, 0, s) = !s
+  const auto inv_s = m.mux2(kConst1, kConst0, s);
+  ASSERT_EQ(m.cells().size(), 1u);
+  EXPECT_EQ(m.cells()[0].type, CellType::kInv);
+  EXPECT_EQ(inv_s, m.inv(s));
+  // Hardwired single-constant folds: mux(0, d1, s) = and(s, d1).
+  const auto a = m.mux2(kConst0, d1, s);
+  EXPECT_EQ(a, m.and2(s, d1));
+}
+
+TEST(Module, BuffersAreFree) {
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  EXPECT_EQ(m.buf(a), a);
+  EXPECT_TRUE(m.cells().empty());
+}
+
+TEST(Module, StructuralSharing) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  const auto x = m.xor2(p[0], p[1]);
+  const auto y = m.xor2(p[1], p[0]);  // commutative normalization
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(m.cells().size(), 1u);
+  const auto z = m.and2(p[0], p[1]);
+  EXPECT_NE(z, x);
+  EXPECT_EQ(m.cells().size(), 2u);
+}
+
+TEST(Module, RawGatesAreNeverShared) {
+  Module m;
+  const auto p = m.add_input_port("p", 3);
+  const auto a = m.add_gate_raw(CellType::kMux2, p[0], p[1], p[2]);
+  const auto b = m.add_gate_raw(CellType::kMux2, p[0], p[1], p[2]);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.cells().size(), 2u);
+  // Even fully-constant raw gates are instantiated.
+  const auto c = m.add_gate_raw(CellType::kAnd2, kConst1, kConst0);
+  EXPECT_NE(c, kConst0);
+  EXPECT_EQ(m.cells().size(), 3u);
+}
+
+TEST(Module, DffAndDriveNet) {
+  Module m;
+  const auto d = m.new_net();
+  const auto q = m.dff(d, /*init=*/true);
+  const auto inv_q = m.inv(q);
+  m.drive_net(d, inv_q);  // toggle flop
+  m.add_output_port("q", {q});
+  EXPECT_EQ(m.validate(), std::nullopt);
+  EXPECT_EQ(m.stats().num_dffs, 1u);
+}
+
+TEST(Module, Ports) {
+  Module m("top");
+  const auto in = m.add_input_port("x", 4);
+  EXPECT_EQ(in.size(), 4u);
+  m.add_output_port("y", {in[3], in[2]});
+  ASSERT_NE(m.find_input("x"), nullptr);
+  EXPECT_EQ(m.find_input("x")->nets.size(), 4u);
+  EXPECT_EQ(m.find_input("y"), nullptr);
+  ASSERT_NE(m.find_output("y"), nullptr);
+  EXPECT_EQ(m.find_output("nope"), nullptr);
+  EXPECT_TRUE(m.is_primary_input(in[0]));
+  EXPECT_FALSE(m.is_primary_input(kConst0));
+  EXPECT_THROW(m.add_input_port("z", 0), std::invalid_argument);
+  EXPECT_THROW(m.add_output_port("bad", {kInvalidNet}), std::invalid_argument);
+}
+
+TEST(Module, GroupsAttributeCells) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  m.begin_group("compute");
+  (void)m.and2(p[0], p[1]);
+  m.end_group();
+  (void)m.or2(p[0], p[1]);
+  const auto stats = m.stats();
+  ASSERT_EQ(m.group_names().size(), 2u);
+  EXPECT_EQ(m.group_names()[1], "compute");
+  EXPECT_EQ(stats.counts_by_group[1][static_cast<int>(CellType::kAnd2)], 1u);
+  EXPECT_EQ(stats.counts_by_group[0][static_cast<int>(CellType::kOr2)], 1u);
+  // Re-entering a group by name reuses its id.
+  const auto id = m.begin_group("compute");
+  EXPECT_EQ(id, 1);
+}
+
+TEST(Module, StatsCountTypes) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  (void)m.and2(p[0], p[1]);
+  (void)m.xor2(p[0], p[1]);
+  (void)m.dff(p[0]);
+  const auto s = m.stats();
+  EXPECT_EQ(s.num_cells, 3u);
+  EXPECT_EQ(s.counts_by_type[static_cast<int>(CellType::kAnd2)], 1u);
+  EXPECT_EQ(s.counts_by_type[static_cast<int>(CellType::kXor2)], 1u);
+  EXPECT_EQ(s.counts_by_type[static_cast<int>(CellType::kDff)], 1u);
+}
+
+TEST(Module, DriverMap) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  const auto x = m.and2(p[0], p[1]);
+  const auto drivers = m.driver_map();
+  EXPECT_EQ(drivers[x], 0);
+  EXPECT_EQ(drivers[p[0]], -1);
+  EXPECT_EQ(drivers[kConst0], -1);
+}
+
+}  // namespace
+}  // namespace pml::netlist

@@ -1,0 +1,80 @@
+// Structural Verilog export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pml/netlist/verilog.hpp"
+
+namespace pml::netlist {
+namespace {
+
+TEST(Verilog, CombinationalModule) {
+  Module m("adder_bit");
+  const auto a = m.add_input_port("a", 1)[0];
+  const auto b = m.add_input_port("b", 1)[0];
+  const auto sum = m.xor2(a, b);
+  const auto carry = m.and2(a, b);
+  m.add_output_port("sum", {sum});
+  m.add_output_port("carry", {carry});
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("module adder_bit ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire a"), std::string::npos);
+  EXPECT_NE(v.find("output wire sum"), std::string::npos);
+  EXPECT_NE(v.find("a ^ b"), std::string::npos);
+  EXPECT_NE(v.find("a & b"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_EQ(v.find("always"), std::string::npos) << "no clock when no DFFs";
+}
+
+TEST(Verilog, SequentialModuleHasClockAndReset) {
+  Module m("toggler");
+  const auto d = m.new_net();
+  const auto q = m.dff(d, /*init=*/true);
+  m.drive_net(d, m.inv(q));
+  m.add_output_port("q", {q});
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input  wire rst_n"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk or negedge rst_n)"),
+            std::string::npos);
+  EXPECT_NE(v.find("<= 1'b1;"), std::string::npos) << "reset loads init";
+}
+
+TEST(Verilog, BusPortsAreVectors) {
+  Module m("bus");
+  const auto p = m.add_input_port("data", 4);
+  m.add_output_port("out", {p[3], p[2], p[1], p[0]});
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("input  wire [3:0] data"), std::string::npos);
+  EXPECT_NE(v.find("output wire [3:0] out"), std::string::npos);
+  EXPECT_NE(v.find("assign out[0] = data[3];"), std::string::npos);
+}
+
+TEST(Verilog, ConstantsAndMux) {
+  Module m("cm");
+  const auto p = m.add_input_port("p", 2);
+  const auto raw =
+      m.add_gate_raw(CellType::kMux2, kConst0, p[0], p[1]);
+  m.add_output_port("y", {raw, kConst1});
+  const std::string v = to_verilog(m);
+  EXPECT_NE(v.find("p[1] ? p[0] : 1'b0"), std::string::npos);
+  EXPECT_NE(v.find("assign y[1] = 1'b1;"), std::string::npos);
+}
+
+TEST(Verilog, GroupCommentsEmitted) {
+  Module m("grp");
+  const auto p = m.add_input_port("p", 2);
+  m.begin_group("voter");
+  (void)m.add_gate_raw(CellType::kAnd2, p[0], p[1]);
+  m.end_group();
+  VerilogOptions opts;
+  const std::string with = to_verilog(m, opts);
+  EXPECT_NE(with.find("// --- voter ---"), std::string::npos);
+  opts.emit_groups_as_comments = false;
+  const std::string without = to_verilog(m, opts);
+  EXPECT_EQ(without.find("// --- voter ---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pml::netlist

@@ -1,0 +1,143 @@
+// Power/area model: static sums, activity-based dynamic power, energy
+// arithmetic, per-group attribution.
+
+#include <gtest/gtest.h>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/power/power.hpp"
+#include "pml/sim/event_sim.hpp"
+
+namespace pml::power {
+namespace {
+
+using netlist::CellType;
+using netlist::Module;
+
+TEST(Area, SumsCellFootprintsWithRouting) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  (void)m.add_gate_raw(CellType::kAnd2, p[0], p[1]);
+  (void)m.add_gate_raw(CellType::kXor2, p[0], p[1]);
+  const auto lib = cells::CellLibrary::egfet();
+  const double expected_mm2 = lib.params(CellType::kAnd2).area_mm2 +
+                              lib.params(CellType::kXor2).area_mm2;
+  EXPECT_NEAR(area_cm2(m, lib),
+              expected_mm2 * lib.calibration().routing_area_factor / 100.0,
+              1e-12);
+}
+
+TEST(StaticPower, IncludesClockTree) {
+  Module m;
+  const auto d = m.add_input_port("d", 1)[0];
+  (void)m.dff(d);
+  const auto lib = cells::CellLibrary::egfet();
+  const double expected_uw = lib.params(CellType::kDff).static_power_uw +
+                             lib.calibration().clock_tree_power_uw_per_dff;
+  EXPECT_NEAR(static_power_mw(m, lib), expected_uw / 1000.0, 1e-12);
+}
+
+TEST(Estimate, DynamicPowerFromKnownToggles) {
+  Module m;
+  const auto p = m.add_input_port("p", 1);
+  const auto y = m.add_gate_raw(CellType::kInv, p[0]);
+  m.add_output_port("y", {y});
+  const auto lib = cells::CellLibrary::egfet();
+
+  sim::ActivityStats activity;
+  activity.net_toggles.assign(m.num_nets(), 0);
+  activity.net_toggles[y] = 10;  // 10 transitions over the workload
+
+  // Workload: 10 inferences x 1 cycle x 100 ms.
+  const auto rep = estimate(m, lib, activity, 10, 1, 100.0);
+  const double inv_nj = lib.params(CellType::kInv).switch_energy_nj;
+  // 10 toggles x E over 1000 ms -> uW.
+  const double expected_dyn_mw = 10.0 * inv_nj / 1000.0 / 1000.0;
+  EXPECT_NEAR(rep.dynamic_mw, expected_dyn_mw, 1e-12);
+  EXPECT_NEAR(rep.total_mw, rep.static_mw + rep.dynamic_mw, 1e-12);
+  EXPECT_NEAR(rep.latency_ms, 100.0, 1e-12);
+  EXPECT_NEAR(rep.frequency_hz, 10.0, 1e-12);
+  EXPECT_NEAR(rep.energy_per_inference_mj, rep.total_mw * 100.0 / 1000.0,
+              1e-12);
+}
+
+TEST(Estimate, FanoutLoadingScalesSwitchEnergy) {
+  auto build = [](int sinks, netlist::NetId* driven) {
+    Module m;
+    const auto p = m.add_input_port("p", 1);
+    const auto y = m.add_gate_raw(CellType::kInv, p[0]);
+    std::vector<netlist::NetId> outs;
+    for (int i = 0; i < sinks; ++i) {
+      outs.push_back(m.add_gate_raw(CellType::kBuf, y));
+    }
+    m.add_output_port("y", outs);
+    *driven = y;
+    return m;
+  };
+  const auto lib = cells::CellLibrary::egfet();
+  netlist::NetId y1 = 0, y4 = 0;
+  const Module m1 = build(1, &y1);
+  const Module m4 = build(4, &y4);
+  sim::ActivityStats a1, a4;
+  a1.net_toggles.assign(m1.num_nets(), 0);
+  a4.net_toggles.assign(m4.num_nets(), 0);
+  a1.net_toggles[y1] = 100;
+  a4.net_toggles[y4] = 100;
+  const auto r1 = estimate(m1, lib, a1, 10, 1, 10.0);
+  const auto r4 = estimate(m4, lib, a4, 10, 1, 10.0);
+  EXPECT_GT(r4.dynamic_mw, r1.dynamic_mw);
+}
+
+TEST(Estimate, GroupBreakdownCoversAllCells) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  m.begin_group("compute");
+  (void)m.add_gate_raw(CellType::kAnd2, p[0], p[1]);
+  m.begin_group("voter");
+  (void)m.add_gate_raw(CellType::kOr2, p[0], p[1]);
+  m.end_group();
+  const auto lib = cells::CellLibrary::egfet();
+  sim::ActivityStats activity;
+  activity.net_toggles.assign(m.num_nets(), 0);
+  const auto rep = estimate(m, lib, activity, 1, 1, 10.0);
+  ASSERT_EQ(rep.groups.size(), 3u);  // default, compute, voter
+  std::size_t cells = 0;
+  double static_sum = 0.0;
+  for (const auto& g : rep.groups) {
+    cells += g.cells;
+    static_sum += g.static_mw;
+  }
+  EXPECT_EQ(cells, m.cells().size());
+  EXPECT_NEAR(static_sum, rep.static_mw, 1e-12);
+}
+
+TEST(Estimate, RejectsBadWorkload) {
+  Module m;
+  (void)m.add_input_port("p", 1);
+  const auto lib = cells::CellLibrary::egfet();
+  sim::ActivityStats activity;
+  activity.net_toggles.assign(m.num_nets(), 0);
+  EXPECT_THROW((void)estimate(m, lib, activity, 0, 1, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate(m, lib, activity, 1, 0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)estimate(m, lib, activity, 1, 1, 0.0),
+               std::invalid_argument);
+  sim::ActivityStats small;
+  EXPECT_THROW((void)estimate(m, lib, small, 1, 1, 10.0),
+               std::invalid_argument);
+}
+
+TEST(Library, ScaledVariantScalesEverything) {
+  const auto base = cells::CellLibrary::egfet();
+  const auto scaled = base.scaled(2.0, 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(scaled.params(CellType::kNand2).area_mm2,
+                   2.0 * base.params(CellType::kNand2).area_mm2);
+  EXPECT_DOUBLE_EQ(scaled.params(CellType::kNand2).delay_ms,
+                   0.5 * base.params(CellType::kNand2).delay_ms);
+  EXPECT_DOUBLE_EQ(scaled.params(CellType::kNand2).static_power_uw,
+                   3.0 * base.params(CellType::kNand2).static_power_uw);
+}
+
+}  // namespace
+}  // namespace pml::power

@@ -1,0 +1,133 @@
+// MLP quantization: integer inference semantics (ReLU, shift, saturation),
+// agreement with the float model, accumulator bounds.
+
+#include <gtest/gtest.h>
+
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/mlp.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+#include "pml/quant/mlp_quant.hpp"
+
+namespace pml::quant {
+namespace {
+
+struct TrainedMlp {
+  ml::MlpModel model;
+  ml::Dataset train;
+  ml::Dataset test;
+};
+
+TrainedMlp trained_mlp(ml::UciProfile profile, int hidden, int epochs = 25) {
+  const ml::Dataset d = ml::make_uci_like(profile);
+  const ml::Split s = ml::stratified_split(d, 0.8, 81);
+  ml::MinMaxScaler scaler;
+  scaler.fit(s.train);
+  TrainedMlp setup;
+  setup.train = scaler.transform(s.train);
+  setup.test = scaler.transform(s.test);
+  ml::MlpTrainOptions opts;
+  opts.hidden = hidden;
+  opts.epochs = epochs;
+  setup.model = ml::train_mlp(setup.train, opts);
+  return setup;
+}
+
+TEST(QuantizedMlp, ShapesAndFormats) {
+  const TrainedMlp s = trained_mlp(ml::UciProfile::kCardio, 4, 5);
+  const auto q = quantize_mlp(s.model, s.train, 5, 6, 6);
+  EXPECT_EQ(q.num_inputs, 21);
+  EXPECT_EQ(q.num_hidden, 4);
+  EXPECT_EQ(q.num_outputs, 3);
+  EXPECT_EQ(q.input_format.total_bits, 5);
+  EXPECT_EQ(q.w1_format.total_bits, 6);
+  EXPECT_EQ(q.hidden_format.total_bits, 6);
+  EXPECT_FALSE(q.hidden_format.is_signed);
+  EXPECT_GE(q.hidden_shift, 0);
+}
+
+TEST(QuantizedMlp, HighPrecisionAgreesWithFloat) {
+  const TrainedMlp s = trained_mlp(ml::UciProfile::kCardio, 4);
+  const auto q = quantize_mlp(s.model, s.train, 8, 10, 10);
+  const auto fp = s.model.predict_all(s.test.X);
+  const auto ip = q.predict_all(s.test.X);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    if (fp[i] == ip[i]) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(fp.size()), 0.95);
+}
+
+TEST(QuantizedMlp, HiddenCodesRespectSaturation) {
+  const TrainedMlp s = trained_mlp(ml::UciProfile::kRedWine, 3, 10);
+  const auto q = quantize_mlp(s.model, s.train, 5, 5, 4);
+  const std::int64_t hmax = q.hidden_format.max_code();
+  for (std::size_t i = 0; i < 100 && i < s.test.size(); ++i) {
+    const auto xq = quantize_features(s.test.X[i], q.input_format);
+    for (const auto h : q.hidden_codes(xq)) {
+      EXPECT_GE(h, 0);
+      EXPECT_LE(h, hmax);
+    }
+  }
+}
+
+TEST(QuantizedMlp, ReluZeroesNegativePreactivations) {
+  // Handcrafted single-neuron model with a strongly negative bias.
+  ml::MlpModel m;
+  m.num_inputs = 1;
+  m.num_hidden = 1;
+  m.num_outputs = 2;
+  m.w1 = {{0.5}};
+  m.b1 = {-10.0};
+  m.w2 = {{1.0}, {-1.0}};
+  m.b2 = {0.0, 0.0};
+  ml::Dataset cal;
+  cal.num_features = 1;
+  cal.num_classes = 2;
+  cal.X = {{0.0}, {1.0}};
+  cal.y = {0, 1};
+  const auto q = quantize_mlp(m, cal, 4, 6, 4);
+  const auto h = q.hidden_codes(quantize_features({1.0}, q.input_format));
+  EXPECT_EQ(h[0], 0) << "pre-activation is negative, ReLU must clamp to 0";
+}
+
+TEST(QuantizedMlp, AccumulatorBoundsHold) {
+  const TrainedMlp s = trained_mlp(ml::UciProfile::kWhiteWine, 3, 10);
+  const auto q = quantize_mlp(s.model, s.train, 5, 5, 5);
+  const std::int64_t l1 = std::int64_t{1} << (q.layer1_acc_bits() - 1);
+  const std::int64_t l2 = std::int64_t{1} << (q.layer2_acc_bits() - 1);
+  for (std::size_t i = 0; i < 150 && i < s.test.size(); ++i) {
+    const auto xq = quantize_features(s.test.X[i], q.input_format);
+    // Recompute raw layer-1 accumulators to check the declared bound.
+    for (int n = 0; n < q.num_hidden; ++n) {
+      const auto ns = static_cast<std::size_t>(n);
+      std::int64_t acc = q.b1[ns];
+      for (int j = 0; j < q.num_inputs; ++j) {
+        acc += q.w1[ns][static_cast<std::size_t>(j)] *
+               xq[static_cast<std::size_t>(j)];
+      }
+      EXPECT_LT(std::llabs(acc), l1);
+    }
+    for (const auto z : q.logits_codes(xq)) {
+      EXPECT_LT(std::llabs(z), l2);
+    }
+  }
+}
+
+TEST(QuantizedMlp, QuantizedAccuracyReasonable) {
+  const TrainedMlp s = trained_mlp(ml::UciProfile::kCardio, 4);
+  const double float_acc =
+      ml::accuracy(s.model.predict_all(s.test.X), s.test.y);
+  const auto q = quantize_mlp(s.model, s.train, 6, 6, 6);
+  const double q_acc = ml::accuracy(q.predict_all(s.test.X), s.test.y);
+  EXPECT_GT(q_acc, float_acc - 0.08);
+}
+
+TEST(QuantizedMlp, RejectsDimensionMismatch) {
+  const TrainedMlp s = trained_mlp(ml::UciProfile::kCardio, 3, 3);
+  const auto q = quantize_mlp(s.model, s.train, 5, 6, 6);
+  EXPECT_THROW((void)q.hidden_codes({1, 2, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pml::quant

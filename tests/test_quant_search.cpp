@@ -1,0 +1,91 @@
+// Lowest-precision search: cost ordering, tolerance handling, fallback.
+
+#include <gtest/gtest.h>
+
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+#include "pml/quant/search.hpp"
+
+namespace pml::quant {
+namespace {
+
+struct Trained {
+  ml::MulticlassSvm model;
+  ml::Dataset holdout;
+};
+
+Trained trained(ml::UciProfile profile) {
+  const ml::Dataset d = ml::make_uci_like(profile);
+  const ml::Split s = ml::stratified_split(d, 0.8, 91);
+  ml::MinMaxScaler scaler;
+  scaler.fit(s.train);
+  ml::MulticlassTrainOptions opts;
+  Trained setup;
+  setup.model = ml::train_one_vs_rest(scaler.transform(s.train), opts);
+  setup.holdout = scaler.transform(s.test);
+  return setup;
+}
+
+TEST(Search, FindsConfigurationWithinTolerance) {
+  const Trained s = trained(ml::UciProfile::kCardio);
+  PrecisionSearchOptions opts;
+  const auto result = search_min_precision(s.model, s.holdout, opts);
+  EXPECT_GE(result.input_bits, opts.min_input_bits);
+  EXPECT_LE(result.input_bits, opts.max_input_bits);
+  EXPECT_GE(result.weight_bits, opts.min_weight_bits);
+  EXPECT_LE(result.weight_bits, opts.max_weight_bits);
+  EXPECT_GE(result.quantized_accuracy,
+            result.float_accuracy - opts.tolerance - 1e-9);
+  EXPECT_FALSE(result.sweep.empty());
+}
+
+TEST(Search, WinnerIsCheapestInSweep) {
+  const Trained s = trained(ml::UciProfile::kDermatology);
+  PrecisionSearchOptions opts;
+  const auto result = search_min_precision(s.model, s.holdout, opts);
+  // Every earlier sweep point (cheaper or equal cost) must have failed the
+  // tolerance check.
+  const int winner_cost = result.input_bits * result.weight_bits;
+  for (const auto& cand : result.sweep) {
+    const bool is_winner = cand.input_bits == result.input_bits &&
+                           cand.weight_bits == result.weight_bits;
+    if (is_winner) continue;
+    EXPECT_LE(cand.input_bits * cand.weight_bits, winner_cost);
+    EXPECT_LT(cand.accuracy, result.float_accuracy - opts.tolerance + 1e-9);
+  }
+}
+
+TEST(Search, TightToleranceNeedsMoreBits) {
+  const Trained s = trained(ml::UciProfile::kRedWine);
+  PrecisionSearchOptions loose;
+  loose.tolerance = 0.05;
+  PrecisionSearchOptions tight;
+  tight.tolerance = 0.002;
+  const auto r_loose = search_min_precision(s.model, s.holdout, loose);
+  const auto r_tight = search_min_precision(s.model, s.holdout, tight);
+  EXPECT_LE(r_loose.input_bits * r_loose.weight_bits,
+            r_tight.input_bits * r_tight.weight_bits);
+}
+
+TEST(Search, FallsBackToMaxPrecision) {
+  const Trained s = trained(ml::UciProfile::kWhiteWine);
+  PrecisionSearchOptions impossible;
+  impossible.tolerance = -1.0;  // can never be met (demands improvement)
+  impossible.max_input_bits = 5;
+  impossible.max_weight_bits = 5;
+  const auto r = search_min_precision(s.model, s.holdout, impossible);
+  EXPECT_EQ(r.input_bits, 5);
+  EXPECT_EQ(r.weight_bits, 5);
+}
+
+TEST(Search, RejectsEmptyHoldout) {
+  const Trained s = trained(ml::UciProfile::kCardio);
+  ml::Dataset empty;
+  EXPECT_THROW((void)search_min_precision(s.model, empty, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pml::quant

@@ -1,0 +1,178 @@
+// SVM quantization: format fitting, integer inference vs float model,
+// score bounds, CSD approximation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pml/fixed/csd.hpp"
+#include "pml/ml/metrics.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/ml/scaler.hpp"
+#include "pml/ml/synthetic_datasets.hpp"
+#include "pml/quant/svm_quant.hpp"
+
+namespace pml::quant {
+namespace {
+
+ml::MulticlassSvm trained_ovr(ml::UciProfile profile, ml::Dataset* test_out) {
+  const ml::Dataset d = ml::make_uci_like(profile);
+  const ml::Split s = ml::stratified_split(d, 0.8, 61);
+  ml::MinMaxScaler scaler;
+  scaler.fit(s.train);
+  *test_out = scaler.transform(s.test);
+  ml::MulticlassTrainOptions opts;
+  return ml::train_one_vs_rest(scaler.transform(s.train), opts);
+}
+
+TEST(Formats, InputFormatSpansUnitInterval) {
+  const auto f = input_format(4);
+  EXPECT_FALSE(f.is_signed);
+  EXPECT_EQ(f.total_bits, 4);
+  EXPECT_EQ(f.frac_bits, 4);
+  EXPECT_EQ(fixed::quantize(1.0, f), 15) << "1.0 saturates to max code";
+  EXPECT_EQ(fixed::quantize(0.0, f), 0);
+  EXPECT_THROW((void)input_format(0), std::invalid_argument);
+}
+
+TEST(Formats, FitSignedFormatCoversMaxAbs) {
+  const auto f = fit_signed_format(3.7, 8);
+  EXPECT_TRUE(f.is_signed);
+  EXPECT_GE(f.max_value(), 3.7);
+  EXPECT_LE(f.min_value(), -3.7);
+  // Resolution is maximized: one fewer integer bit would clip.
+  const auto finer = fixed::FixedFormat{.total_bits = 8,
+                                        .frac_bits = f.frac_bits + 1,
+                                        .is_signed = true};
+  EXPECT_LT(finer.max_value(), 3.7);
+}
+
+TEST(Formats, SnapAndQuantizeAgree) {
+  const auto f = input_format(5);
+  const std::vector<double> x = {0.0, 0.1, 0.5, 0.73, 1.0};
+  const auto codes = quantize_features(x, f);
+  const auto snapped = snap_features(x, f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(snapped[i], fixed::dequantize(codes[i], f));
+  }
+}
+
+TEST(QuantizedSvm, HighPrecisionMatchesFloatModel) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kCardio, &test);
+  const auto q = quantize_svm(model, 8, 10);
+  const auto float_preds = model.predict_all(test.X);
+  const auto q_preds = q.predict_all(test.X);
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < float_preds.size(); ++i) {
+    if (float_preds[i] == q_preds[i]) ++agree;
+  }
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(float_preds.size()),
+            0.98);
+}
+
+TEST(QuantizedSvm, DecisionIsExactIntegerDotProduct) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kRedWine, &test);
+  const auto q = quantize_svm(model, 5, 6);
+  const auto xq = quantize_features(test.X[0], q.input_format);
+  for (std::size_t t = 0; t < q.classifiers.size(); ++t) {
+    std::int64_t manual = q.classifiers[t].b;
+    for (std::size_t j = 0; j < xq.size(); ++j) {
+      manual += q.classifiers[t].w[j] * xq[j];
+    }
+    EXPECT_EQ(q.decision(t, xq), manual);
+  }
+}
+
+TEST(QuantizedSvm, ScoreBoundNeverExceeded) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kWhiteWine, &test);
+  const auto q = quantize_svm(model, 4, 5);
+  const std::int64_t bound = q.score_bound();
+  const std::int64_t limit = std::int64_t{1} << (q.score_bits() - 1);
+  EXPECT_LE(bound, limit - 1);
+  for (const auto& x : test.X) {
+    const auto xq = quantize_features(x, q.input_format);
+    for (std::size_t t = 0; t < q.classifiers.size(); ++t) {
+      const std::int64_t s = q.decision(t, xq);
+      EXPECT_LE(std::llabs(s), bound);
+    }
+  }
+}
+
+TEST(QuantizedSvm, WeightCodesRespectFormat) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kDermatology, &test);
+  for (const int bits : {4, 5, 6, 8}) {
+    const auto q = quantize_svm(model, 4, bits);
+    EXPECT_EQ(q.weight_format.total_bits, bits);
+    for (const auto& c : q.classifiers) {
+      for (const auto w : c.w) {
+        EXPECT_GE(w, q.weight_format.min_code());
+        EXPECT_LE(w, q.weight_format.max_code());
+      }
+    }
+  }
+}
+
+TEST(QuantizedSvm, PreservesStrategyAndPairs) {
+  const ml::Dataset d = ml::make_uci_like(ml::UciProfile::kCardio);
+  const ml::Split s = ml::stratified_split(d, 0.9, 71);
+  ml::MulticlassTrainOptions opts;
+  const auto ovo = ml::train_one_vs_one(s.train, opts);
+  const auto q = quantize_svm(ovo, 6, 6);
+  EXPECT_EQ(q.strategy, ml::MulticlassStrategy::kOneVsOne);
+  EXPECT_EQ(q.pairs, ovo.pairs);
+  EXPECT_EQ(q.classifiers.size(), ovo.classifiers.size());
+}
+
+TEST(QuantizedSvm, AccuracyDegradesGracefully) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kCardio, &test);
+  const double float_acc =
+      ml::accuracy(model.predict_all(test.X), test.y);
+  const auto q8 = quantize_svm(model, 8, 8);
+  const double q8_acc = ml::accuracy(q8.predict_all(test.X), test.y);
+  EXPECT_GT(q8_acc, float_acc - 0.02) << "8-bit should be near-lossless";
+}
+
+TEST(ApproximateSvm, TruncatesEveryWeightCsd) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kCardio, &test);
+  const auto q = quantize_svm(model, 8, 8);
+  for (const int digits : {1, 2, 3}) {
+    const auto approx = approximate_svm_csd(q, digits);
+    for (std::size_t t = 0; t < approx.classifiers.size(); ++t) {
+      for (std::size_t j = 0; j < approx.classifiers[t].w.size(); ++j) {
+        EXPECT_LE(fixed::csd_cost(approx.classifiers[t].w[j]), digits);
+      }
+      EXPECT_EQ(approx.classifiers[t].b, q.classifiers[t].b)
+          << "bias stays exact";
+    }
+  }
+}
+
+TEST(ApproximateSvm, ApproximationErrorShrinksWithDigits) {
+  ml::Dataset test;
+  const auto model = trained_ovr(ml::UciProfile::kCardio, &test);
+  const auto q = quantize_svm(model, 8, 8);
+  auto weight_error = [&](const QuantizedSvm& approx) {
+    double err = 0;
+    for (std::size_t t = 0; t < q.classifiers.size(); ++t) {
+      for (std::size_t j = 0; j < q.classifiers[t].w.size(); ++j) {
+        err += std::abs(static_cast<double>(q.classifiers[t].w[j] -
+                                            approx.classifiers[t].w[j]));
+      }
+    }
+    return err;
+  };
+  const double e1 = weight_error(approximate_svm_csd(q, 1));
+  const double e2 = weight_error(approximate_svm_csd(q, 2));
+  const double e3 = weight_error(approximate_svm_csd(q, 3));
+  EXPECT_GE(e1, e2);
+  EXPECT_GE(e2, e3);
+}
+
+}  // namespace
+}  // namespace pml::quant

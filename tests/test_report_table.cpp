@@ -1,0 +1,71 @@
+// Table rendering and number formatting.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pml/report/table.hpp"
+
+namespace pml::report {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+  // Borders around header and at the end: at least 3 separator lines.
+  std::size_t count = 0, pos = 0;
+  while ((pos = out.find("+-", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_GE(count, 3u);
+}
+
+TEST(Table, SeparatorsBetweenSections) {
+  Table t({"A"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  std::ostringstream os;
+  t.print(os);
+  // header line + top + after-header + middle separator + bottom = 4 "+--".
+  std::size_t count = 0, pos = 0;
+  const std::string out = os.str();
+  while ((pos = out.find("+---", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(Table, MarkdownOutput) {
+  Table t({"Model", "Energy"});
+  t.add_row({"Ours", "1.373"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| Model | Energy |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| Ours | 1.373 |"), std::string::npos);
+}
+
+TEST(Table, RejectsColumnMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt_ratio(6.49, 1), "6.5x");
+  EXPECT_EQ(fmt_pct(0.934, 1), "93.4");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100");
+}
+
+}  // namespace
+}  // namespace pml::report

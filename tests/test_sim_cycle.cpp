@@ -1,0 +1,138 @@
+// Zero-delay cycle simulator: combinational evaluation, DFF semantics,
+// port access, toggle counting.
+
+#include <gtest/gtest.h>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/cycle_sim.hpp"
+
+namespace pml::sim {
+namespace {
+
+using netlist::CellType;
+using netlist::kConst1;
+using netlist::Module;
+
+TEST(CycleSim, CombinationalGate) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  m.add_output_port("y", {m.and2(p[0], p[1])});
+  CycleSimulator sim(m);
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      sim.set_port("p", static_cast<std::uint64_t>(a | (b << 1)));
+      sim.propagate();
+      EXPECT_EQ(sim.port_unsigned("y"), static_cast<std::uint64_t>(a & b));
+    }
+  }
+}
+
+TEST(CycleSim, DeepChainEvaluatesInOneVisit) {
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  auto n = a;
+  for (int i = 0; i < 100; ++i) n = m.add_gate_raw(CellType::kInv, n);
+  m.add_output_port("y", {n});
+  CycleSimulator sim(m);
+  sim.set_net(a, true);
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 1u);  // even number of inversions
+  sim.set_net(a, false);
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 0u);
+}
+
+TEST(CycleSim, ShiftRegister) {
+  Module m;
+  const auto d = m.add_input_port("d", 1)[0];
+  const auto q1 = m.dff(d);
+  const auto q2 = m.dff(q1);
+  const auto q3 = m.dff(q2);
+  m.add_output_port("q", {q1, q2, q3});
+  CycleSimulator sim(m);
+  // Shift in 1, 0, 1.
+  sim.set_net(d, true);
+  sim.step();
+  sim.set_net(d, false);
+  sim.step();
+  sim.set_net(d, true);
+  sim.step();
+  // q1 newest: 1, q2: 0, q3: 1 -> bits LSB-first 1,0,1 = 0b101.
+  EXPECT_EQ(sim.port_unsigned("q"), 0b101u);
+  EXPECT_EQ(sim.cycles(), 3u);
+}
+
+TEST(CycleSim, DffInitialValueAndReset) {
+  Module m;
+  const auto d = m.add_input_port("d", 1)[0];
+  const auto q = m.dff(d, /*init=*/true);
+  m.add_output_port("q", {q});
+  CycleSimulator sim(m);
+  EXPECT_EQ(sim.port_unsigned("q"), 1u);
+  sim.set_net(d, false);
+  sim.step();
+  EXPECT_EQ(sim.port_unsigned("q"), 0u);
+  sim.reset();
+  EXPECT_EQ(sim.port_unsigned("q"), 1u);
+  EXPECT_EQ(sim.cycles(), 0u);
+}
+
+TEST(CycleSim, ToggleFlopDividesByTwo) {
+  Module m;
+  const auto d = m.new_net();
+  const auto q = m.dff(d);
+  m.drive_net(d, m.inv(q));
+  m.add_output_port("q", {q});
+  CycleSimulator sim(m);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 8; ++i) {
+    sim.step();
+    const auto v = sim.port_unsigned("q");
+    EXPECT_NE(v, prev) << "must toggle every cycle";
+    prev = v;
+  }
+}
+
+TEST(CycleSim, SignedPortRead) {
+  Module m;
+  const auto p = m.add_input_port("p", 4);
+  m.add_output_port("y", {p[0], p[1], p[2], p[3]});
+  CycleSimulator sim(m);
+  sim.set_port("p", 0b1111);
+  sim.propagate();
+  EXPECT_EQ(sim.port_signed("y"), -1);
+  sim.set_port("p", 0b0111);
+  sim.propagate();
+  EXPECT_EQ(sim.port_signed("y"), 7);
+  sim.set_port("p", 0b1000);
+  sim.propagate();
+  EXPECT_EQ(sim.port_signed("y"), -8);
+}
+
+TEST(CycleSim, ToggleCountsFunctionalOnly) {
+  Module m;
+  const auto p = m.add_input_port("p", 1);
+  const auto y = m.inv(p[0]);
+  m.add_output_port("y", {y});
+  CycleSimulator sim(m);
+  // Reset settles the netlist (p=0 -> y=1) without counting; the first real
+  // stimulus flips y once, the second flips it back, the third is idle.
+  sim.set_net(p[0], true);
+  sim.propagate();
+  sim.set_net(p[0], false);
+  sim.propagate();
+  sim.set_net(p[0], false);
+  sim.propagate();  // no change
+  EXPECT_EQ(sim.toggles()[y], 2u);
+}
+
+TEST(CycleSim, UnknownPortThrows) {
+  Module m;
+  (void)m.add_input_port("p", 1);
+  CycleSimulator sim(m);
+  EXPECT_THROW(sim.set_port("nope", 0), std::invalid_argument);
+  EXPECT_THROW((void)sim.port_unsigned("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pml::sim

@@ -1,0 +1,158 @@
+// Event-driven simulator: functional equivalence with the cycle simulator
+// (property test over random netlists) and glitch counting.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sim/cycle_sim.hpp"
+#include "pml/sim/event_sim.hpp"
+
+namespace pml::sim {
+namespace {
+
+using netlist::CellType;
+using netlist::Module;
+using netlist::NetId;
+
+/// Deterministic xorshift for structure generation.
+struct MiniRng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+};
+
+/// Random combinational + sequential netlist over `inputs` PIs.
+Module random_module(std::uint64_t seed, int inputs, int gates, int dffs) {
+  Module m("rand");
+  MiniRng rng{seed * 2654435761u + 1};
+  std::vector<NetId> pool = m.add_input_port("x", inputs);
+  static constexpr CellType kComb[] = {
+      CellType::kInv,  CellType::kNand2, CellType::kNor2,
+      CellType::kAnd2, CellType::kOr2,   CellType::kXor2,
+      CellType::kXnor2, CellType::kMux2};
+  for (int i = 0; i < gates; ++i) {
+    const CellType t = kComb[rng.below(8)];
+    const NetId a = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    const NetId b = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    const NetId s = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    // Raw gates: keep the netlist structure random (no folding).
+    const int arity = netlist::cell_num_inputs(t);
+    pool.push_back(arity == 1   ? m.add_gate_raw(t, a)
+                   : arity == 2 ? m.add_gate_raw(t, a, b)
+                                : m.add_gate_raw(t, a, b, s));
+  }
+  for (int i = 0; i < dffs; ++i) {
+    const NetId d = pool[rng.below(static_cast<std::uint32_t>(pool.size()))];
+    pool.push_back(m.dff(d, (rng.next() & 1) != 0));
+  }
+  // Observe the last few nets.
+  std::vector<NetId> outs(pool.end() - std::min<std::size_t>(8, pool.size()),
+                          pool.end());
+  m.add_output_port("y", outs);
+  return m;
+}
+
+class EventMatchesCycle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventMatchesCycle, SameOutputsEveryCycle) {
+  const std::uint64_t seed = GetParam();
+  const Module m = random_module(seed, 6, 60, 5);
+  ASSERT_EQ(m.validate(), std::nullopt);
+  const auto lib = cells::CellLibrary::egfet();
+  CycleSimulator cs(m);
+  EventSimulator es(m, lib);
+  MiniRng rng{seed ^ 0xABCDEF};
+  for (int step = 0; step < 25; ++step) {
+    const std::uint64_t v = rng.next() & 0x3F;
+    cs.set_port("x", v);
+    es.set_port("x", v);
+    cs.step();
+    es.step();
+    EXPECT_EQ(cs.port_unsigned("y"), es.port_unsigned("y"))
+        << "seed " << seed << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetlists, EventMatchesCycle,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(EventSim, CountsGlitchesOnImbalancedPaths) {
+  // y = XOR(a, INV(INV(...INV(a)))) with an even inverter chain:
+  // functionally y == 0 always, but each input edge makes y pulse.
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  auto n = a;
+  for (int i = 0; i < 10; ++i) n = m.add_gate_raw(CellType::kInv, n);
+  const auto y = m.add_gate_raw(CellType::kXor2, a, n);
+  m.add_output_port("y", {y});
+  const auto lib = cells::CellLibrary::egfet();
+
+  CycleSimulator cs(m);
+  EventSimulator es(m, lib);
+  std::uint64_t cycle_toggles = 0;
+  for (int i = 0; i < 10; ++i) {
+    const bool v = (i % 2) == 0;
+    cs.set_net(a, v);
+    es.set_net(a, v);
+    cs.propagate();
+    es.settle();
+    EXPECT_EQ(cs.port_unsigned("y"), 0u);
+    EXPECT_EQ(es.port_unsigned("y"), 0u);
+    cycle_toggles = cs.toggles()[y];
+  }
+  EXPECT_EQ(cycle_toggles, 0u) << "zero-delay sim sees no glitches";
+  EXPECT_GE(es.activity().net_toggles[y], 20u)
+      << "event sim must see the glitch pulse (2 toggles) per input edge";
+}
+
+TEST(EventSim, QuietWithoutInputChanges) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  m.add_output_port("y", {m.and2(p[0], p[1])});
+  const auto lib = cells::CellLibrary::egfet();
+  EventSimulator es(m, lib);
+  es.set_port("p", 3);
+  es.settle();
+  es.clear_activity();
+  es.set_port("p", 3);  // same value: no events
+  es.settle();
+  std::uint64_t total = 0;
+  for (const auto t : es.activity().net_toggles) total += t;
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(EventSim, DffClockEventsAccumulate) {
+  Module m;
+  const auto d = m.add_input_port("d", 1)[0];
+  (void)m.dff(d);
+  (void)m.dff(d);
+  m.add_output_port("y", {d});
+  const auto lib = cells::CellLibrary::egfet();
+  EventSimulator es(m, lib);
+  for (int i = 0; i < 5; ++i) es.step();
+  EXPECT_EQ(es.activity().dff_clock_events, 10u);
+  EXPECT_EQ(es.activity().cycles, 5u);
+  es.clear_activity();
+  EXPECT_EQ(es.activity().dff_clock_events, 0u);
+}
+
+TEST(EventSim, RejectsBadQuantum) {
+  Module m;
+  (void)m.add_input_port("p", 1);
+  const auto lib = cells::CellLibrary::egfet();
+  EXPECT_THROW(EventSimulator(m, lib, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pml::sim

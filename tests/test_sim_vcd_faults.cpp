@@ -1,0 +1,136 @@
+// VCD waveform dumping and stuck-at fault injection.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/cycle_sim.hpp"
+#include "pml/sim/vcd.hpp"
+
+namespace pml::sim {
+namespace {
+
+using netlist::CellType;
+using netlist::Module;
+
+TEST(Vcd, HeaderAndChanges) {
+  Module m("dut");
+  const auto d = m.add_input_port("d", 2);
+  m.add_output_port("y", {m.and2(d[0], d[1])});
+  CycleSimulator sim(m);
+  std::ostringstream os;
+  VcdWriter vcd(sim, os);
+
+  sim.set_port("d", 0b11);
+  sim.propagate();
+  vcd.sample(0);
+  sim.set_port("d", 0b01);
+  sim.propagate();
+  vcd.sample(1);
+  sim.propagate();
+  vcd.sample(2);  // no change: no new timestamp needed
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 1 ms $end"), std::string::npos);
+  EXPECT_NE(out.find("$scope module dut $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 2 ! d [1:0] $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1 \" y $end"), std::string::npos);
+  EXPECT_NE(out.find("#0"), std::string::npos);
+  EXPECT_NE(out.find("b11 !"), std::string::npos);
+  EXPECT_NE(out.find("#1"), std::string::npos);
+  EXPECT_NE(out.find("b01 !"), std::string::npos);
+  EXPECT_EQ(out.find("#2"), std::string::npos) << "quiet cycles are omitted";
+}
+
+TEST(Vcd, AddSignalAfterHeaderThrows) {
+  Module m;
+  (void)m.add_input_port("d", 1);
+  CycleSimulator sim(m);
+  std::ostringstream os;
+  VcdWriter vcd(sim, os);
+  vcd.sample(0);
+  EXPECT_THROW(vcd.add_signal("late", synth::Bus{}), std::logic_error);
+}
+
+TEST(Faults, StuckAtOverridesGateOutput) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  const auto y = m.add_gate_raw(CellType::kAnd2, p[0], p[1]);
+  m.add_output_port("y", {y});
+  CycleSimulator sim(m);
+  sim.set_port("p", 0b11);
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 1u);
+  sim.force_net(y, false);  // stuck-at-0
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 0u);
+  sim.unforce_net(y);
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 1u);
+}
+
+TEST(Faults, StuckAtPropagatesDownstream) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  const auto mid = m.add_gate_raw(CellType::kOr2, p[0], p[1]);
+  const auto y = m.add_gate_raw(CellType::kInv, mid);
+  m.add_output_port("y", {y});
+  CycleSimulator sim(m);
+  sim.set_port("p", 0b00);
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 1u);
+  sim.force_net(mid, true);  // stuck-at-1 upstream
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 0u) << "fault must reach the output";
+}
+
+TEST(Faults, PrimaryInputStuckAt) {
+  Module m;
+  const auto p = m.add_input_port("p", 1);
+  m.add_output_port("y", {m.inv(p[0])});
+  CycleSimulator sim(m);
+  sim.force_net(p[0], true);
+  sim.set_port("p", 0);  // driven low, but stuck high
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 0u);
+}
+
+TEST(Faults, ClearForcesRestoresAll) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  const auto y = m.add_gate_raw(CellType::kXor2, p[0], p[1]);
+  m.add_output_port("y", {y});
+  CycleSimulator sim(m);
+  sim.force_net(y, true);
+  sim.force_net(p[0], false);
+  EXPECT_EQ(sim.num_forced(), 2u);
+  sim.clear_forces();
+  EXPECT_EQ(sim.num_forced(), 0u);
+  sim.set_port("p", 0b01);
+  sim.propagate();
+  EXPECT_EQ(sim.port_unsigned("y"), 1u);
+}
+
+TEST(Faults, RejectsConstantNets) {
+  Module m;
+  (void)m.add_input_port("p", 1);
+  CycleSimulator sim(m);
+  EXPECT_THROW(sim.force_net(netlist::kConst0, true), std::invalid_argument);
+  EXPECT_THROW(sim.force_net(99999, true), std::out_of_range);
+}
+
+TEST(Faults, DoubleForceCountsOnce) {
+  Module m;
+  const auto p = m.add_input_port("p", 1);
+  CycleSimulator sim(m);
+  sim.force_net(p[0], true);
+  sim.force_net(p[0], false);
+  EXPECT_EQ(sim.num_forced(), 1u);
+  sim.unforce_net(p[0]);
+  sim.unforce_net(p[0]);
+  EXPECT_EQ(sim.num_forced(), 0u);
+}
+
+}  // namespace
+}  // namespace pml::sim

@@ -1,0 +1,128 @@
+// Static timing analysis: path lengths, sources/sinks, fanout loading,
+// critical-path extraction.
+
+#include <gtest/gtest.h>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sta/timing.hpp"
+
+namespace pml::sta {
+namespace {
+
+using netlist::CellType;
+using netlist::Module;
+
+cells::CellLibrary unit_library() {
+  // A library with unit delays and no fanout penalty makes depth counting
+  // exact.
+  auto lib = cells::CellLibrary::egfet();
+  for (int t = 0; t < netlist::kNumCellTypes; ++t) {
+    lib.params(static_cast<CellType>(t)).delay_ms = 1.0;
+  }
+  lib.calibration().fanout_delay_factor = 0.0;
+  lib.calibration().dff_setup_ms = 0.5;
+  return lib;
+}
+
+TEST(Sta, ChainDelayIsDepthTimesUnit) {
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  auto n = a;
+  for (int i = 0; i < 7; ++i) n = m.add_gate_raw(CellType::kInv, n);
+  m.add_output_port("y", {n});
+  const auto rep = analyze(m, unit_library());
+  EXPECT_DOUBLE_EQ(rep.critical_path_ms, 7.0);
+  EXPECT_EQ(rep.logic_depth, 7);
+  EXPECT_DOUBLE_EQ(rep.max_frequency_hz, 1000.0 / 7.0);
+  EXPECT_NE(rep.sink_description.find("output 'y'"), std::string::npos);
+}
+
+TEST(Sta, TakesWorstOfParallelPaths) {
+  Module m;
+  const auto p = m.add_input_port("p", 2);
+  auto slow = p[0];
+  for (int i = 0; i < 5; ++i) slow = m.add_gate_raw(CellType::kInv, slow);
+  const auto fast = m.add_gate_raw(CellType::kInv, p[1]);
+  const auto y = m.add_gate_raw(CellType::kAnd2, slow, fast);
+  m.add_output_port("y", {y});
+  const auto rep = analyze(m, unit_library());
+  EXPECT_DOUBLE_EQ(rep.critical_path_ms, 6.0);  // 5 inverters + AND
+}
+
+TEST(Sta, DffPathsIncludeClkToQAndSetup) {
+  Module m;
+  const auto d_in = m.add_input_port("d", 1)[0];
+  const auto q = m.dff(d_in);
+  const auto x = m.add_gate_raw(CellType::kInv, q);
+  (void)m.dff(x);
+  m.add_output_port("y", {q});
+  const auto lib = unit_library();
+  const auto rep = analyze(m, lib);
+  // Worst path: Q (clk-to-q = 1) -> INV (1) -> D setup (0.5) = 2.5;
+  // the PI->DFF path is 0 + 0.5 and PO path is 1.0.
+  EXPECT_DOUBLE_EQ(rep.critical_path_ms, 2.5);
+  EXPECT_NE(rep.sink_description.find("setup"), std::string::npos);
+}
+
+TEST(Sta, CriticalPathExtractionWalksTheChain) {
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  auto n = a;
+  for (int i = 0; i < 4; ++i) n = m.add_gate_raw(CellType::kXor2, n, a);
+  m.add_output_port("y", {n});
+  const auto rep = analyze(m, unit_library());
+  EXPECT_EQ(rep.logic_depth, 4);
+  ASSERT_GE(rep.critical_path.size(), 2u);
+  // Arrivals along the path are non-decreasing.
+  for (std::size_t i = 1; i < rep.critical_path.size(); ++i) {
+    EXPECT_GE(rep.critical_path[i].arrival_ms,
+              rep.critical_path[i - 1].arrival_ms);
+  }
+  EXPECT_EQ(rep.critical_path.back().net, m.find_output("y")->nets[0]);
+}
+
+TEST(Sta, FanoutLoadingSlowsHighFanoutNets) {
+  auto build = [](int sinks) {
+    Module m;
+    const auto a = m.add_input_port("a", 1)[0];
+    const auto n = m.add_gate_raw(CellType::kInv, a);
+    std::vector<netlist::NetId> outs;
+    for (int i = 0; i < sinks; ++i) {
+      outs.push_back(m.add_gate_raw(CellType::kInv, n));
+    }
+    m.add_output_port("y", outs);
+    return m;
+  };
+  auto lib = unit_library();
+  lib.calibration().fanout_delay_factor = 0.1;
+  const auto narrow = analyze(build(1), lib);
+  const auto wide = analyze(build(21), lib);
+  EXPECT_DOUBLE_EQ(narrow.critical_path_ms, 2.0);
+  // Inverter driving 21 sinks: 1 * (1 + 0.1*20) = 3, plus final INV = 4.
+  EXPECT_DOUBLE_EQ(wide.critical_path_ms, 4.0);
+}
+
+TEST(Sta, ConstantDesignGetsNominalPeriod) {
+  Module m;
+  m.add_output_port("y", {netlist::kConst1});
+  const auto rep = analyze(m, unit_library());
+  EXPECT_GT(rep.critical_path_ms, 0.0);
+  EXPECT_GT(rep.max_frequency_hz, 0.0);
+}
+
+TEST(Sta, RealLibraryGivesHzRangeForClassifierDepth) {
+  // ~50 levels of printed logic must land in the tens-of-Hz range the
+  // paper reports.
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  auto n = a;
+  for (int i = 0; i < 50; ++i) n = m.add_gate_raw(CellType::kXor2, n, a);
+  m.add_output_port("y", {n});
+  const auto rep = analyze(m, cells::CellLibrary::egfet());
+  EXPECT_GT(rep.max_frequency_hz, 5.0);
+  EXPECT_LT(rep.max_frequency_hz, 60.0);
+}
+
+}  // namespace
+}  // namespace pml::sta

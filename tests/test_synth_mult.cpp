@@ -1,0 +1,182 @@
+// Multipliers: general array, signed-x-unsigned, truncated, bespoke CSD.
+
+#include <gtest/gtest.h>
+
+#include "pml/netlist/module.hpp"
+#include "pml/synth/mult.hpp"
+#include "sim_test_util.hpp"
+
+namespace pml::synth {
+namespace {
+
+using netlist::Module;
+using testutil::Harness;
+
+std::int64_t sext_val(std::uint64_t raw, int bits) {
+  const std::int64_t v = static_cast<std::int64_t>(raw);
+  return (raw & (1ull << (bits - 1))) ? v - (std::int64_t{1} << bits) : v;
+}
+
+class MultWidths : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MultWidths, UnsignedExhaustive) {
+  const auto [wa, wb] = GetParam();
+  Module m;
+  const Bus a{m.add_input_port("a", wa)};
+  const Bus b{m.add_input_port("b", wb)};
+  const Bus p = mult_unsigned(m, a, b);
+  EXPECT_EQ(p.width(), wa + wb);
+  Harness h(m);
+  for (std::uint64_t ra = 0; ra < (1ull << wa); ++ra) {
+    for (std::uint64_t rb = 0; rb < (1ull << wb); ++rb) {
+      h.set("a", ra);
+      h.set("b", rb);
+      h.run();
+      EXPECT_EQ(h.unsigned_of(p), ra * rb);
+    }
+  }
+}
+
+TEST_P(MultWidths, SignedUnsignedExhaustive) {
+  const auto [ww, wx] = GetParam();
+  Module m;
+  const Bus w{m.add_input_port("w", ww)};
+  const Bus x{m.add_input_port("x", wx)};
+  const Bus p = mult_signed_unsigned(m, w, x);
+  EXPECT_EQ(p.width(), ww + wx);
+  Harness h(m);
+  for (std::uint64_t rw = 0; rw < (1ull << ww); ++rw) {
+    for (std::uint64_t rx = 0; rx < (1ull << wx); ++rx) {
+      h.set("w", rw);
+      h.set("x", rx);
+      h.run();
+      EXPECT_EQ(h.signed_of(p),
+                sext_val(rw, ww) * static_cast<std::int64_t>(rx));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultWidths,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(2, 3),
+                                           std::make_pair(3, 2),
+                                           std::make_pair(4, 4),
+                                           std::make_pair(5, 3),
+                                           std::make_pair(6, 4)));
+
+TEST(TruncatedMult, MatchesColumnDropModel) {
+  // Truncation drops partial-product columns below `drop`: the hardware
+  // computes sum_j (floor(w / 2^max(0, drop-j)) << (j + max(0,drop-j))) /
+  // 2^drop... verified here against the same arithmetic the integer model
+  // uses: sum of arithmetically-shifted partial products.
+  for (int drop : {1, 2, 3}) {
+    Module m;
+    const Bus w{m.add_input_port("w", 4)};
+    const Bus x{m.add_input_port("x", 3)};
+    const Bus p = mult_signed_unsigned_truncated(m, w, x, drop);
+    Harness h(m);
+    for (std::uint64_t rw = 0; rw < 16; ++rw) {
+      for (std::uint64_t rx = 0; rx < 8; ++rx) {
+        h.set("w", rw);
+        h.set("x", rx);
+        h.run();
+        std::int64_t expected = 0;
+        for (int j = 0; j < 3; ++j) {
+          if (((rx >> j) & 1) == 0) continue;
+          const int lo = std::max(0, drop - j);
+          if (lo >= 4) continue;
+          expected += (sext_val(rw, 4) >> lo) << (j + lo);
+        }
+        // Result columns below `drop` are zero by construction.
+        expected = (expected >> drop) << drop;
+        EXPECT_EQ(h.signed_of(p), expected)
+            << "drop=" << drop << " w=" << sext_val(rw, 4) << " x=" << rx;
+      }
+    }
+  }
+}
+
+TEST(TruncatedMult, ZeroDropIsExact) {
+  Module m;
+  const Bus w{m.add_input_port("w", 4)};
+  const Bus x{m.add_input_port("x", 4)};
+  const Bus p = mult_signed_unsigned_truncated(m, w, x, 0);
+  Harness h(m);
+  for (std::uint64_t rw = 0; rw < 16; ++rw) {
+    for (std::uint64_t rx = 0; rx < 16; ++rx) {
+      h.set("w", rw);
+      h.set("x", rx);
+      h.run();
+      EXPECT_EQ(h.signed_of(p),
+                sext_val(rw, 4) * static_cast<std::int64_t>(rx));
+    }
+  }
+}
+
+class CsdConstant : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CsdConstant, ConstMultExhaustive) {
+  const std::int64_t c = GetParam();
+  Module m;
+  const Bus x{m.add_input_port("x", 5)};
+  const Bus p = mult_const_csd(m, c, x);
+  Harness h(m);
+  for (std::uint64_t rx = 0; rx < 32; ++rx) {
+    h.set("x", rx);
+    h.run();
+    EXPECT_EQ(h.signed_of(p), c * static_cast<std::int64_t>(rx))
+        << "c=" << c << " x=" << rx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Constants, CsdConstant,
+                         ::testing::Values(0, 1, -1, 2, -2, 3, -3, 5, 7, -7,
+                                           11, 14, -14, 15, 23, -23, 64, 85,
+                                           -85, 127, -128));
+
+TEST(CsdConstMult, ZeroCostsNothing) {
+  Module m;
+  const Bus x{m.add_input_port("x", 4)};
+  (void)mult_const_csd(m, 0, x);
+  EXPECT_TRUE(m.cells().empty());
+}
+
+TEST(CsdConstMult, PowerOfTwoIsFree) {
+  Module m;
+  const Bus x{m.add_input_port("x", 4)};
+  const Bus p = mult_const_csd(m, 8, x);
+  EXPECT_TRUE(m.cells().empty()) << "pure shift requires no gates";
+  Harness h(m);
+  h.set("x", 5);
+  h.run();
+  EXPECT_EQ(h.signed_of(p), 40);
+}
+
+TEST(CsdConstMult, CheaperThanGeneralMultiplier) {
+  Module m1, m2;
+  const Bus x1{m1.add_input_port("x", 6)};
+  const Bus x2{m2.add_input_port("x", 6)};
+  (void)mult_const_csd(m1, 37, x1);
+  const Bus w{m2.add_input_port("w", 7)};
+  (void)mult_signed_unsigned(m2, w, x2);
+  EXPECT_LT(m1.cells().size(), m2.cells().size() / 2)
+      << "bespoke constant multiplier must be much smaller";
+}
+
+TEST(CsdDigitsMult, TruncatedDigitsMatchTruncatedValue) {
+  const std::int64_t c = 0b101010101;  // 341, 5 CSD digits
+  const auto digits = fixed::csd_truncate(fixed::csd_recode(c), 2);
+  const std::int64_t c_trunc = fixed::csd_value(digits);
+  Module m;
+  const Bus x{m.add_input_port("x", 4)};
+  const Bus p = mult_csd_digits(m, digits, x);
+  Harness h(m);
+  for (std::uint64_t rx = 0; rx < 16; ++rx) {
+    h.set("x", rx);
+    h.run();
+    EXPECT_EQ(h.signed_of(p), c_trunc * static_cast<std::int64_t>(rx));
+  }
+}
+
+}  // namespace
+}  // namespace pml::synth
