@@ -1,0 +1,170 @@
+// Verification-throughput benchmark: scalar CycleSimulator vs the 64-way
+// bit-parallel BatchSimulator (core::verify_workload) on a sequential SVM
+// workload, plus thread-scaling of the sharded driver.
+//
+// Emits a machine-readable JSON object on stdout so future PRs can track
+// the perf trajectory; the human-readable summary goes to stderr.
+//
+// Usage: bench_batch_sim [--quick]
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/core/flow.hpp"
+#include "pml/core/verify.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/quant/svm_quant.hpp"
+#include "pml/sim/batch_sim.hpp"
+#include "pml/sim/cycle_sim.hpp"
+
+using namespace pml;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Scalar reference loop: exactly what evaluate_circuit's verification gate
+/// did before the batch subsystem (one sample at a time, free-running).
+std::size_t run_scalar(const netlist::Module& module, int cycles,
+                       const core::CircuitWorkload& wl,
+                       const std::vector<const netlist::Port*>& ports,
+                       const netlist::Port& class_port) {
+  sim::CycleSimulator sim(module);
+  std::size_t matches = 0;
+  for (std::size_t s = 0; s < wl.feature_codes.size(); ++s) {
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      sim.set_port(*ports[j],
+                   static_cast<std::uint64_t>(wl.feature_codes[s][j]));
+    }
+    for (int c = 0; c < cycles; ++c) sim.step();
+    matches += static_cast<int>(sim.port_unsigned(class_port)) ==
+               wl.expected_class[s];
+  }
+  return matches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = benchutil::quick_mode(argc, argv);
+
+  // Train/quantize one OvR model and build the paper's sequential circuit.
+  const auto data = benchutil::prepare(ml::UciProfile::kCardio);
+  ml::MulticlassTrainOptions topts;
+  topts.base.seed = 7;
+  const auto model = ml::train_one_vs_rest(data.train, topts);
+  const auto q = quant::quantize_svm(model, /*input_bits=*/4,
+                                     /*weight_bits=*/5);
+  auto circuit = arch::build_sequential_svm(q);
+  const auto stats = circuit.module.stats();
+
+  // Tile the test set into a large verification workload so the timings
+  // are stable and the ragged-final-batch path is exercised.
+  const core::CircuitWorkload base = core::make_svm_workload(q, data.test);
+  core::CircuitWorkload wl;
+  const std::size_t target = quick ? 2000 : 20000;
+  while (wl.feature_codes.size() < target) {
+    wl.feature_codes.insert(wl.feature_codes.end(), base.feature_codes.begin(),
+                            base.feature_codes.end());
+    wl.expected_class.insert(wl.expected_class.end(),
+                             base.expected_class.begin(),
+                             base.expected_class.end());
+  }
+  const std::size_t n = wl.feature_codes.size();
+
+  std::vector<const netlist::Port*> ports;
+  for (std::size_t j = 0; j < wl.feature_codes[0].size(); ++j) {
+    ports.push_back(circuit.module.find_input("x" + std::to_string(j)));
+  }
+  const netlist::Port* class_port = circuit.module.find_output("class");
+
+  std::cerr << "bench_batch_sim: " << data.name << ", "
+            << circuit.module.stats().num_cells << " cells, "
+            << q.num_classes << " classes ("
+            << circuit.cycles_per_inference << " cycles/inference), "
+            << n << " samples\n";
+
+  // --- scalar reference ------------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  const std::size_t scalar_matches =
+      run_scalar(circuit.module, circuit.cycles_per_inference, wl, ports,
+                 *class_port);
+  const double scalar_s = seconds_since(t0);
+  const double scalar_sps = static_cast<double>(n) / scalar_s;
+  std::cerr << "  scalar:        " << static_cast<long>(scalar_sps)
+            << " samples/s (" << scalar_matches << "/" << n << " match)\n";
+
+  // --- batch, single thread --------------------------------------------------
+  core::VerifyOptions vopts;
+  vopts.num_threads = 1;
+  vopts.levelization = sim::levelize_shared(circuit.module);
+  t0 = std::chrono::steady_clock::now();
+  const core::VerifyResult single = core::verify_workload(
+      circuit.module, circuit.cycles_per_inference, wl, vopts);
+  const double batch_s = seconds_since(t0);
+  const double batch_sps = static_cast<double>(n) / batch_s;
+  const double speedup = batch_sps / scalar_sps;
+  std::cerr << "  batch (1 thr): " << static_cast<long>(batch_sps)
+            << " samples/s  -> " << speedup << "x vs scalar"
+            << (single.ok() ? "" : "  [MISMATCHES!]") << "\n";
+
+  // --- thread scaling --------------------------------------------------------
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+  struct ThreadPoint {
+    std::size_t threads;
+    double sps;
+  };
+  std::vector<ThreadPoint> scaling;
+  for (const std::size_t t : thread_counts) {
+    vopts.num_threads = t;
+    t0 = std::chrono::steady_clock::now();
+    const auto r = core::verify_workload(
+        circuit.module, circuit.cycles_per_inference, wl, vopts);
+    const double sps = static_cast<double>(n) / seconds_since(t0);
+    scaling.push_back({t, sps});
+    std::cerr << "  batch (" << t << " thr): " << static_cast<long>(sps)
+              << " samples/s" << (r.ok() ? "" : "  [MISMATCHES!]") << "\n";
+  }
+
+  // --- machine-readable record ----------------------------------------------
+  std::cout << "{\n"
+            << "  \"bench\": \"batch_sim\",\n"
+            << "  \"dataset\": \"" << data.name << "\",\n"
+            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"cells\": "
+            << stats.num_cells << ", \"dffs\": " << stats.num_dffs
+            << ", \"nets\": " << stats.num_nets
+            << ", \"classes\": " << q.num_classes
+            << ", \"cycles_per_inference\": " << circuit.cycles_per_inference
+            << "},\n"
+            << "  \"samples\": " << n << ",\n"
+            << "  \"scalar\": {\"seconds\": " << scalar_s
+            << ", \"samples_per_sec\": " << scalar_sps << "},\n"
+            << "  \"batch\": {\"seconds\": " << batch_s
+            << ", \"samples_per_sec\": " << batch_sps
+            << ", \"speedup_vs_scalar\": " << speedup << "},\n"
+            << "  \"thread_scaling\": [";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::cout << (i == 0 ? "" : ", ") << "{\"threads\": " << scaling[i].threads
+              << ", \"samples_per_sec\": " << scaling[i].sps
+              << ", \"speedup_vs_scalar\": " << scaling[i].sps / scalar_sps
+              << "}";
+  }
+  std::cout << "]\n}\n";
+
+  if (!single.ok() || scalar_matches != n) {
+    std::cerr << "bench_batch_sim: verification mismatches — failing\n";
+    return 1;
+  }
+  return speedup >= 10.0 ? 0 : 2;
+}

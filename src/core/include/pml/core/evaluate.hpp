@@ -2,7 +2,8 @@
 // Gate-level evaluation harness: the stand-in for the paper's Synopsys
 // DC + PrimeTime step.
 //
-//  1. *Verify*: simulate the circuit (zero-delay cycle simulator) on every
+//  1. *Verify*: simulate the circuit (64-way bit-parallel zero-delay batch
+//     simulator, sharded across threads — see core/verify.hpp) on every
 //     workload sample and require the predicted class to equal the integer
 //     software model's prediction — bit-exactness is a hard gate.
 //  2. *Time*: STA gives the critical path => clock frequency and latency.
@@ -15,16 +16,10 @@
 
 #include "pml/cells/library.hpp"
 #include "pml/core/hardware_report.hpp"
+#include "pml/core/verify.hpp"
 #include "pml/netlist/module.hpp"
 
 namespace pml::core {
-
-/// Feature codes (already quantized) and the reference prediction for each
-/// verification sample.
-struct CircuitWorkload {
-  std::vector<std::vector<std::int64_t>> feature_codes;
-  std::vector<int> expected_class;
-};
 
 struct EvaluateOptions {
   /// Samples replayed through the event simulator for power (the full
@@ -35,6 +30,9 @@ struct EvaluateOptions {
   /// Throw on any circuit-vs-model mismatch (always keep on; exposed for
   /// the failure-injection tests).
   bool require_bit_exact = true;
+  /// Batch-verification engine knobs (thread count etc.).  `levelization`
+  /// and `max_mismatches` are managed by evaluate_circuit itself.
+  VerifyOptions verify;
 };
 
 /// Evaluate `module` (inputs "x0".."x{m-1}", output "class") over the

@@ -1,35 +1,16 @@
 #include "pml/core/evaluate.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "pml/power/power.hpp"
-#include "pml/sim/cycle_sim.hpp"
 #include "pml/sim/event_sim.hpp"
+#include "pml/sim/levelize.hpp"
 #include "pml/sta/timing.hpp"
 
 namespace pml::core {
-
-namespace {
-
-/// Resolve the "x{j}" input ports once, in feature order.
-std::vector<const netlist::Port*> feature_ports(const netlist::Module& module,
-                                                std::size_t count) {
-  std::vector<const netlist::Port*> ports;
-  ports.reserve(count);
-  for (std::size_t j = 0; j < count; ++j) {
-    const netlist::Port* p = module.find_input("x" + std::to_string(j));
-    if (p == nullptr) {
-      throw std::invalid_argument("evaluate_circuit: missing port x" +
-                                  std::to_string(j));
-    }
-    ports.push_back(p);
-  }
-  return ports;
-}
-
-}  // namespace
 
 HardwareReport evaluate_circuit(const netlist::Module& module,
                                 int cycles_per_inference,
@@ -50,38 +31,29 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.num_dffs = stats.num_dffs;
   rep.cycles_per_inference = cycles_per_inference;
 
+  // One levelization per circuit, shared by the batch-verification workers
+  // and the event simulator below instead of re-derived per simulator.
+  const auto lv = sim::levelize_shared(module);
+
   // --- 1. functional verification (full workload, zero-delay) -------------
+  // Batched 64-way bit-parallel simulation sharded across threads; the
+  // scalar CycleSimulator remains available as the reference and for fault
+  // injection, but the hot verification gate runs on sim::BatchSimulator.
   const auto ports = feature_ports(module, workload.feature_codes[0].size());
-  const netlist::Port* class_port = module.find_output("class");
-  if (class_port == nullptr) {
-    throw std::invalid_argument("evaluate_circuit: missing 'class' output");
+  VerifyOptions vopts = options.verify;
+  vopts.levelization = lv;
+  if (options.require_bit_exact) vopts.max_mismatches = 1;  // fail fast
+  const VerifyResult vr =
+      verify_workload(module, cycles_per_inference, workload, vopts);
+  if (!vr.ok() && options.require_bit_exact) {
+    const VerifyMismatch& m = *vr.first;
+    throw std::runtime_error(
+        "evaluate_circuit: circuit/model mismatch on sample " +
+        std::to_string(m.sample) + ": circuit=" + std::to_string(m.predicted) +
+        " model=" + std::to_string(m.expected));
   }
-  sim::CycleSimulator csim(module);
-  std::size_t mismatches = 0;
-  for (std::size_t s = 0; s < workload.feature_codes.size(); ++s) {
-    const auto& codes = workload.feature_codes[s];
-    for (std::size_t j = 0; j < ports.size(); ++j) {
-      csim.set_port(*ports[j], static_cast<std::uint64_t>(codes[j]));
-    }
-    if (rep.num_dffs == 0) {
-      csim.propagate();
-    } else {
-      for (int c = 0; c < cycles_per_inference; ++c) csim.step();
-    }
-    const int predicted =
-        static_cast<int>(csim.port_unsigned(*class_port));
-    if (predicted != workload.expected_class[s]) {
-      ++mismatches;
-      if (options.require_bit_exact) {
-        throw std::runtime_error(
-            "evaluate_circuit: circuit/model mismatch on sample " +
-            std::to_string(s) + ": circuit=" + std::to_string(predicted) +
-            " model=" + std::to_string(workload.expected_class[s]));
-      }
-    }
-  }
-  rep.verified = (mismatches == 0);
-  rep.verified_samples = workload.feature_codes.size();
+  rep.verified = vr.ok();
+  rep.verified_samples = vr.samples;
 
   // --- 2. timing ------------------------------------------------------------
   const sta::TimingReport timing = sta::analyze(module, lib);
@@ -91,7 +63,7 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   // --- 3. power (event-driven subset replay) -------------------------------
   const std::size_t n_power =
       std::min(options.power_samples, workload.feature_codes.size());
-  sim::EventSimulator esim(module, lib, options.time_quantum_ms);
+  sim::EventSimulator esim(module, lib, options.time_quantum_ms, lv);
   // Warm up on the first sample so counters start from steady state.
   for (std::size_t j = 0; j < ports.size(); ++j) {
     esim.set_port(*ports[j],

@@ -1,0 +1,140 @@
+#include "pml/core/verify.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "pml/sim/batch_sim.hpp"
+
+namespace pml::core {
+
+std::vector<const netlist::Port*> feature_ports(const netlist::Module& module,
+                                                std::size_t count) {
+  std::vector<const netlist::Port*> ports;
+  ports.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    const netlist::Port* p = module.find_input("x" + std::to_string(j));
+    if (p == nullptr) {
+      throw std::invalid_argument("missing input port x" + std::to_string(j));
+    }
+    ports.push_back(p);
+  }
+  return ports;
+}
+
+VerifyResult verify_workload(const netlist::Module& module,
+                             int cycles_per_inference,
+                             const CircuitWorkload& workload,
+                             const VerifyOptions& options) {
+  if (workload.feature_codes.empty() ||
+      workload.feature_codes.size() != workload.expected_class.size()) {
+    throw std::invalid_argument("verify_workload: bad workload");
+  }
+  const std::size_t num_features = workload.feature_codes[0].size();
+  for (const auto& row : workload.feature_codes) {
+    if (row.size() != num_features) {
+      throw std::invalid_argument("verify_workload: ragged feature_codes");
+    }
+  }
+  const auto ports = feature_ports(module, num_features);
+  const netlist::Port* class_port = module.find_output("class");
+  if (class_port == nullptr) {
+    throw std::invalid_argument("verify_workload: missing 'class' output");
+  }
+  const std::shared_ptr<const sim::Levelization> lv =
+      options.levelization != nullptr ? options.levelization
+                                      : sim::levelize_shared(module);
+  const bool sequential = !lv->dffs.empty();
+
+  constexpr std::size_t kLanes = sim::BatchSimulator::kLanes;
+  const std::size_t num_samples = workload.feature_codes.size();
+  const std::size_t num_batches = (num_samples + kLanes - 1) / kLanes;
+  std::size_t num_threads =
+      options.num_threads != 0
+          ? options.num_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  num_threads = std::min(num_threads, num_batches);
+
+  VerifyResult result;
+  result.samples = num_samples;
+
+  std::atomic<std::size_t> next_batch{0};
+  std::atomic<std::size_t> mismatch_count{0};
+  std::mutex mu;  // guards result.first (mismatches are the rare path)
+
+  auto worker = [&]() {
+    sim::BatchSimulator bsim(module, lv);
+    std::uint64_t lane_values[kLanes];
+    for (;;) {
+      if (mismatch_count.load(std::memory_order_relaxed) >=
+          options.max_mismatches) {
+        return;
+      }
+      const std::size_t b =
+          next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_batches) return;
+      const std::size_t begin = b * kLanes;
+      const std::size_t count = std::min(kLanes, num_samples - begin);
+      bsim.set_active_lanes(count);
+      for (std::size_t j = 0; j < ports.size(); ++j) {
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          lane_values[lane] = static_cast<std::uint64_t>(
+              workload.feature_codes[begin + lane][j]);
+        }
+        bsim.set_port(*ports[j], lane_values, count);
+      }
+      if (sequential) {
+        for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
+      } else {
+        bsim.propagate();
+      }
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        const int predicted =
+            static_cast<int>(bsim.port_unsigned(*class_port, lane));
+        const std::size_t s = begin + lane;
+        if (predicted != workload.expected_class[s]) {
+          mismatch_count.fetch_add(1, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(mu);
+          if (!result.first.has_value() || s < result.first->sample) {
+            result.first =
+                VerifyMismatch{s, predicted, workload.expected_class[s]};
+          }
+        }
+      }
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads - 1);
+    std::exception_ptr error;
+    std::mutex error_mu;
+    auto guarded = [&]() {
+      try {
+        worker();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        // Drain the queue so siblings stop claiming batches.
+        next_batch.store(num_batches, std::memory_order_relaxed);
+      }
+    };
+    for (std::size_t t = 0; t + 1 < num_threads; ++t) {
+      pool.emplace_back(guarded);
+    }
+    guarded();
+    for (auto& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  result.mismatches = mismatch_count.load();
+  return result;
+}
+
+}  // namespace pml::core

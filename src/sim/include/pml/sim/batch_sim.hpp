@@ -1,0 +1,142 @@
+#pragma once
+// 64-way bit-parallel (SWAR) zero-delay batch simulator.
+//
+// Packs 64 independent workload samples into one std::uint64_t word per
+// net (bit L = lane L's logic value) and evaluates the levelized netlist
+// once per clock cycle for all 64 samples simultaneously: an AND2 becomes
+// one machine AND, a MUX2 three bit-ops.  Functional results are
+// bit-identical to CycleSimulator lane by lane — the equivalence suite in
+// tests/test_sim_batch.cpp proves it on generated sequential-SVM,
+// parallel-SVM, and MLP circuits.
+//
+// This is the engine behind core::verify_workload, which shards batches
+// across threads and replaces the scalar sample-at-a-time loop in
+// evaluate_circuit's bit-exactness gate.  CycleSimulator remains the
+// scalar reference and the fault-injection vehicle (forces are not
+// supported here: a stuck-at campaign perturbs one design many ways,
+// whereas batching exploits many samples through one unperturbed design).
+//
+// Toggle counts are accumulated per net as the *sum over active lanes* of
+// per-lane functional transitions (a popcount of the changed-bits word,
+// masked to the active lanes), so zero-delay activity statistics keep
+// working under batching and ragged (<64 sample) final batches never
+// pollute the counters.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/levelize.hpp"
+
+namespace pml::sim {
+
+class BatchSimulator {
+ public:
+  /// Lanes per batch: one sample per bit of the SWAR word.
+  static constexpr std::size_t kLanes = 64;
+
+  explicit BatchSimulator(const netlist::Module& module);
+  /// Reuse a previously derived levelization (verification workers across
+  /// threads share one instead of re-deriving it per simulator).
+  BatchSimulator(const netlist::Module& module,
+                 std::shared_ptr<const Levelization> lv);
+
+  /// Restore all DFFs (every lane) to their power-on values, zero all
+  /// nets, settle, and clear toggle/cycle counters.
+  void reset();
+
+  // --- lane control ---------------------------------------------------------
+  /// Declare lanes [0, count) active (1 <= count <= kLanes).  Inactive
+  /// lanes still simulate but are excluded from toggle counting; their
+  /// outputs are meaningless and must not be read.
+  void set_active_lanes(std::size_t count);
+  [[nodiscard]] std::size_t active_lanes() const { return active_lanes_; }
+  /// Bit L set iff lane L is active.
+  [[nodiscard]] std::uint64_t active_mask() const { return active_mask_; }
+
+  // --- stimulus -------------------------------------------------------------
+  /// Drive a primary-input net with a full 64-lane word.
+  void set_net(netlist::NetId net, std::uint64_t lanes);
+  /// Drive one lane of a primary-input net, leaving the others unchanged.
+  void set_net(netlist::NetId net, std::size_t lane, bool value);
+  /// Drive an input port: values[L] is lane L's port value (LSB first),
+  /// `count` <= kLanes.  Lanes >= count are driven to 0.
+  void set_port(const netlist::Port& port, const std::uint64_t* values,
+                std::size_t count);
+  void set_port(const std::string& name, const std::uint64_t* values,
+                std::size_t count);
+  /// Drive the same value into every lane of an input port.
+  void set_port_broadcast(const netlist::Port& port, std::uint64_t value);
+  void set_port_broadcast(const std::string& name, std::uint64_t value);
+
+  // --- evaluation -----------------------------------------------------------
+  /// Propagate combinational logic for all lanes (no clock edge).
+  void propagate();
+  /// Clock every DFF (capture D into Q, all lanes) and re-settle.  The
+  /// pre-clock combinational sweep is skipped when no input changed since
+  /// the last propagate — a levelized pass is a fixpoint, so re-running it
+  /// on unchanged inputs is an observably-identical no-op (zero toggles).
+  void step();
+
+  // --- observation ----------------------------------------------------------
+  /// All 64 lanes of a net.
+  [[nodiscard]] std::uint64_t net_lanes(netlist::NetId net) const {
+    return values_[net];
+  }
+  [[nodiscard]] bool net(netlist::NetId net, std::size_t lane) const {
+    return ((values_[net] >> lane) & 1u) != 0;
+  }
+  /// Read a port in one lane as an unsigned integer (LSB first).
+  [[nodiscard]] std::uint64_t port_unsigned(const netlist::Port& port,
+                                            std::size_t lane) const;
+  [[nodiscard]] std::uint64_t port_unsigned(const std::string& name,
+                                            std::size_t lane) const;
+  /// Read a port in one lane as a two's complement signed integer.
+  [[nodiscard]] std::int64_t port_signed(const netlist::Port& port,
+                                         std::size_t lane) const;
+  [[nodiscard]] std::int64_t port_signed(const std::string& name,
+                                         std::size_t lane) const;
+  /// Transpose a port across lanes: out[L] = port value in lane L for all
+  /// active lanes (out must hold active_lanes() entries).
+  void port_unsigned_all(const netlist::Port& port, std::uint64_t* out) const;
+
+  /// Cumulative zero-delay toggles per net since construction/reset,
+  /// summed over active lanes (equals the sum of CycleSimulator toggle
+  /// counts over the lanes' sample histories).
+  [[nodiscard]] const std::vector<std::uint64_t>& toggles() const {
+    return toggles_;
+  }
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+
+  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const Levelization& levelization() const { return *lv_; }
+
+ private:
+  /// Compact evaluation record: levelized cells with pin indirection
+  /// flattened out of netlist::Cell (better cache behaviour in the one
+  /// loop that dominates verification time).
+  struct Op {
+    netlist::CellType type;
+    netlist::NetId a, b, s, out;
+  };
+  struct DffOp {
+    netlist::NetId d, q;
+    std::uint64_t init;  ///< power-on value broadcast to all lanes
+  };
+
+  const netlist::Module& module_;
+  std::shared_ptr<const Levelization> lv_;
+  std::vector<Op> ops_;
+  std::vector<DffOp> dffs_;
+  std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
+  std::vector<std::uint64_t> dff_state_;  ///< captured D, per DFF
+  std::vector<std::uint64_t> toggles_;
+  std::uint64_t active_mask_ = ~std::uint64_t{0};
+  std::size_t active_lanes_ = kLanes;
+  std::uint64_t cycles_ = 0;
+  bool inputs_dirty_ = false;  ///< true if set_net/set_port since propagate
+};
+
+}  // namespace pml::sim

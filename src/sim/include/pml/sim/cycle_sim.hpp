@@ -8,6 +8,7 @@
 // sees glitches.)
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,9 @@ namespace pml::sim {
 class CycleSimulator {
  public:
   explicit CycleSimulator(const netlist::Module& module);
+  /// Reuse a previously derived levelization instead of re-deriving one.
+  CycleSimulator(const netlist::Module& module,
+                 std::shared_ptr<const Levelization> lv);
 
   /// Restore all DFFs to their power-on values and clear net values.
   void reset();
@@ -45,7 +49,7 @@ class CycleSimulator {
   [[nodiscard]] std::int64_t port_signed(const netlist::Port& port) const;
 
   [[nodiscard]] const netlist::Module& module() const { return module_; }
-  [[nodiscard]] const Levelization& levelization() const { return lv_; }
+  [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
   /// Cumulative zero-delay toggle count per net since construction/reset
   /// (functional transitions only; excludes glitches by definition).
@@ -70,7 +74,7 @@ class CycleSimulator {
 
  private:
   const netlist::Module& module_;
-  Levelization lv_;
+  std::shared_ptr<const Levelization> lv_;
   std::vector<std::uint8_t> values_;
   std::vector<std::uint8_t> dff_state_;
   std::vector<std::uint64_t> toggles_;

@@ -14,6 +14,7 @@
 // against each other in tests); only the transition counts differ.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,10 @@ class EventSimulator {
   /// the default resolves a NAND2 delay into ~19 ticks.
   EventSimulator(const netlist::Module& module, const cells::CellLibrary& lib,
                  double time_quantum_ms = 0.01);
+  /// Reuse a previously derived levelization instead of re-deriving one.
+  EventSimulator(const netlist::Module& module, const cells::CellLibrary& lib,
+                 double time_quantum_ms,
+                 std::shared_ptr<const Levelization> lv);
 
   /// Reset DFFs to power-on state, zero all nets, re-settle (no counting).
   void reset();
@@ -79,7 +84,7 @@ class EventSimulator {
   void full_settle_zero_delay();
 
   const netlist::Module& module_;
-  Levelization lv_;
+  std::shared_ptr<const Levelization> lv_;
   std::vector<int> delay_ticks_;  // per cell type
   std::vector<std::uint8_t> values_;
   std::vector<std::uint8_t> dff_state_;

@@ -5,6 +5,7 @@
 // (consistent initialization), and the timing analyzer (longest-path DP).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pml/netlist/module.hpp"
@@ -28,5 +29,11 @@ struct Levelization {
 /// Compute the levelization.  Throws std::runtime_error on combinational
 /// cycles (Module::validate reports them more descriptively).
 [[nodiscard]] Levelization levelize(const netlist::Module& module);
+
+/// Shared-ownership levelization, for passing one derivation to several
+/// simulators (e.g. the batch-verification workers of core::verify_workload
+/// and the event simulator of the same evaluate_circuit call).
+[[nodiscard]] std::shared_ptr<const Levelization> levelize_shared(
+    const netlist::Module& module);
 
 }  // namespace pml::sim

@@ -1,0 +1,230 @@
+#include "pml/sim/batch_sim.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pml::sim {
+
+using netlist::Cell;
+using netlist::CellType;
+using netlist::NetId;
+using netlist::Port;
+
+BatchSimulator::BatchSimulator(const netlist::Module& module)
+    : BatchSimulator(module, levelize_shared(module)) {}
+
+BatchSimulator::BatchSimulator(const netlist::Module& module,
+                               std::shared_ptr<const Levelization> lv)
+    : module_(module), lv_(std::move(lv)) {
+  if (lv_ == nullptr) {
+    throw std::invalid_argument("BatchSimulator: null levelization");
+  }
+  const auto& cells = module_.cells();
+  ops_.reserve(lv_->comb_order.size());
+  for (const std::uint32_t idx : lv_->comb_order) {
+    const Cell& c = cells[idx];
+    // Unused pins are remapped to the constant-0 net so every load in the
+    // hot loop is in bounds without per-op pin-count branching.
+    ops_.push_back(Op{c.type,
+                      c.in[0] == netlist::kInvalidNet ? netlist::kConst0
+                                                      : c.in[0],
+                      c.in[1] == netlist::kInvalidNet ? netlist::kConst0
+                                                      : c.in[1],
+                      c.in[2] == netlist::kInvalidNet ? netlist::kConst0
+                                                      : c.in[2],
+                      c.out});
+  }
+  dffs_.reserve(lv_->dffs.size());
+  for (const std::uint32_t idx : lv_->dffs) {
+    const Cell& c = cells[idx];
+    dffs_.push_back(
+        DffOp{c.in[0], c.out, c.dff_init ? ~std::uint64_t{0} : 0});
+  }
+  values_.assign(module_.num_nets(), 0);
+  toggles_.assign(module_.num_nets(), 0);
+  dff_state_.assign(dffs_.size(), 0);
+  reset();
+}
+
+void BatchSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  values_[netlist::kConst1] = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    dff_state_[i] = dffs_[i].init;
+    values_[dffs_[i].q] = dff_state_[i];
+  }
+  // Settle combinational logic so reads at time zero are consistent, then
+  // discard the settling transitions (matches CycleSimulator::reset).
+  propagate();
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycles_ = 0;
+}
+
+void BatchSimulator::set_active_lanes(std::size_t count) {
+  if (count == 0 || count > kLanes) {
+    throw std::out_of_range("set_active_lanes: count must be in [1, 64]");
+  }
+  active_lanes_ = count;
+  active_mask_ = count == kLanes ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << count) - 1;
+}
+
+void BatchSimulator::set_net(NetId net, std::uint64_t lanes) {
+  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
+  values_[net] = lanes;
+  inputs_dirty_ = true;
+}
+
+void BatchSimulator::set_net(NetId net, std::size_t lane, bool value) {
+  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
+  if (lane >= kLanes) throw std::out_of_range("set_net: bad lane");
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  values_[net] = value ? (values_[net] | bit) : (values_[net] & ~bit);
+  inputs_dirty_ = true;
+}
+
+void BatchSimulator::set_port(const Port& port, const std::uint64_t* values,
+                              std::size_t count) {
+  if (count > kLanes) throw std::out_of_range("set_port: count > 64 lanes");
+  // Transpose sample-major port values into bit-major lane words.
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      word |= ((values[lane] >> i) & 1u) << lane;
+    }
+    set_net(port.nets[i], word);
+  }
+}
+
+void BatchSimulator::set_port(const std::string& name,
+                              const std::uint64_t* values, std::size_t count) {
+  const Port* port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+  set_port(*port, values, count);
+}
+
+void BatchSimulator::set_port_broadcast(const Port& port, std::uint64_t value) {
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    set_net(port.nets[i], ((value >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0);
+  }
+}
+
+void BatchSimulator::set_port_broadcast(const std::string& name,
+                                        std::uint64_t value) {
+  const Port* port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+  set_port_broadcast(*port, value);
+}
+
+void BatchSimulator::propagate() {
+  const std::uint64_t* const v = values_.data();
+  for (const Op& op : ops_) {
+    const std::uint64_t a = v[op.a];
+    std::uint64_t out;
+    switch (op.type) {
+      case CellType::kInv:
+        out = ~a;
+        break;
+      case CellType::kBuf:
+        out = a;
+        break;
+      case CellType::kNand2:
+        out = ~(a & v[op.b]);
+        break;
+      case CellType::kNor2:
+        out = ~(a | v[op.b]);
+        break;
+      case CellType::kAnd2:
+        out = a & v[op.b];
+        break;
+      case CellType::kOr2:
+        out = a | v[op.b];
+        break;
+      case CellType::kXor2:
+        out = a ^ v[op.b];
+        break;
+      case CellType::kXnor2:
+        out = ~(a ^ v[op.b]);
+        break;
+      case CellType::kMux2: {
+        const std::uint64_t s = v[op.s];
+        out = (a & ~s) | (v[op.b] & s);
+        break;
+      }
+      default:
+        throw std::logic_error("BatchSimulator: sequential cell in comb order");
+    }
+    const std::uint64_t diff = (out ^ values_[op.out]) & active_mask_;
+    toggles_[op.out] += static_cast<std::uint64_t>(std::popcount(diff));
+    values_[op.out] = out;
+  }
+  inputs_dirty_ = false;
+}
+
+void BatchSimulator::step() {
+  // A levelized sweep is a fixpoint: if no input changed since the last
+  // propagate (e.g. cycles 2..n of an inference, where the features are
+  // held stable), the pre-clock sweep would recompute identical values and
+  // zero toggles — skip it.  This halves the combinational work of the
+  // verification hot loop.
+  if (inputs_dirty_) propagate();
+  // Two-phase clocking (sample all Ds, then update all Qs) so DFF chains
+  // shift correctly regardless of cell order — same as CycleSimulator.
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    dff_state_[i] = values_[dffs_[i].d];
+  }
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    const NetId q = dffs_[i].q;
+    const std::uint64_t diff = (dff_state_[i] ^ values_[q]) & active_mask_;
+    toggles_[q] += static_cast<std::uint64_t>(std::popcount(diff));
+    values_[q] = dff_state_[i];
+  }
+  ++cycles_;
+  propagate();
+}
+
+std::uint64_t BatchSimulator::port_unsigned(const Port& port,
+                                            std::size_t lane) const {
+  if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    v |= ((values_[port.nets[i]] >> lane) & 1u) << i;
+  }
+  return v;
+}
+
+std::uint64_t BatchSimulator::port_unsigned(const std::string& name,
+                                            std::size_t lane) const {
+  const Port* port = module_.find_output(name);
+  if (port == nullptr) port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no port: " + name);
+  return port_unsigned(*port, lane);
+}
+
+std::int64_t BatchSimulator::port_signed(const Port& port,
+                                         std::size_t lane) const {
+  const std::uint64_t raw = port_unsigned(port, lane);
+  const int bits = static_cast<int>(port.nets.size());
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  if (bits < 64 && (raw & sign)) {
+    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+std::int64_t BatchSimulator::port_signed(const std::string& name,
+                                         std::size_t lane) const {
+  const Port* port = module_.find_output(name);
+  if (port == nullptr) port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no port: " + name);
+  return port_signed(*port, lane);
+}
+
+void BatchSimulator::port_unsigned_all(const Port& port,
+                                       std::uint64_t* out) const {
+  for (std::size_t lane = 0; lane < active_lanes_; ++lane) {
+    out[lane] = port_unsigned(port, lane);
+  }
+}
+
+}  // namespace pml::sim

@@ -10,11 +10,18 @@ using netlist::NetId;
 using netlist::Port;
 
 CycleSimulator::CycleSimulator(const netlist::Module& module)
-    : module_(module), lv_(levelize(module)) {
+    : CycleSimulator(module, levelize_shared(module)) {}
+
+CycleSimulator::CycleSimulator(const netlist::Module& module,
+                               std::shared_ptr<const Levelization> lv)
+    : module_(module), lv_(std::move(lv)) {
+  if (lv_ == nullptr) {
+    throw std::invalid_argument("CycleSimulator: null levelization");
+  }
   values_.assign(module.num_nets(), 0);
   toggles_.assign(module.num_nets(), 0);
   forces_.assign(module.num_nets(), 0);
-  dff_state_.assign(lv_.dffs.size(), 0);
+  dff_state_.assign(lv_->dffs.size(), 0);
   reset();
 }
 
@@ -22,8 +29,8 @@ void CycleSimulator::reset() {
   std::fill(values_.begin(), values_.end(), 0);
   values_[netlist::kConst1] = 1;
   const auto& cells = module_.cells();
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    const Cell& c = cells[lv_.dffs[i]];
+  for (std::size_t i = 0; i < lv_->dffs.size(); ++i) {
+    const Cell& c = cells[lv_->dffs[i]];
     dff_state_[i] = c.dff_init ? 1 : 0;
     values_[c.out] = dff_state_[i];
   }
@@ -59,7 +66,7 @@ void CycleSimulator::propagate() {
       if (forces_[n] != 0) values_[n] = forces_[n] == 2 ? 1 : 0;
     }
   }
-  for (const std::uint32_t idx : lv_.comb_order) {
+  for (const std::uint32_t idx : lv_->comb_order) {
     const Cell& c = cells[idx];
     const bool a = values_[c.in[0]] != 0;
     const bool b = c.in[1] != netlist::kInvalidNet && values_[c.in[1]] != 0;
@@ -100,11 +107,11 @@ void CycleSimulator::step() {
   const auto& cells = module_.cells();
   // Two-phase clocking: sample every D first, then update every Q, so DFF
   // chains shift correctly regardless of order.
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    dff_state_[i] = values_[cells[lv_.dffs[i]].in[0]];
+  for (std::size_t i = 0; i < lv_->dffs.size(); ++i) {
+    dff_state_[i] = values_[cells[lv_->dffs[i]].in[0]];
   }
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    const NetId q = cells[lv_.dffs[i]].out;
+  for (std::size_t i = 0; i < lv_->dffs.size(); ++i) {
+    const NetId q = cells[lv_->dffs[i]].out;
     if (values_[q] != dff_state_[i]) {
       values_[q] = dff_state_[i];
       ++toggles_[q];

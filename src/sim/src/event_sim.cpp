@@ -14,7 +14,16 @@ using netlist::Port;
 EventSimulator::EventSimulator(const netlist::Module& module,
                                const cells::CellLibrary& lib,
                                double time_quantum_ms)
-    : module_(module), lv_(levelize(module)) {
+    : EventSimulator(module, lib, time_quantum_ms, levelize_shared(module)) {}
+
+EventSimulator::EventSimulator(const netlist::Module& module,
+                               const cells::CellLibrary& lib,
+                               double time_quantum_ms,
+                               std::shared_ptr<const Levelization> lv)
+    : module_(module), lv_(std::move(lv)) {
+  if (lv_ == nullptr) {
+    throw std::invalid_argument("EventSimulator: null levelization");
+  }
   if (time_quantum_ms <= 0) {
     throw std::invalid_argument("time quantum must be positive");
   }
@@ -24,7 +33,7 @@ EventSimulator::EventSimulator(const netlist::Module& module,
     delay_ticks_[t] = std::max(1, static_cast<int>(std::lround(d / time_quantum_ms)));
   }
   values_.assign(module.num_nets(), 0);
-  dff_state_.assign(lv_.dffs.size(), 0);
+  dff_state_.assign(lv_->dffs.size(), 0);
   cell_epoch_.assign(module.cells().size(), 0);
   activity_.net_toggles.assign(module.num_nets(), 0);
   reset();
@@ -34,8 +43,8 @@ void EventSimulator::reset() {
   std::fill(values_.begin(), values_.end(), 0);
   values_[netlist::kConst1] = 1;
   const auto& cells = module_.cells();
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    const Cell& c = cells[lv_.dffs[i]];
+  for (std::size_t i = 0; i < lv_->dffs.size(); ++i) {
+    const Cell& c = cells[lv_->dffs[i]];
     dff_state_[i] = c.dff_init ? 1 : 0;
     values_[c.out] = dff_state_[i];
   }
@@ -54,7 +63,7 @@ void EventSimulator::clear_activity() {
 void EventSimulator::full_settle_zero_delay() {
   // Levelized consistent assignment used for initialization only.
   const auto& cells = module_.cells();
-  for (const std::uint32_t idx : lv_.comb_order) {
+  for (const std::uint32_t idx : lv_->comb_order) {
     const Cell& c = cells[idx];
     const bool a = values_[c.in[0]] != 0;
     const bool b = c.in[1] != netlist::kInvalidNet && values_[c.in[1]] != 0;
@@ -102,7 +111,7 @@ void EventSimulator::run_events(bool count) {
       if (values_[ev.net] == ev.value) continue;
       values_[ev.net] = ev.value;
       if (count) ++activity_.net_toggles[ev.net];
-      for (const std::uint32_t ci : lv_.fanout[ev.net]) {
+      for (const std::uint32_t ci : lv_->fanout[ev.net]) {
         if (cells[ci].type == CellType::kDff) continue;
         if (cell_epoch_[ci] != epoch_) {
           cell_epoch_[ci] = epoch_;
@@ -137,17 +146,17 @@ void EventSimulator::step() {
   settle();
   const auto& cells = module_.cells();
   const int dff_delay = delay_ticks_[static_cast<int>(CellType::kDff)];
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    dff_state_[i] = values_[cells[lv_.dffs[i]].in[0]];
+  for (std::size_t i = 0; i < lv_->dffs.size(); ++i) {
+    dff_state_[i] = values_[cells[lv_->dffs[i]].in[0]];
   }
-  for (std::size_t i = 0; i < lv_.dffs.size(); ++i) {
-    const Cell& c = cells[lv_.dffs[i]];
+  for (std::size_t i = 0; i < lv_->dffs.size(); ++i) {
+    const Cell& c = cells[lv_->dffs[i]];
     if (values_[c.out] != dff_state_[i]) {
       heap_.push_back(Event{dff_delay, c.out, dff_state_[i]});
       std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
     }
   }
-  activity_.dff_clock_events += lv_.dffs.size();
+  activity_.dff_clock_events += lv_->dffs.size();
   ++activity_.cycles;
   run_events(/*count=*/true);
 }

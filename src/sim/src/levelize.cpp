@@ -76,4 +76,9 @@ Levelization levelize(const netlist::Module& module) {
   return lv;
 }
 
+std::shared_ptr<const Levelization> levelize_shared(
+    const netlist::Module& module) {
+  return std::make_shared<const Levelization>(levelize(module));
+}
+
 }  // namespace pml::sim
