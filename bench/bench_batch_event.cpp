@@ -1,0 +1,191 @@
+// Glitch-counting (power-replay) throughput benchmark: scalar
+// delay-accurate EventSimulator vs the 64-way bit-parallel
+// BatchEventSimulator (core::collect_activity) on a sequential-SVM
+// workload, plus thread-scaling of the sharded driver.
+//
+// Emits a machine-readable JSON object on stdout (same shape as
+// bench_batch_sim) so scripts/check_perf.py can gate CI on regressions;
+// the human-readable summary goes to stderr.
+//
+// Usage: bench_batch_event [--quick]
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/core/activity.hpp"
+#include "pml/core/flow.hpp"
+#include "pml/ml/multiclass.hpp"
+#include "pml/quant/svm_quant.hpp"
+#include "pml/sim/event_sim.hpp"
+#include "pml/sim/levelize.hpp"
+
+using namespace pml;
+
+namespace {
+
+constexpr double kQuantumMs = 0.02;
+constexpr std::size_t kChunk = 16;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Scalar reference loop: exactly what evaluate_circuit's power step did
+/// before the batch-event subsystem (warm-up on the first sample, then a
+/// single free-running sample-at-a-time replay).
+sim::ActivityStats run_scalar(const netlist::Module& module,
+                              const cells::CellLibrary& lib, int cycles,
+                              const core::CircuitWorkload& wl, std::size_t n,
+                              const std::vector<const netlist::Port*>& ports) {
+  sim::EventSimulator esim(module, lib, kQuantumMs);
+  const auto apply = [&](std::size_t s) {
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      esim.set_port(*ports[j],
+                    static_cast<std::uint64_t>(wl.feature_codes[s][j]));
+    }
+    for (int c = 0; c < cycles; ++c) esim.step();
+  };
+  apply(0);
+  esim.clear_activity();
+  for (std::size_t s = 0; s < n; ++s) apply(s);
+  return esim.activity();
+}
+
+std::uint64_t total_toggles(const sim::ActivityStats& a) {
+  std::uint64_t t = 0;
+  for (const auto v : a.net_toggles) t += v;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = benchutil::quick_mode(argc, argv);
+
+  // Train/quantize one OvR model and build the paper's sequential circuit
+  // (same setup as bench_batch_sim).
+  const auto data = benchutil::prepare(ml::UciProfile::kCardio);
+  ml::MulticlassTrainOptions topts;
+  topts.base.seed = 7;
+  const auto model = ml::train_one_vs_rest(data.train, topts);
+  const auto q = quant::quantize_svm(model, /*input_bits=*/4,
+                                     /*weight_bits=*/5);
+  auto circuit = arch::build_sequential_svm(q);
+  const auto stats = circuit.module.stats();
+  const auto lib = cells::CellLibrary::egfet();
+
+  // Tile the test set so every 64-lane batch is full and timings are
+  // stable; the scalar oracle replays a subset to keep runtime sane.
+  const core::CircuitWorkload base = core::make_svm_workload(q, data.test);
+  core::CircuitWorkload wl;
+  const std::size_t target = quick ? 2048 : 8192;
+  while (wl.feature_codes.size() < target) {
+    wl.feature_codes.insert(wl.feature_codes.end(), base.feature_codes.begin(),
+                            base.feature_codes.end());
+    wl.expected_class.insert(wl.expected_class.end(),
+                             base.expected_class.begin(),
+                             base.expected_class.end());
+  }
+  const std::size_t n = wl.feature_codes.size();
+  const std::size_t n_scalar = std::min<std::size_t>(n, quick ? 256 : 1024);
+
+  std::vector<const netlist::Port*> ports =
+      core::feature_ports(circuit.module, wl.feature_codes[0].size());
+
+  std::cerr << "bench_batch_event: " << data.name << ", " << stats.num_cells
+            << " cells, " << q.num_classes << " classes ("
+            << circuit.cycles_per_inference << " cycles/inference), " << n
+            << " samples (" << n_scalar << " scalar)\n";
+
+  // --- scalar reference ------------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  const sim::ActivityStats scalar_stats =
+      run_scalar(circuit.module, lib, circuit.cycles_per_inference, wl,
+                 n_scalar, ports);
+  const double scalar_s = seconds_since(t0);
+  const double scalar_sps = static_cast<double>(n_scalar) / scalar_s;
+  std::cerr << "  scalar:        " << static_cast<long>(scalar_sps)
+            << " samples/s (" << total_toggles(scalar_stats)
+            << " toggles on " << n_scalar << " samples)\n";
+
+  // --- batch event, single thread --------------------------------------------
+  core::ActivityOptions aopts;
+  aopts.num_threads = 1;
+  aopts.chunk_samples = kChunk;
+  aopts.time_quantum_ms = kQuantumMs;
+  aopts.levelization = sim::levelize_shared(circuit.module);
+  t0 = std::chrono::steady_clock::now();
+  const sim::ActivityStats batch_stats = core::collect_activity(
+      circuit.module, lib, circuit.cycles_per_inference, wl, n, aopts);
+  const double batch_s = seconds_since(t0);
+  const double batch_sps = static_cast<double>(n) / batch_s;
+  const double speedup = batch_sps / scalar_sps;
+  std::cerr << "  batch (1 thr): " << static_cast<long>(batch_sps)
+            << " samples/s  -> " << speedup << "x vs scalar ("
+            << total_toggles(batch_stats) << " toggles on " << n
+            << " samples)\n";
+
+  // --- thread scaling --------------------------------------------------------
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+  struct ThreadPoint {
+    std::size_t threads;
+    double sps;
+  };
+  std::vector<ThreadPoint> scaling;
+  for (const std::size_t t : thread_counts) {
+    aopts.num_threads = t;
+    t0 = std::chrono::steady_clock::now();
+    const auto r = core::collect_activity(
+        circuit.module, lib, circuit.cycles_per_inference, wl, n, aopts);
+    const double sps = static_cast<double>(n) / seconds_since(t0);
+    scaling.push_back({t, sps});
+    std::cerr << "  batch (" << t << " thr): " << static_cast<long>(sps)
+              << " samples/s"
+              << (total_toggles(r) == total_toggles(batch_stats)
+                      ? ""
+                      : "  [COUNTS DIVERGED!]")
+              << "\n";
+  }
+
+  // --- machine-readable record ----------------------------------------------
+  std::cout << "{\n"
+            << "  \"bench\": \"batch_event\",\n"
+            << "  \"dataset\": \"" << data.name << "\",\n"
+            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"cells\": "
+            << stats.num_cells << ", \"dffs\": " << stats.num_dffs
+            << ", \"nets\": " << stats.num_nets
+            << ", \"classes\": " << q.num_classes
+            << ", \"cycles_per_inference\": " << circuit.cycles_per_inference
+            << "},\n"
+            << "  \"samples\": " << n << ",\n"
+            << "  \"scalar\": {\"seconds\": " << scalar_s
+            << ", \"samples\": " << n_scalar
+            << ", \"samples_per_sec\": " << scalar_sps << "},\n"
+            << "  \"batch\": {\"seconds\": " << batch_s
+            << ", \"samples_per_sec\": " << batch_sps
+            << ", \"speedup_vs_scalar\": " << speedup << "},\n"
+            << "  \"thread_scaling\": [";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::cout << (i == 0 ? "" : ", ") << "{\"threads\": " << scaling[i].threads
+              << ", \"samples_per_sec\": " << scaling[i].sps
+              << ", \"speedup_vs_scalar\": " << scaling[i].sps / scalar_sps
+              << "}";
+  }
+  std::cout << "]\n}\n";
+
+  if (total_toggles(batch_stats) == 0) {
+    std::cerr << "bench_batch_event: no activity counted — failing\n";
+    return 1;
+  }
+  return speedup >= 10.0 ? 0 : 2;
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the benchmark JSON records.
+
+Usage:
+    check_perf.py CURRENT BASELINE [CURRENT BASELINE ...]
+
+Each CURRENT is a JSON record emitted by a bench binary (e.g.
+`bench_batch_sim --quick > batch_sim_perf.json`); each BASELINE is the
+committed reference under bench/baselines/.  A baseline declares which
+dotted metric paths are gated and the relative tolerance:
+
+    {"bench": "batch_sim",
+     "gate": {"tolerance": 0.25,
+              "metrics": {"batch.speedup_vs_scalar": 110.0}},
+     "info": {"scalar.samples_per_sec": 4834.9}}
+
+The job fails when any gated metric of the current record drops more than
+`tolerance` below its baseline value.  Gated metrics are normalized
+ratios (speedup vs the in-process scalar reference), so the check is
+robust to absolute machine speed; `info` entries are absolute numbers
+from the baseline's recorded run, printed for context but never gated.
+
+To refresh a baseline after an intentional perf change, follow the
+`refresh` note inside the baseline file (re-run the bench on a quiet
+machine and update gate.metrics / info).
+
+Prints a compact old-vs-new table and exits 1 on any regression or
+malformed record, 0 otherwise.  Stdlib only.
+"""
+
+import json
+import sys
+
+
+def lookup(record, dotted):
+    """Resolve 'a.b.c' in nested dicts; None when absent."""
+    node = record
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_pair(current_path, baseline_path, rows):
+    with open(current_path) as f:
+        current = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    bench = baseline.get("bench", "?")
+    if current.get("bench") != bench:
+        rows.append((bench, "bench-name", "-", str(current.get("bench")), "-",
+                     "MISMATCH"))
+        return False
+
+    ok = True
+    gate = baseline.get("gate", {})
+    tolerance = float(gate.get("tolerance", 0.25))
+    for metric, base_value in sorted(gate.get("metrics", {}).items()):
+        cur_value = lookup(current, metric)
+        if cur_value is None:
+            rows.append((bench, metric, f"{base_value:.6g}", "missing", "-",
+                         "MISSING"))
+            ok = False
+            continue
+        ratio = cur_value / base_value if base_value else float("inf")
+        regressed = cur_value < base_value * (1.0 - tolerance)
+        rows.append((bench, metric, f"{base_value:.6g}", f"{cur_value:.6g}",
+                     f"{ratio:.2f}x",
+                     "REGRESSION" if regressed else "ok"))
+        if regressed:
+            ok = False
+    for metric, base_value in sorted(baseline.get("info", {}).items()):
+        cur_value = lookup(current, metric)
+        shown = f"{cur_value:.6g}" if cur_value is not None else "missing"
+        ratio = (f"{cur_value / base_value:.2f}x"
+                 if cur_value is not None and base_value else "-")
+        rows.append((bench, metric, f"{base_value:.6g}", shown, ratio, "info"))
+    return ok
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 == 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rows = []
+    ok = True
+    for i in range(1, len(argv), 2):
+        try:
+            ok &= check_pair(argv[i], argv[i + 1], rows)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_perf: cannot read {argv[i]} / {argv[i + 1]}: {e}",
+                  file=sys.stderr)
+            return 1
+
+    header = ("bench", "metric", "baseline", "current", "ratio", "status")
+    widths = [max(len(str(row[c])) for row in rows + [header])
+              for c in range(len(header))]
+    for row in [header] + rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)).rstrip())
+    if not ok:
+        print("\ncheck_perf: PERF REGRESSION (see rows marked REGRESSION; "
+              "tolerance is relative to the committed baseline)",
+              file=sys.stderr)
+        return 1
+    print("\ncheck_perf: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,65 @@
+#pragma once
+// Batched, multi-threaded glitch-activity collection — the engine behind
+// evaluate_circuit's power step (flow step 7).
+//
+// The power-replay samples are cut into contiguous chunks of
+// `chunk_samples`; each chunk becomes one lane-stream of a 64-way
+// sim::BatchEventSimulator, and batches of 64 chunks are sharded across
+// std::thread workers (each worker owns one simulator; all workers share
+// one Levelization — the same pattern as core::verify_workload).  Each
+// batch warms up every lane on its chunk's first sample, clears the
+// counters, then replays the chunks round by round; a lane whose chunk is
+// exhausted (only possible for the workload's ragged final chunk) holds
+// its inputs and is masked out of counting, so the merged ActivityStats
+// are *bit-exact* against the scalar reference protocol:
+//
+//   for each chunk, independently: reset a scalar EventSimulator, apply
+//   the chunk's first sample and settle/clock cycles_per_inference times
+//   (warm-up, not counted), then replay every sample of the chunk in
+//   order, counting; sum the per-chunk ActivityStats.
+//
+// Chunking is deterministic in the sample count alone, so the merged
+// counts never depend on the worker/thread configuration.
+
+#include <cstddef>
+#include <memory>
+
+#include "pml/cells/library.hpp"
+#include "pml/core/verify.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sim/event_sim.hpp"
+#include "pml/sim/levelize.hpp"
+
+namespace pml::core {
+
+struct ActivityOptions {
+  /// Worker threads; 0 = one per hardware thread (clamped to the batch
+  /// count, so small workloads never spawn idle threads).
+  std::size_t num_threads = 0;
+  /// Contiguous samples per lane-stream.  Larger chunks amortize the
+  /// warm-up round over more counted samples but expose less lane
+  /// parallelism for a given sample count (utilization needs
+  /// >= 64 x chunk_samples samples per batch).
+  std::size_t chunk_samples = 16;
+  /// Event-simulator tick (ms); must match the scalar reference for
+  /// bit-exact equivalence.
+  double time_quantum_ms = 0.02;
+  /// Optional pre-derived levelization shared with the caller's other
+  /// analyses; nullptr derives one internally.
+  std::shared_ptr<const sim::Levelization> levelization;
+};
+
+/// Replay the first `num_samples` workload samples (clamped to the
+/// workload size) through sharded 64-way batch-event workers and return
+/// the merged delay-accurate ActivityStats — per-net transition counts
+/// including glitches, DFF clock events, and counted cycles — ready for
+/// power::estimate.  `cycles_per_inference` clock cycles per sample for
+/// sequential circuits; purely combinational circuits are settled once
+/// per sample.  Throws std::invalid_argument on an empty or lopsided
+/// workload, zero samples, or missing ports.
+[[nodiscard]] sim::ActivityStats collect_activity(
+    const netlist::Module& module, const cells::CellLibrary& lib,
+    int cycles_per_inference, const CircuitWorkload& workload,
+    std::size_t num_samples, const ActivityOptions& options = {});
+
+}  // namespace pml::core

@@ -7,9 +7,11 @@
 //     workload sample and require the predicted class to equal the integer
 //     software model's prediction — bit-exactness is a hard gate.
 //  2. *Time*: STA gives the critical path => clock frequency and latency.
-//  3. *Power*: the event-driven simulator replays a sample subset with
-//     real gate delays, counting every transition (including glitches);
-//     the power model converts counts to dynamic power and adds static.
+//  3. *Power*: a sample subset is replayed with real gate delays through
+//     sharded 64-way bit-parallel batch-event workers (see
+//     core/activity.hpp), counting every transition (including glitches);
+//     the power model converts the merged counts to dynamic power and
+//     adds static.
 
 #include <cstdint>
 #include <vector>
@@ -22,16 +24,24 @@
 namespace pml::core {
 
 struct EvaluateOptions {
-  /// Samples replayed through the event simulator for power (the full
-  /// workload is always used for functional verification).
+  /// Samples replayed through the batch-event simulator for power (the
+  /// full workload is always used for functional verification).
   std::size_t power_samples = 120;
+  /// Worker threads for the power replay; 0 = one per hardware thread.
+  std::size_t power_threads = 0;
+  /// Contiguous samples per batch-event lane-stream (see
+  /// ActivityOptions::chunk_samples).  The merged activity is
+  /// deterministic in this value and the sample count alone — never in
+  /// the thread configuration.
+  std::size_t power_chunk_samples = 16;
   /// Event-simulator tick (ms); smaller = finer glitch resolution.
   double time_quantum_ms = 0.02;
   /// Throw on any circuit-vs-model mismatch (always keep on; exposed for
   /// the failure-injection tests).
   bool require_bit_exact = true;
   /// Batch-verification engine knobs (thread count etc.).  `levelization`
-  /// and `max_mismatches` are managed by evaluate_circuit itself.
+  /// is managed by evaluate_circuit itself; `max_mismatches` is honored
+  /// when set, and defaults to fail-fast under require_bit_exact.
   VerifyOptions verify;
 };
 

@@ -32,6 +32,10 @@ struct HardwareReport {
   /// model on every verification sample (the flow requires this).
   bool verified = false;
   std::size_t verified_samples = 0;
+  /// Mismatches recorded before the verify.max_mismatches cut-off (an
+  /// exact total when the cap was never hit); only reachable when
+  /// require_bit_exact is off, since a mismatch otherwise throws.
+  std::size_t verified_mismatches = 0;
 };
 
 }  // namespace pml::core

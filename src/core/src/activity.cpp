@@ -1,0 +1,165 @@
+#include "pml/core/activity.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pml/sim/batch_event_sim.hpp"
+
+namespace pml::core {
+
+namespace {
+
+constexpr std::size_t kLanes = sim::BatchEventSimulator::kLanes;
+
+/// One worker's claim: replay batch `b` (chunks [b*kLanes, ...)) through
+/// its own BatchEventSimulator and merge the counts into `local`.
+void run_batch(sim::BatchEventSimulator& bsim, std::size_t batch,
+               std::size_t num_chunks, std::size_t chunk_samples,
+               std::size_t num_samples, bool sequential,
+               int cycles_per_inference,
+               const std::vector<std::vector<std::int64_t>>& samples,
+               const std::vector<const netlist::Port*>& ports,
+               sim::ActivityStats& local) {
+  const std::size_t chunk_begin = batch * kLanes;
+  const std::size_t lanes = std::min(kLanes, num_chunks - chunk_begin);
+  std::uint64_t lane_values[kLanes];
+
+  // Sample index for chunk-lane L at round r, clamped to the chunk's last
+  // sample once the (ragged final) chunk is exhausted: holding the inputs
+  // produces no events in that lane, and the count mask excludes it.
+  const auto sample_at = [&](std::size_t lane, std::size_t r) {
+    const std::size_t begin = (chunk_begin + lane) * chunk_samples;
+    const std::size_t len =
+        std::min(chunk_samples, num_samples - begin);  // >= 1
+    return begin + std::min(r, len - 1);
+  };
+  const auto lane_len = [&](std::size_t lane) {
+    return std::min(chunk_samples,
+                    num_samples - (chunk_begin + lane) * chunk_samples);
+  };
+
+  const auto apply_round = [&](std::size_t r) {
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        lane_values[lane] =
+            static_cast<std::uint64_t>(samples[sample_at(lane, r)][j]);
+      }
+      bsim.set_port(*ports[j], lane_values, lanes);
+    }
+    if (sequential) {
+      for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
+    } else {
+      bsim.settle();
+    }
+  };
+
+  bsim.reset();
+  // Warm-up round on each chunk's first sample, then discard the counts
+  // so every lane starts from its steady state (the scalar protocol).
+  bsim.set_count_mask(lanes == kLanes ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << lanes) - 1);
+  apply_round(0);
+  bsim.clear_activity();
+
+  // Replay rounds; chunk 0 of the batch is always the longest.
+  const std::size_t rounds = lane_len(0);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::uint64_t mask = 0;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (r < lane_len(lane)) mask |= std::uint64_t{1} << lane;
+    }
+    bsim.set_count_mask(mask);
+    apply_round(r);
+  }
+  local.accumulate(bsim.activity());
+}
+
+}  // namespace
+
+sim::ActivityStats collect_activity(const netlist::Module& module,
+                                    const cells::CellLibrary& lib,
+                                    int cycles_per_inference,
+                                    const CircuitWorkload& workload,
+                                    std::size_t num_samples,
+                                    const ActivityOptions& options) {
+  if (workload.feature_codes.empty()) {
+    throw std::invalid_argument("collect_activity: empty workload");
+  }
+  const std::size_t num_features = workload.feature_codes[0].size();
+  for (const auto& row : workload.feature_codes) {
+    if (row.size() != num_features) {
+      throw std::invalid_argument("collect_activity: ragged feature_codes");
+    }
+  }
+  const std::size_t n = std::min(num_samples, workload.feature_codes.size());
+  if (n == 0) {
+    throw std::invalid_argument("collect_activity: zero samples");
+  }
+  const auto ports = feature_ports(module, num_features);
+  const std::shared_ptr<const sim::Levelization> lv =
+      options.levelization != nullptr ? options.levelization
+                                      : sim::levelize_shared(module);
+  const bool sequential = !lv->dffs.empty();
+
+  const std::size_t chunk = std::max<std::size_t>(1, options.chunk_samples);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  const std::size_t num_batches = (num_chunks + kLanes - 1) / kLanes;
+  std::size_t num_threads =
+      options.num_threads != 0
+          ? options.num_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  num_threads = std::min(num_threads, num_batches);
+
+  std::atomic<std::size_t> next_batch{0};
+  // One stats slot per worker; summed after the join.  Addition of
+  // integer counts is commutative, so the total is independent of which
+  // worker claims which batch.
+  std::vector<sim::ActivityStats> partials(num_threads);
+
+  auto worker = [&](sim::ActivityStats& local) {
+    sim::BatchEventSimulator bsim(module, lib, options.time_quantum_ms, lv);
+    for (;;) {
+      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_batches) return;
+      run_batch(bsim, b, num_chunks, chunk, n, sequential,
+                cycles_per_inference, workload.feature_codes, ports, local);
+    }
+  };
+
+  if (num_threads <= 1) {
+    worker(partials[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads - 1);
+    std::exception_ptr error;
+    std::mutex error_mu;
+    auto guarded = [&](std::size_t slot) {
+      try {
+        worker(partials[slot]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        // Drain the queue so siblings stop claiming batches.
+        next_batch.store(num_batches, std::memory_order_relaxed);
+      }
+    };
+    for (std::size_t t = 1; t < num_threads; ++t) {
+      pool.emplace_back(guarded, t);
+    }
+    guarded(0);
+    for (auto& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  sim::ActivityStats merged;
+  merged.net_toggles.assign(module.num_nets(), 0);
+  for (const auto& p : partials) merged.accumulate(p);
+  return merged;
+}
+
+}  // namespace pml::core

@@ -1,12 +1,13 @@
 #include "pml/core/evaluate.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "pml/core/activity.hpp"
 #include "pml/power/power.hpp"
-#include "pml/sim/event_sim.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/sta/timing.hpp"
 
@@ -39,10 +40,14 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   // Batched 64-way bit-parallel simulation sharded across threads; the
   // scalar CycleSimulator remains available as the reference and for fault
   // injection, but the hot verification gate runs on sim::BatchSimulator.
-  const auto ports = feature_ports(module, workload.feature_codes[0].size());
   VerifyOptions vopts = options.verify;
   vopts.levelization = lv;
-  if (options.require_bit_exact) vopts.max_mismatches = 1;  // fail fast
+  // Fail fast only when the caller left max_mismatches at its default; a
+  // caller-tuned cap (e.g. "count up to 100 mismatches") is honored.
+  if (options.require_bit_exact &&
+      vopts.max_mismatches == std::numeric_limits<std::size_t>::max()) {
+    vopts.max_mismatches = 1;
+  }
   const VerifyResult vr =
       verify_workload(module, cycles_per_inference, workload, vopts);
   if (!vr.ok() && options.require_bit_exact) {
@@ -50,46 +55,36 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
     throw std::runtime_error(
         "evaluate_circuit: circuit/model mismatch on sample " +
         std::to_string(m.sample) + ": circuit=" + std::to_string(m.predicted) +
-        " model=" + std::to_string(m.expected));
+        " model=" + std::to_string(m.expected) + " (" +
+        std::to_string(vr.mismatches) + " mismatch(es) recorded in " +
+        std::to_string(vr.samples) + " samples)");
   }
   rep.verified = vr.ok();
   rep.verified_samples = vr.samples;
+  rep.verified_mismatches = vr.mismatches;
 
   // --- 2. timing ------------------------------------------------------------
   const sta::TimingReport timing = sta::analyze(module, lib);
   rep.logic_depth = timing.logic_depth;
   const double period_ms = timing.critical_path_ms;
 
-  // --- 3. power (event-driven subset replay) -------------------------------
+  // --- 3. power (batched event-driven subset replay) -----------------------
+  // Sharded 64-way bit-parallel delay-accurate simulation; the scalar
+  // EventSimulator remains the reference oracle (the equivalence suite in
+  // tests/test_sim_batch_event.cpp proves the merged counts bit-exact).
   const std::size_t n_power =
       std::min(options.power_samples, workload.feature_codes.size());
-  sim::EventSimulator esim(module, lib, options.time_quantum_ms, lv);
-  // Warm up on the first sample so counters start from steady state.
-  for (std::size_t j = 0; j < ports.size(); ++j) {
-    esim.set_port(*ports[j],
-                  static_cast<std::uint64_t>(workload.feature_codes[0][j]));
-  }
-  if (rep.num_dffs == 0) {
-    esim.settle();
-  } else {
-    for (int c = 0; c < cycles_per_inference; ++c) esim.step();
-  }
-  esim.clear_activity();
-  for (std::size_t s = 0; s < n_power; ++s) {
-    const auto& codes = workload.feature_codes[s];
-    for (std::size_t j = 0; j < ports.size(); ++j) {
-      esim.set_port(*ports[j], static_cast<std::uint64_t>(codes[j]));
-    }
-    if (rep.num_dffs == 0) {
-      esim.settle();
-    } else {
-      for (int c = 0; c < cycles_per_inference; ++c) esim.step();
-    }
-  }
+  ActivityOptions aopts;
+  aopts.num_threads = options.power_threads;
+  aopts.chunk_samples = options.power_chunk_samples;
+  aopts.time_quantum_ms = options.time_quantum_ms;
+  aopts.levelization = lv;
+  const sim::ActivityStats activity = collect_activity(
+      module, lib, cycles_per_inference, workload, n_power, aopts);
   const power::PowerReport pr =
-      power::estimate(module, lib, esim.activity(), n_power,
+      power::estimate(module, lib, activity, n_power,
                       static_cast<std::size_t>(cycles_per_inference),
-                      period_ms);
+                      period_ms, lv);
 
   rep.area_cm2 = pr.area_cm2;
   rep.static_mw = pr.static_mw;

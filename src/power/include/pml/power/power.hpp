@@ -54,11 +54,24 @@ struct PowerReport {
 ///
 /// `activity` must cover `inferences` classifications of
 /// `cycles_per_inference` clock cycles each, executed at `period_ms`.
+/// The counts may come from the scalar sim::EventSimulator or be merged
+/// (sim::ActivityStats::accumulate) from sharded sim::BatchEventSimulator
+/// workers — both are delay-accurate, so glitch power is represented
+/// either way.
 [[nodiscard]] PowerReport estimate(const netlist::Module& module,
                                    const cells::CellLibrary& lib,
                                    const sim::ActivityStats& activity,
                                    std::size_t inferences,
                                    std::size_t cycles_per_inference,
                                    double period_ms);
+
+/// As above, but reuse a previously derived levelization (for the fanout
+/// load factors) instead of re-deriving one — evaluate_circuit shares a
+/// single derivation across verification, activity collection, and power.
+[[nodiscard]] PowerReport estimate(
+    const netlist::Module& module, const cells::CellLibrary& lib,
+    const sim::ActivityStats& activity, std::size_t inferences,
+    std::size_t cycles_per_inference, double period_ms,
+    const std::shared_ptr<const sim::Levelization>& lv);
 
 }  // namespace pml::power

@@ -34,15 +34,28 @@ PowerReport estimate(const netlist::Module& module,
                      const sim::ActivityStats& activity,
                      std::size_t inferences, std::size_t cycles_per_inference,
                      double period_ms) {
+  return estimate(module, lib, activity, inferences, cycles_per_inference,
+                  period_ms, sim::levelize_shared(module));
+}
+
+PowerReport estimate(const netlist::Module& module,
+                     const cells::CellLibrary& lib,
+                     const sim::ActivityStats& activity,
+                     std::size_t inferences, std::size_t cycles_per_inference,
+                     double period_ms,
+                     const std::shared_ptr<const sim::Levelization>& lv_ptr) {
   if (inferences == 0 || cycles_per_inference == 0 || period_ms <= 0.0) {
     throw std::invalid_argument("power::estimate: bad workload parameters");
   }
   if (activity.net_toggles.size() < module.num_nets()) {
     throw std::invalid_argument("power::estimate: activity/module mismatch");
   }
+  if (lv_ptr == nullptr) {
+    throw std::invalid_argument("power::estimate: null levelization");
+  }
   const auto& cal = lib.calibration();
   const auto& cells_vec = module.cells();
-  const auto lv = sim::levelize(module);
+  const sim::Levelization& lv = *lv_ptr;
 
   PowerReport rep;
   rep.groups.resize(module.group_names().size());

@@ -1,0 +1,155 @@
+#pragma once
+// 64-way bit-parallel (SWAR) *delay-accurate* event-driven simulator.
+//
+// Packs 64 independent workload samples into one std::uint64_t word per
+// net (bit L = lane L's logic value) and advances a shared integer-tick
+// timing wheel over the levelized netlist.  Gate delays are lane-invariant
+// (they depend only on the cell type), so every lane's transitions land on
+// the same tick grid as a scalar EventSimulator run of that lane alone:
+// the per-lane value trajectory — including every glitch — is bit-exact,
+// and a word-level event is a no-op in any lane whose value is unchanged.
+// The equivalence suite in tests/test_sim_batch_event.cpp proves it on
+// generated sequential-SVM, parallel-SVM, and MLP circuits and on random
+// netlists.
+//
+// Transition counts (the input to power::estimate's glitch-aware dynamic
+// power) are accumulated per net as the popcount of the changed-bits word
+// masked to the *counted* lanes, so ragged (<64 stream) batches, per-lane
+// stream exhaustion, and warm-up cycles stay exact: the accumulated
+// ActivityStats equal the sum of scalar EventSimulator ActivityStats over
+// the counted lanes' sample histories.
+//
+// This is the engine behind core::collect_activity, which shards
+// batch-event workers across threads and replaces the scalar
+// sample-at-a-time replay in evaluate_circuit's power step.  The scalar
+// EventSimulator remains the reference oracle.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sim/event_sim.hpp"
+#include "pml/sim/levelize.hpp"
+
+namespace pml::sim {
+
+class BatchEventSimulator {
+ public:
+  /// Lanes per batch: one sample stream per bit of the SWAR word.
+  static constexpr std::size_t kLanes = 64;
+
+  /// `time_quantum_ms` converts library delays to integer ticks, exactly
+  /// as in EventSimulator (equal quanta => equal tick grids => bit-exact
+  /// per-lane equivalence).
+  BatchEventSimulator(const netlist::Module& module,
+                      const cells::CellLibrary& lib,
+                      double time_quantum_ms = 0.01);
+  /// Reuse a previously derived levelization (activity workers across
+  /// threads share one instead of re-deriving it per simulator).
+  BatchEventSimulator(const netlist::Module& module,
+                      const cells::CellLibrary& lib, double time_quantum_ms,
+                      std::shared_ptr<const Levelization> lv);
+
+  /// Restore all DFFs (every lane) to their power-on values, zero all
+  /// nets, settle without counting, and clear the activity counters.
+  void reset();
+
+  // --- lane counting --------------------------------------------------------
+  /// Bit L set iff lane L accumulates into the activity counters.  All
+  /// lanes always *simulate*; masked-out lanes are simply not counted
+  /// (used for ragged batches and per-lane stream exhaustion).
+  void set_count_mask(std::uint64_t mask) { count_mask_ = mask; }
+  [[nodiscard]] std::uint64_t count_mask() const { return count_mask_; }
+
+  // --- stimulus -------------------------------------------------------------
+  /// Stage a primary-input change (full 64-lane word); takes effect as a
+  /// time-0 event at the start of the next settle()/step().
+  void set_net(netlist::NetId net, std::uint64_t lanes);
+  /// Stage an input port: values[L] is lane L's port value (LSB first),
+  /// `count` <= kLanes.  Lanes >= count are driven to 0.
+  void set_port(const netlist::Port& port, const std::uint64_t* values,
+                std::size_t count);
+  void set_port(const std::string& name, const std::uint64_t* values,
+                std::size_t count);
+  /// Stage the same value into every lane of an input port.
+  void set_port_broadcast(const netlist::Port& port, std::uint64_t value);
+  void set_port_broadcast(const std::string& name, std::uint64_t value);
+
+  // --- evaluation -----------------------------------------------------------
+  /// Propagate all pending events until the network is quiet (all lanes).
+  void settle();
+  /// settle(), then clock all DFFs; Q updates become events after the
+  /// clk-to-Q delay, exactly as in EventSimulator::step.
+  void step();
+
+  // --- observation ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t net_lanes(netlist::NetId net) const {
+    return values_[net];
+  }
+  [[nodiscard]] bool net(netlist::NetId net, std::size_t lane) const {
+    return ((values_[net] >> lane) & 1u) != 0;
+  }
+  /// Read a port in one lane as an unsigned integer (LSB first).
+  [[nodiscard]] std::uint64_t port_unsigned(const netlist::Port& port,
+                                            std::size_t lane) const;
+  [[nodiscard]] std::uint64_t port_unsigned(const std::string& name,
+                                            std::size_t lane) const;
+  /// Read a port in one lane as a two's complement signed integer.
+  [[nodiscard]] std::int64_t port_signed(const std::string& name,
+                                         std::size_t lane) const;
+
+  /// Counters summed over the counted lanes: `net_toggles` are per-net
+  /// transitions including glitches, `dff_clock_events` advances by
+  /// num_dffs x popcount(count_mask) per step, `cycles` by
+  /// popcount(count_mask) — so the totals equal the sum of per-lane scalar
+  /// EventSimulator ActivityStats.
+  [[nodiscard]] const ActivityStats& activity() const { return activity_; }
+  /// Zero the counters (e.g. after a warm-up round).
+  void clear_activity();
+
+  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const Levelization& levelization() const { return *lv_; }
+
+ private:
+  /// Compact per-cell evaluation record with unused pins remapped to the
+  /// constant-0 net (same layout trick as BatchSimulator::Op).
+  struct Op {
+    netlist::CellType type;
+    netlist::NetId a, b, s, out;
+  };
+  struct DffOp {
+    netlist::NetId d, q;
+    std::uint64_t init;  ///< power-on value broadcast to all lanes
+  };
+
+  void schedule(std::size_t delay_ticks, netlist::NetId net,
+                std::uint64_t word);
+  void run_wheel(bool count);
+  void full_settle_zero_delay();
+
+  const netlist::Module& module_;
+  std::shared_ptr<const Levelization> lv_;
+  std::vector<int> delay_ticks_;  ///< per cell type
+  std::vector<Op> cell_ops_;      ///< indexed by cell; DFF entries unused
+  std::vector<DffOp> dffs_;
+  std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
+  std::vector<std::uint64_t> dff_state_;  ///< captured D words, per DFF
+  /// Timing wheel: bucket [t % size] holds the (net, word) events applying
+  /// at tick t.  Sized to max cell delay + 1, so an in-flight event can
+  /// never wrap onto the tick being processed.
+  std::vector<std::vector<std::pair<netlist::NetId, std::uint64_t>>> wheel_;
+  std::size_t wheel_pos_ = 0;
+  std::uint64_t pending_events_ = 0;
+  std::vector<std::pair<netlist::NetId, std::uint64_t>> pending_inputs_;
+  std::vector<std::uint32_t> touched_cells_;  ///< dedup scratch
+  std::vector<std::uint64_t> cell_epoch_;     ///< dedup stamps
+  std::uint64_t epoch_ = 0;
+  std::uint64_t count_mask_ = ~std::uint64_t{0};
+  ActivityStats activity_;
+};
+
+}  // namespace pml::sim

@@ -24,14 +24,20 @@
 
 namespace pml::sim {
 
-/// Transition counts accumulated by an EventSimulator.
+/// Transition counts accumulated by an Event/BatchEvent simulator.
 struct ActivityStats {
   /// Transitions per net, including glitches.
   std::vector<std::uint64_t> net_toggles;
   /// Total DFF clock events (num_dffs x cycles) — clock tree energy.
   std::uint64_t dff_clock_events = 0;
-  /// Clock cycles simulated.
+  /// Clock cycles simulated (summed over counted lanes under batching).
   std::uint64_t cycles = 0;
+
+  /// Element-wise accumulation, used to merge the per-worker stats of
+  /// sharded batch-event activity collection (and to sum per-lane scalar
+  /// runs in the equivalence tests).  Commutative and associative, so the
+  /// merged totals are independent of worker scheduling.
+  void accumulate(const ActivityStats& other);
 };
 
 class EventSimulator {

@@ -1,0 +1,47 @@
+#pragma once
+// 64-lane SWAR evaluation of one combinational cell: bit L of every word
+// is lane L's logic value, so a gate evaluates for 64 independent samples
+// in a handful of machine ops.  Shared by the zero-delay BatchSimulator
+// and the delay-accurate BatchEventSimulator so both engines agree with
+// netlist::eval_cell lane for lane by construction.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "pml/netlist/types.hpp"
+
+namespace pml::sim {
+
+/// Evaluate `type` across all 64 lanes.  `b`/`s` are ignored by cells that
+/// do not read those pins (callers remap unused pins to the constant-0
+/// net, so the loads are always in bounds).  Throws on sequential cells.
+[[nodiscard]] inline std::uint64_t eval_cell_lanes(netlist::CellType type,
+                                                   std::uint64_t a,
+                                                   std::uint64_t b,
+                                                   std::uint64_t s) {
+  using netlist::CellType;
+  switch (type) {
+    case CellType::kInv:
+      return ~a;
+    case CellType::kBuf:
+      return a;
+    case CellType::kNand2:
+      return ~(a & b);
+    case CellType::kNor2:
+      return ~(a | b);
+    case CellType::kAnd2:
+      return a & b;
+    case CellType::kOr2:
+      return a | b;
+    case CellType::kXor2:
+      return a ^ b;
+    case CellType::kXnor2:
+      return ~(a ^ b);
+    case CellType::kMux2:
+      return (a & ~s) | (b & s);
+    default:
+      throw std::logic_error("eval_cell_lanes: not a combinational cell");
+  }
+}
+
+}  // namespace pml::sim

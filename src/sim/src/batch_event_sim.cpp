@@ -1,0 +1,257 @@
+#include "pml/sim/batch_event_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "pml/sim/swar.hpp"
+
+namespace pml::sim {
+
+using netlist::Cell;
+using netlist::CellType;
+using netlist::NetId;
+using netlist::Port;
+
+BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
+                                         const cells::CellLibrary& lib,
+                                         double time_quantum_ms)
+    : BatchEventSimulator(module, lib, time_quantum_ms,
+                          levelize_shared(module)) {}
+
+BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
+                                         const cells::CellLibrary& lib,
+                                         double time_quantum_ms,
+                                         std::shared_ptr<const Levelization> lv)
+    : module_(module), lv_(std::move(lv)) {
+  if (lv_ == nullptr) {
+    throw std::invalid_argument("BatchEventSimulator: null levelization");
+  }
+  if (time_quantum_ms <= 0) {
+    throw std::invalid_argument("time quantum must be positive");
+  }
+  // Same quantization as EventSimulator: equal tick grids are what make
+  // the per-lane trajectories bit-exact against the scalar oracle.
+  delay_ticks_.resize(netlist::kNumCellTypes);
+  int max_delay = 1;
+  for (int t = 0; t < netlist::kNumCellTypes; ++t) {
+    const double d = lib.params(static_cast<CellType>(t)).delay_ms;
+    delay_ticks_[t] =
+        std::max(1, static_cast<int>(std::lround(d / time_quantum_ms)));
+    max_delay = std::max(max_delay, delay_ticks_[t]);
+  }
+  wheel_.assign(static_cast<std::size_t>(max_delay) + 1, {});
+
+  const auto& cells = module_.cells();
+  cell_ops_.reserve(cells.size());
+  for (const Cell& c : cells) {
+    cell_ops_.push_back(Op{c.type,
+                           c.in[0] == netlist::kInvalidNet ? netlist::kConst0
+                                                           : c.in[0],
+                           c.in[1] == netlist::kInvalidNet ? netlist::kConst0
+                                                           : c.in[1],
+                           c.in[2] == netlist::kInvalidNet ? netlist::kConst0
+                                                           : c.in[2],
+                           c.out});
+  }
+  dffs_.reserve(lv_->dffs.size());
+  for (const std::uint32_t idx : lv_->dffs) {
+    const Cell& c = cells[idx];
+    dffs_.push_back(
+        DffOp{c.in[0], c.out, c.dff_init ? ~std::uint64_t{0} : 0});
+  }
+  values_.assign(module_.num_nets(), 0);
+  dff_state_.assign(dffs_.size(), 0);
+  cell_epoch_.assign(cells.size(), 0);
+  activity_.net_toggles.assign(module_.num_nets(), 0);
+  reset();
+}
+
+void BatchEventSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  values_[netlist::kConst1] = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    dff_state_[i] = dffs_[i].init;
+    values_[dffs_[i].q] = dff_state_[i];
+  }
+  for (auto& bucket : wheel_) bucket.clear();
+  wheel_pos_ = 0;
+  pending_events_ = 0;
+  pending_inputs_.clear();
+  full_settle_zero_delay();
+  clear_activity();
+}
+
+void BatchEventSimulator::clear_activity() {
+  std::fill(activity_.net_toggles.begin(), activity_.net_toggles.end(), 0);
+  activity_.dff_clock_events = 0;
+  activity_.cycles = 0;
+}
+
+void BatchEventSimulator::full_settle_zero_delay() {
+  // Levelized consistent assignment used for initialization only (mirrors
+  // EventSimulator::full_settle_zero_delay, 64 lanes at a time).
+  for (const std::uint32_t idx : lv_->comb_order) {
+    const Op& op = cell_ops_[idx];
+    values_[op.out] =
+        eval_cell_lanes(op.type, values_[op.a], values_[op.b], values_[op.s]);
+  }
+}
+
+void BatchEventSimulator::set_net(NetId net, std::uint64_t lanes) {
+  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
+  pending_inputs_.emplace_back(net, lanes);
+}
+
+void BatchEventSimulator::set_port(const Port& port,
+                                   const std::uint64_t* values,
+                                   std::size_t count) {
+  if (count > kLanes) throw std::out_of_range("set_port: count > 64 lanes");
+  // Transpose sample-major port values into bit-major lane words.
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    std::uint64_t word = 0;
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      word |= ((values[lane] >> i) & 1u) << lane;
+    }
+    set_net(port.nets[i], word);
+  }
+}
+
+void BatchEventSimulator::set_port(const std::string& name,
+                                   const std::uint64_t* values,
+                                   std::size_t count) {
+  const Port* port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+  set_port(*port, values, count);
+}
+
+void BatchEventSimulator::set_port_broadcast(const Port& port,
+                                             std::uint64_t value) {
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    set_net(port.nets[i], ((value >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0);
+  }
+}
+
+void BatchEventSimulator::set_port_broadcast(const std::string& name,
+                                             std::uint64_t value) {
+  const Port* port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+  set_port_broadcast(*port, value);
+}
+
+void BatchEventSimulator::schedule(std::size_t delay_ticks, NetId net,
+                                   std::uint64_t word) {
+  wheel_[(wheel_pos_ + delay_ticks) % wheel_.size()].emplace_back(net, word);
+  ++pending_events_;
+}
+
+void BatchEventSimulator::run_wheel(bool count) {
+  const auto& cells = module_.cells();
+  std::uint64_t guard = 0;
+  const std::uint64_t kMaxEvents =
+      std::max<std::uint64_t>(1000, cells.size()) * 4096;
+
+  while (pending_events_ > 0) {
+    auto& bucket = wheel_[wheel_pos_];
+    if (!bucket.empty()) {
+      // Phase 1: apply all net changes scheduled for this tick.
+      touched_cells_.clear();
+      ++epoch_;
+      for (const auto& [net, word] : bucket) {
+        --pending_events_;
+        if (++guard > kMaxEvents) {
+          throw std::runtime_error(
+              "batch event simulator: event budget exceeded");
+        }
+        const std::uint64_t diff = word ^ values_[net];
+        if (diff == 0) continue;
+        values_[net] = word;
+        if (count) {
+          activity_.net_toggles[net] +=
+              static_cast<std::uint64_t>(std::popcount(diff & count_mask_));
+        }
+        for (const std::uint32_t ci : lv_->fanout[net]) {
+          if (cells[ci].type == CellType::kDff) continue;
+          if (cell_epoch_[ci] != epoch_) {
+            cell_epoch_[ci] = epoch_;
+            touched_cells_.push_back(ci);
+          }
+        }
+      }
+      bucket.clear();
+      // Phase 2: re-evaluate each affected gate once (all 64 lanes in one
+      // pass); schedule its response after the gate delay.
+      for (const std::uint32_t ci : touched_cells_) {
+        const Op& op = cell_ops_[ci];
+        const std::uint64_t out = eval_cell_lanes(op.type, values_[op.a],
+                                                  values_[op.b], values_[op.s]);
+        schedule(static_cast<std::size_t>(
+                     delay_ticks_[static_cast<int>(op.type)]),
+                 op.out, out);
+      }
+    }
+    wheel_pos_ = (wheel_pos_ + 1) % wheel_.size();
+  }
+}
+
+void BatchEventSimulator::settle() {
+  for (const auto& [net, word] : pending_inputs_) {
+    schedule(0, net, word);
+  }
+  pending_inputs_.clear();
+  run_wheel(/*count=*/true);
+}
+
+void BatchEventSimulator::step() {
+  settle();
+  const std::size_t dff_delay =
+      static_cast<std::size_t>(delay_ticks_[static_cast<int>(CellType::kDff)]);
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    dff_state_[i] = values_[dffs_[i].d];
+  }
+  for (std::size_t i = 0; i < dffs_.size(); ++i) {
+    if (values_[dffs_[i].q] != dff_state_[i]) {
+      schedule(dff_delay, dffs_[i].q, dff_state_[i]);
+    }
+  }
+  const auto counted =
+      static_cast<std::uint64_t>(std::popcount(count_mask_));
+  activity_.dff_clock_events += dffs_.size() * counted;
+  activity_.cycles += counted;
+  run_wheel(/*count=*/true);
+}
+
+std::uint64_t BatchEventSimulator::port_unsigned(const Port& port,
+                                                 std::size_t lane) const {
+  if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < port.nets.size(); ++i) {
+    v |= ((values_[port.nets[i]] >> lane) & 1u) << i;
+  }
+  return v;
+}
+
+std::uint64_t BatchEventSimulator::port_unsigned(const std::string& name,
+                                                 std::size_t lane) const {
+  const Port* port = module_.find_output(name);
+  if (port == nullptr) port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no port: " + name);
+  return port_unsigned(*port, lane);
+}
+
+std::int64_t BatchEventSimulator::port_signed(const std::string& name,
+                                              std::size_t lane) const {
+  const Port* port = module_.find_output(name);
+  if (port == nullptr) port = module_.find_input(name);
+  if (port == nullptr) throw std::invalid_argument("no port: " + name);
+  const std::uint64_t raw = port_unsigned(*port, lane);
+  const int bits = static_cast<int>(port->nets.size());
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  if (bits < 64 && (raw & sign)) {
+    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace pml::sim

@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "pml/sim/swar.hpp"
+
 namespace pml::sim {
 
 using netlist::Cell;
@@ -119,41 +121,8 @@ void BatchSimulator::set_port_broadcast(const std::string& name,
 void BatchSimulator::propagate() {
   const std::uint64_t* const v = values_.data();
   for (const Op& op : ops_) {
-    const std::uint64_t a = v[op.a];
-    std::uint64_t out;
-    switch (op.type) {
-      case CellType::kInv:
-        out = ~a;
-        break;
-      case CellType::kBuf:
-        out = a;
-        break;
-      case CellType::kNand2:
-        out = ~(a & v[op.b]);
-        break;
-      case CellType::kNor2:
-        out = ~(a | v[op.b]);
-        break;
-      case CellType::kAnd2:
-        out = a & v[op.b];
-        break;
-      case CellType::kOr2:
-        out = a | v[op.b];
-        break;
-      case CellType::kXor2:
-        out = a ^ v[op.b];
-        break;
-      case CellType::kXnor2:
-        out = ~(a ^ v[op.b]);
-        break;
-      case CellType::kMux2: {
-        const std::uint64_t s = v[op.s];
-        out = (a & ~s) | (v[op.b] & s);
-        break;
-      }
-      default:
-        throw std::logic_error("BatchSimulator: sequential cell in comb order");
-    }
+    const std::uint64_t out =
+        eval_cell_lanes(op.type, v[op.a], v[op.b], v[op.s]);
     const std::uint64_t diff = (out ^ values_[op.out]) & active_mask_;
     toggles_[op.out] += static_cast<std::uint64_t>(std::popcount(diff));
     values_[op.out] = out;

@@ -6,6 +6,17 @@
 
 namespace pml::sim {
 
+void ActivityStats::accumulate(const ActivityStats& other) {
+  if (net_toggles.size() < other.net_toggles.size()) {
+    net_toggles.resize(other.net_toggles.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.net_toggles.size(); ++i) {
+    net_toggles[i] += other.net_toggles[i];
+  }
+  dff_clock_events += other.dff_clock_events;
+  cycles += other.cycles;
+}
+
 using netlist::Cell;
 using netlist::CellType;
 using netlist::NetId;

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "pml/arch/sequential_svm.hpp"
 #include "pml/core/evaluate.hpp"
 
@@ -94,6 +97,74 @@ TEST(Evaluate, RejectsEmptyOrMalformedWorkloads) {
   lopsided.feature_codes = {{1, 2}};
   EXPECT_THROW((void)evaluate_circuit(circuit.module, 3, lib, lopsided),
                std::invalid_argument);
+}
+
+TEST(Evaluate, HonorsCallerMaxMismatches) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  // Two batches' worth of samples, every expectation corrupted.
+  const auto base = make_workload(q);
+  CircuitWorkload wl = base;
+  wl.feature_codes.insert(wl.feature_codes.end(), base.feature_codes.begin(),
+                          base.feature_codes.end());
+  wl.expected_class.insert(wl.expected_class.end(), base.expected_class.begin(),
+                           base.expected_class.end());
+  for (auto& e : wl.expected_class) e = (e + 1) % 3;
+
+  // Default options + no bit-exactness: every mismatch is counted.
+  EvaluateOptions count_all;
+  count_all.require_bit_exact = false;
+  const HardwareReport all = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, count_all);
+  EXPECT_FALSE(all.verified);
+  EXPECT_EQ(all.verified_mismatches, wl.feature_codes.size());
+
+  // A caller-set cap stops the scan early instead of being overwritten.
+  EvaluateOptions capped = count_all;
+  capped.verify.max_mismatches = 1;
+  capped.verify.num_threads = 1;
+  const HardwareReport few = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, capped);
+  EXPECT_FALSE(few.verified);
+  EXPECT_GE(few.verified_mismatches, 1u);
+  EXPECT_LT(few.verified_mismatches, wl.feature_codes.size());
+
+  // With bit-exactness on, an explicit cap is honored too (the old code
+  // silently forced fail-fast): the thrown message carries the full count.
+  EvaluateOptions exact;
+  exact.verify.max_mismatches = wl.feature_codes.size();
+  try {
+    (void)evaluate_circuit(circuit.module, circuit.cycles_per_inference, lib,
+                           wl, exact);
+    FAIL() << "expected a mismatch throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  std::to_string(wl.feature_codes.size()) +
+                  " mismatch(es)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Evaluate, PowerReplayDeterministicAcrossThreadCounts) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  const auto wl = make_workload(q);
+  EvaluateOptions single;
+  single.power_threads = 1;
+  single.power_chunk_samples = 4;
+  EvaluateOptions multi = single;
+  multi.power_threads = 4;
+  const HardwareReport a = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, single);
+  const HardwareReport b = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, multi);
+  // The merged activity is deterministic in the chunking alone, so the
+  // power numbers are bit-identical across worker configurations.
+  EXPECT_EQ(a.dynamic_mw, b.dynamic_mw);
+  EXPECT_EQ(a.energy_mj, b.energy_mj);
 }
 
 TEST(Evaluate, PowerSampleSubsetStillFillsReport) {
