@@ -1,26 +1,38 @@
-// Printed-yield experiment (extension): stuck-at fault tolerance.
+// Printed-yield experiment (extension): stuck-at fault tolerance, batched.
 //
 // Printed processes have defect rates orders of magnitude above silicon.
-// This bench injects random stuck-at-0/1 faults on internal nets of the
-// generated circuits and measures classification accuracy as faults
-// accumulate — comparing our sequential SVM against the parallel OvO
-// baseline at the same fault counts.  The folded design reuses one engine,
-// so a single fault hits *every* classifier (systematic error), whereas a
-// parallel fault usually corrupts one classifier (localized error): the
-// experiment quantifies that robustness trade-off, which the paper does
-// not evaluate.
+// This bench injects stuck-at-0/1 faults on internal nets of the generated
+// circuits and measures classification accuracy as faults accumulate —
+// comparing our sequential SVM against the parallel OvR baseline at the
+// same fault counts.  The folded design reuses one engine, so a single
+// fault hits *every* classifier (systematic error), whereas a parallel
+// fault usually corrupts one classifier (localized error): the experiment
+// quantifies that robustness trade-off, which the paper does not evaluate.
+//
+// The campaign runs on core::run_fault_campaign — 63 fault variants plus
+// the golden reference per pass of the 64-way sim::BatchFaultSimulator —
+// which turns the old 5-point, few-trial sweep into a dense campaign
+// (every single-fault site exhaustively, plus hundreds of multi-fault
+// trials).  The scalar CycleSimulator::force_net replay is retained as the
+// timed reference and correctness oracle.
+//
+// Emits a machine-readable JSON object on stdout (consumed by the CI perf
+// gate via scripts/check_perf.py); the human-readable summary goes to
+// stderr.
 //
 // Usage: bench_fault_injection [--quick]
 
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "pml/arch/parallel_svm.hpp"
 #include "pml/arch/sequential_svm.hpp"
-#include "pml/ml/metrics.hpp"
+#include "pml/core/fault_campaign.hpp"
 #include "pml/ml/multiclass.hpp"
-#include "pml/ml/rng.hpp"
 #include "pml/quant/svm_quant.hpp"
 #include "pml/report/table.hpp"
 #include "pml/sim/cycle_sim.hpp"
@@ -29,26 +41,64 @@ using namespace pml;
 
 namespace {
 
-/// Accuracy of the circuit on `test` with the currently forced faults.
-double faulty_accuracy(sim::CycleSimulator& sim, int cycles,
-                       const quant::QuantizedSvm& q, const ml::Dataset& test,
-                       std::size_t max_samples) {
-  std::size_t hits = 0;
-  const std::size_t n = std::min(max_samples, test.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto xq = quant::quantize_features(test.X[i], q.input_format);
-    for (std::size_t j = 0; j < xq.size(); ++j) {
-      sim.set_port("x" + std::to_string(j),
-                   static_cast<std::uint64_t>(xq[j]));
-    }
-    if (cycles == 1) {
-      sim.propagate();
-    } else {
-      for (int c = 0; c < cycles; ++c) sim.step();
-    }
-    if (static_cast<int>(sim.port_unsigned("class")) == test.y[i]) ++hits;
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Quantized test features against the TRUE labels (fault campaigns measure
+/// end-to-end accuracy, not agreement with the software model).
+core::CircuitWorkload labeled_workload(const quant::QuantizedSvm& q,
+                                       const ml::Dataset& test) {
+  core::CircuitWorkload wl;
+  wl.feature_codes.reserve(test.size());
+  wl.expected_class.assign(test.y.begin(), test.y.end());
+  for (const auto& x : test.X) {
+    wl.feature_codes.push_back(quant::quantize_features(x, q.input_format));
   }
-  return static_cast<double>(hits) / static_cast<double>(n);
+  return wl;
+}
+
+/// Scalar oracle: exactly the campaign protocol, one variant at a time
+/// through CycleSimulator::force_net (install faults, reset, free-running
+/// replay).  Returns per-variant misclassification counts.
+std::vector<std::size_t> run_scalar(const netlist::Module& module,
+                                    bool sequential, int cycles,
+                                    const core::CircuitWorkload& wl,
+                                    std::size_t n,
+                                    const std::vector<core::FaultSet>& sets) {
+  const auto lv = sim::levelize_shared(module);
+  sim::CycleSimulator sim(module, lv);
+  std::vector<const netlist::Port*> ports;
+  for (std::size_t j = 0; j < wl.feature_codes[0].size(); ++j) {
+    ports.push_back(module.find_input("x" + std::to_string(j)));
+  }
+  const netlist::Port* class_port = module.find_output("class");
+  std::vector<std::size_t> miscounts;
+  miscounts.reserve(sets.size());
+  for (const core::FaultSet& set : sets) {
+    sim.clear_forces();
+    for (const core::StuckAtFault& f : set.faults) {
+      sim.force_net(f.net, f.stuck_value);
+    }
+    sim.reset();
+    std::size_t mis = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < ports.size(); ++j) {
+        sim.set_port(*ports[j],
+                     static_cast<std::uint64_t>(wl.feature_codes[i][j]));
+      }
+      if (sequential) {
+        for (int c = 0; c < cycles; ++c) sim.step();
+      } else {
+        sim.propagate();
+      }
+      mis += static_cast<int>(sim.port_unsigned(*class_port)) !=
+             wl.expected_class[i];
+    }
+    miscounts.push_back(mis);
+  }
+  return miscounts;
 }
 
 }  // namespace
@@ -57,7 +107,6 @@ int main(int argc, char** argv) {
   const bool quick = benchutil::quick_mode(argc, argv);
   const auto data = benchutil::prepare(ml::UciProfile::kCardio);
   const std::size_t eval_samples = quick ? 60 : 200;
-  const int trials = quick ? 5 : 15;
 
   ml::MulticlassTrainOptions topts;
   topts.base.seed = 7;
@@ -65,60 +114,216 @@ int main(int argc, char** argv) {
       quant::quantize_svm(ml::train_one_vs_rest(data.train, topts), 4, 5);
   auto seq = arch::build_sequential_svm(q_ovr);
   auto par = arch::build_parallel_svm(q_ovr);
+  const auto seq_stats = seq.module.stats();
+  const auto par_stats = par.module.stats();
 
-  std::cout << "=== Stuck-at fault tolerance (Cardio, " << trials
-            << " random fault sets per point) ===\n\n";
+  const core::CircuitWorkload wl = labeled_workload(q_ovr, data.test);
+  const std::size_t n = std::min(eval_samples, wl.feature_codes.size());
+
+  std::cerr << "bench_fault_injection: " << data.name << ", sequential "
+            << seq_stats.num_cells << " cells ("
+            << seq.cycles_per_inference << " cycles/inference), parallel "
+            << par_stats.num_cells << " cells, " << n
+            << " samples per variant\n";
+
+  // --- timed scalar-vs-batch comparison (sequential SVM) --------------------
+  // Multi-fault variants fill whole batches so the speedup reflects steady
+  // state; identical sets go through both paths and must agree exactly.
+  const std::size_t timed_sets_count = quick ? 63 : 189;
+  const auto timed_sets =
+      core::sample_fault_sets(seq.module, /*faults_per_set=*/2,
+                              timed_sets_count, /*seed=*/0xFA017);
+  const std::size_t timed_work = timed_sets.size() * n;
+
+  auto t0 = std::chrono::steady_clock::now();
+  const auto scalar_counts =
+      run_scalar(seq.module, /*sequential=*/true, seq.cycles_per_inference,
+                 wl, n, timed_sets);
+  const double scalar_s = seconds_since(t0);
+  const double scalar_vsps = static_cast<double>(timed_work) / scalar_s;
+  std::cerr << "  scalar (force_net replay): " << static_cast<long>(scalar_vsps)
+            << " variant-samples/s\n";
+
+  core::FaultCampaignOptions copts;
+  copts.num_threads = 1;
+  copts.max_samples = n;
+  copts.levelization = sim::levelize_shared(seq.module);
+  // The batch path clears one quick-mode pass in a few ms — too short for
+  // a stable CI gate — so repeat it until at least 0.25 s has elapsed and
+  // report the aggregate throughput.
+  const auto timed_batch = core::run_fault_campaign(
+      seq.module, seq.cycles_per_inference, wl, timed_sets, copts);
+  std::size_t reps = 1;
+  t0 = std::chrono::steady_clock::now();
+  double batch_s = 0.0;
+  for (;; ++reps) {
+    (void)core::run_fault_campaign(seq.module, seq.cycles_per_inference, wl,
+                                   timed_sets, copts);
+    batch_s = seconds_since(t0);
+    if (batch_s >= 0.25) break;
+  }
+  const double batch_vsps =
+      static_cast<double>(timed_work) * static_cast<double>(reps) / batch_s;
+  const double speedup = batch_vsps / scalar_vsps;
+
+  bool counts_match = true;
+  for (std::size_t i = 0; i < timed_sets.size(); ++i) {
+    counts_match &= scalar_counts[i] == timed_batch.variants[i].misclassified;
+  }
+  std::cerr << "  batch (1 thr):             " << static_cast<long>(batch_vsps)
+            << " variant-samples/s  -> " << speedup << "x vs scalar"
+            << (counts_match ? "" : "  [MISMATCHES!]") << "\n";
+
+  // --- dense campaign (batch only) ------------------------------------------
+  // Every single-fault site exhaustively on the sequential SVM; the much
+  // larger parallel baseline is exhaustive in full mode and a 1024-site
+  // deterministic sample in --quick.  Plus multi-fault trials per count.
+  core::FaultCampaignOptions dense;
+  dense.max_samples = n;
+
+  const auto seq_singles = core::enumerate_single_faults(seq.module);
+  const auto par_singles =
+      quick ? core::sample_fault_sets(par.module, 1, 1024, /*seed=*/0x51E5)
+            : core::enumerate_single_faults(par.module);
+
+  const std::vector<std::size_t> fault_counts{1, 2, 4, 8, 16, 32};
+  const std::size_t trials = quick ? 63 : 252;
+  auto multi_sets = [&](const netlist::Module& m) {
+    std::vector<core::FaultSet> sets;
+    for (const std::size_t f : fault_counts) {
+      const auto s = core::sample_fault_sets(
+          m, f, trials, /*seed=*/0xC0FFEE ^ (f * 1000003));
+      sets.insert(sets.end(), s.begin(), s.end());
+    }
+    return sets;
+  };
+  const auto seq_multi = multi_sets(seq.module);
+  const auto par_multi = multi_sets(par.module);
+
+  t0 = std::chrono::steady_clock::now();
+  const auto seq_single_r = core::run_fault_campaign(
+      seq.module, seq.cycles_per_inference, wl, seq_singles, dense);
+  const auto par_single_r =
+      core::run_fault_campaign(par.module, 1, wl, par_singles, dense);
+  const auto seq_multi_r = core::run_fault_campaign(
+      seq.module, seq.cycles_per_inference, wl, seq_multi, dense);
+  const auto par_multi_r =
+      core::run_fault_campaign(par.module, 1, wl, par_multi, dense);
+  const double dense_s = seconds_since(t0);
+  const std::size_t dense_variants = seq_singles.size() + par_singles.size() +
+                                     seq_multi.size() + par_multi.size();
+
+  const auto seq_curve = core::accuracy_vs_fault_count(seq_multi, seq_multi_r);
+  const auto par_curve = core::accuracy_vs_fault_count(par_multi, par_multi_r);
+
+  auto mean_acc = [](const core::FaultCampaignResult& r) {
+    double sum = 0.0;
+    for (const auto& v : r.variants) sum += v.accuracy();
+    return r.variants.empty() ? 0.0 : sum / static_cast<double>(r.variants.size());
+  };
+  auto broken_count = [](const core::FaultCampaignResult& r) {
+    std::size_t broken = 0;
+    for (const auto& v : r.variants) broken += v.accuracy() <= 0.5;
+    return broken;
+  };
+
+  std::cerr << "  dense campaign: " << dense_variants << " variants in "
+            << dense_s << " s (threads: hw)\n\n";
   report::Table table({"Faults", "Sequential acc (%)", "Parallel acc (%)",
                        "Seq broken (<=50%)", "Par broken (<=50%)"});
-  sim::CycleSimulator seq_sim(seq.module);
-  sim::CycleSimulator par_sim(par.module);
-  const double seq_base = faulty_accuracy(seq_sim, seq.cycles_per_inference,
-                                          q_ovr, data.test, eval_samples);
-  const double par_base =
-      faulty_accuracy(par_sim, 1, q_ovr, data.test, eval_samples);
-  table.add_row({"0", report::fmt_pct(seq_base), report::fmt_pct(par_base),
-                 "0/" + std::to_string(trials),
-                 "0/" + std::to_string(trials)});
-
-  for (const int faults : {1, 2, 4, 8, 16}) {
-    double seq_acc = 0.0, par_acc = 0.0;
-    int seq_broken = 0, par_broken = 0;
-    for (int t = 0; t < trials; ++t) {
-      ml::Rng rng(static_cast<std::uint64_t>(faults) * 1000003 +
-                  static_cast<std::uint64_t>(t));
-      // Same random recipe for both circuits: pick cell outputs.
-      auto inject = [&](sim::CycleSimulator& sim,
-                        const netlist::Module& module, std::uint64_t salt) {
-        sim.clear_forces();
-        ml::Rng local(rng.next_u64() ^ salt);
-        for (int f = 0; f < faults; ++f) {
-          const auto& cells = module.cells();
-          const auto idx = static_cast<std::size_t>(
-              local.below(cells.size()));
-          sim.force_net(cells[idx].out, local.below(2) == 1);
-        }
-      };
-      inject(seq_sim, seq.module, 0);
-      const double sa = faulty_accuracy(
-          seq_sim, seq.cycles_per_inference, q_ovr, data.test, eval_samples);
-      inject(par_sim, par.module, 1);
-      const double pa =
-          faulty_accuracy(par_sim, 1, q_ovr, data.test, eval_samples);
-      seq_acc += sa;
-      par_acc += pa;
-      if (sa <= 0.5) ++seq_broken;
-      if (pa <= 0.5) ++par_broken;
-    }
-    seq_sim.clear_forces();
-    par_sim.clear_forces();
-    table.add_row({std::to_string(faults), report::fmt_pct(seq_acc / trials),
-                   report::fmt_pct(par_acc / trials),
-                   std::to_string(seq_broken) + "/" + std::to_string(trials),
-                   std::to_string(par_broken) + "/" + std::to_string(trials)});
+  table.add_row({"0", report::fmt_pct(seq_multi_r.golden.accuracy()),
+                 report::fmt_pct(par_multi_r.golden.accuracy()), "0", "0"});
+  table.add_row({"1 (all sites)", report::fmt_pct(mean_acc(seq_single_r)),
+                 report::fmt_pct(mean_acc(par_single_r)),
+                 std::to_string(broken_count(seq_single_r)) + "/" +
+                     std::to_string(seq_singles.size()),
+                 std::to_string(broken_count(par_single_r)) + "/" +
+                     std::to_string(par_singles.size())});
+  for (std::size_t k = 1; k < seq_curve.size(); ++k) {
+    table.add_row({std::to_string(seq_curve[k].num_faults),
+                   report::fmt_pct(seq_curve[k].mean_accuracy),
+                   report::fmt_pct(par_curve[k].mean_accuracy),
+                   std::to_string(seq_curve[k].broken) + "/" +
+                       std::to_string(seq_curve[k].variants),
+                   std::to_string(par_curve[k].broken) + "/" +
+                       std::to_string(par_curve[k].variants)});
   }
-  table.print(std::cout);
-  std::cout << "\nFolding concentrates risk: one defective engine corrupts "
+  table.print(std::cerr);
+  std::cerr << "\nFolding concentrates risk: one defective engine corrupts "
                "all n classifiers, while a parallel\ndefect usually damages "
                "one — the area/energy win trades against per-die yield.\n";
-  return 0;
+
+  // --- thread scaling (sequential multi-fault campaign) ----------------------
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> thread_counts{1};
+  for (std::size_t t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+  struct ThreadPoint {
+    std::size_t threads;
+    double vsps;
+  };
+  std::vector<ThreadPoint> scaling;
+  for (const std::size_t t : thread_counts) {
+    core::FaultCampaignOptions sopts = dense;
+    sopts.num_threads = t;
+    t0 = std::chrono::steady_clock::now();
+    (void)core::run_fault_campaign(seq.module, seq.cycles_per_inference, wl,
+                                   seq_multi, sopts);
+    const double vsps =
+        static_cast<double>(seq_multi.size() * n) / seconds_since(t0);
+    scaling.push_back({t, vsps});
+    std::cerr << "  batch (" << t << " thr): " << static_cast<long>(vsps)
+              << " variant-samples/s\n";
+  }
+
+  // --- machine-readable record ----------------------------------------------
+  std::cout << "{\n"
+            << "  \"bench\": \"fault_injection\",\n"
+            << "  \"dataset\": \"" << data.name << "\",\n"
+            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"cells\": "
+            << seq_stats.num_cells << ", \"dffs\": " << seq_stats.num_dffs
+            << ", \"nets\": " << seq_stats.num_nets
+            << ", \"classes\": " << q_ovr.num_classes
+            << ", \"cycles_per_inference\": " << seq.cycles_per_inference
+            << "},\n"
+            << "  \"timed_variants\": " << timed_sets.size() << ",\n"
+            << "  \"samples_per_variant\": " << n << ",\n"
+            << "  \"scalar\": {\"seconds\": " << scalar_s
+            << ", \"variant_samples_per_sec\": " << scalar_vsps << "},\n"
+            << "  \"batch\": {\"seconds\": " << batch_s
+            << ", \"variant_samples_per_sec\": " << batch_vsps
+            << ", \"speedup_vs_scalar\": " << speedup << "},\n"
+            << "  \"campaign\": {\"variants\": " << dense_variants
+            << ", \"seconds\": " << dense_s
+            << ", \"single_fault\": {"
+            << "\"sequential\": {\"sites\": " << seq_singles.size()
+            << ", \"mean_accuracy\": " << mean_acc(seq_single_r)
+            << ", \"broken\": " << broken_count(seq_single_r) << "}, "
+            << "\"parallel\": {\"sites\": " << par_singles.size()
+            << ", \"mean_accuracy\": " << mean_acc(par_single_r)
+            << ", \"broken\": " << broken_count(par_single_r) << "}},\n"
+            << "    \"curve\": [";
+  for (std::size_t k = 0; k < seq_curve.size(); ++k) {
+    std::cout << (k == 0 ? "" : ", ") << "{\"faults\": "
+              << seq_curve[k].num_faults
+              << ", \"seq_accuracy\": " << seq_curve[k].mean_accuracy
+              << ", \"par_accuracy\": " << par_curve[k].mean_accuracy
+              << ", \"seq_broken\": " << seq_curve[k].broken
+              << ", \"par_broken\": " << par_curve[k].broken << "}";
+  }
+  std::cout << "]},\n"
+            << "  \"thread_scaling\": [";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    std::cout << (i == 0 ? "" : ", ") << "{\"threads\": " << scaling[i].threads
+              << ", \"variant_samples_per_sec\": " << scaling[i].vsps
+              << ", \"speedup_vs_scalar\": " << scaling[i].vsps / scalar_vsps
+              << "}";
+  }
+  std::cout << "]\n}\n";
+
+  if (!counts_match) {
+    std::cerr << "bench_fault_injection: scalar/batch mismatch — failing\n";
+    return 1;
+  }
+  return speedup >= 30.0 ? 0 : 2;
 }

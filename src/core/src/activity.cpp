@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "pml/sim/batch_event_sim.hpp"
+#include "pml/util/parallel.hpp"
 
 namespace pml::core {
 
@@ -121,7 +120,8 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
   // worker claims which batch.
   std::vector<sim::ActivityStats> partials(num_threads);
 
-  auto worker = [&](sim::ActivityStats& local) {
+  auto worker = [&](std::size_t slot) {
+    sim::ActivityStats& local = partials[slot];
     sim::BatchEventSimulator bsim(module, lib, options.time_quantum_ms, lv);
     for (;;) {
       const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
@@ -131,30 +131,7 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
     }
   };
 
-  if (num_threads <= 1) {
-    worker(partials[0]);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads - 1);
-    std::exception_ptr error;
-    std::mutex error_mu;
-    auto guarded = [&](std::size_t slot) {
-      try {
-        worker(partials[slot]);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        // Drain the queue so siblings stop claiming batches.
-        next_batch.store(num_batches, std::memory_order_relaxed);
-      }
-    };
-    for (std::size_t t = 1; t < num_threads; ++t) {
-      pool.emplace_back(guarded, t);
-    }
-    guarded(0);
-    for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
-  }
+  util::run_workers(num_threads, next_batch, num_batches, worker);
 
   sim::ActivityStats merged;
   merged.net_toggles.assign(module.num_nets(), 0);

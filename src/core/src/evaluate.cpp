@@ -63,8 +63,8 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.verified_samples = vr.samples;
   rep.verified_mismatches = vr.mismatches;
 
-  // --- 2. timing ------------------------------------------------------------
-  const sta::TimingReport timing = sta::analyze(module, lib);
+  // --- 2. timing (shared levelization) --------------------------------------
+  const sta::TimingReport timing = sta::analyze(module, lib, lv);
   rep.logic_depth = timing.logic_depth;
   const double period_ms = timing.critical_path_ms;
 

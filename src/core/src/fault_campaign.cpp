@@ -1,0 +1,183 @@
+#include "pml/core/fault_campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "pml/ml/rng.hpp"
+#include "pml/sim/batch_fault_sim.hpp"
+#include "pml/util/parallel.hpp"
+
+namespace pml::core {
+
+std::vector<FaultSet> enumerate_single_faults(const netlist::Module& module) {
+  std::vector<FaultSet> sets;
+  sets.reserve(module.cells().size() * 2);
+  for (const netlist::Cell& c : module.cells()) {
+    sets.push_back(FaultSet{{StuckAtFault{c.out, false}}});
+    sets.push_back(FaultSet{{StuckAtFault{c.out, true}}});
+  }
+  return sets;
+}
+
+std::vector<FaultSet> sample_fault_sets(const netlist::Module& module,
+                                        std::size_t faults_per_set,
+                                        std::size_t num_sets,
+                                        std::uint64_t seed) {
+  if (module.cells().empty()) {
+    throw std::invalid_argument("sample_fault_sets: module has no cells");
+  }
+  if (faults_per_set == 0) {
+    throw std::invalid_argument("sample_fault_sets: zero faults per set");
+  }
+  const auto& cells = module.cells();
+  ml::Rng rng(seed);
+  std::vector<FaultSet> sets(num_sets);
+  for (FaultSet& set : sets) {
+    set.faults.reserve(faults_per_set);
+    for (std::size_t f = 0; f < faults_per_set; ++f) {
+      const auto idx = static_cast<std::size_t>(rng.below(cells.size()));
+      set.faults.push_back(StuckAtFault{cells[idx].out, rng.below(2) == 1});
+    }
+  }
+  return sets;
+}
+
+FaultCampaignResult run_fault_campaign(const netlist::Module& module,
+                                       int cycles_per_inference,
+                                       const CircuitWorkload& workload,
+                                       const std::vector<FaultSet>& fault_sets,
+                                       const FaultCampaignOptions& options) {
+  if (workload.feature_codes.empty() ||
+      workload.feature_codes.size() != workload.expected_class.size()) {
+    throw std::invalid_argument("run_fault_campaign: bad workload");
+  }
+  const std::size_t num_features = workload.feature_codes[0].size();
+  for (const auto& row : workload.feature_codes) {
+    if (row.size() != num_features) {
+      throw std::invalid_argument("run_fault_campaign: ragged feature_codes");
+    }
+  }
+  if (fault_sets.empty()) {
+    throw std::invalid_argument("run_fault_campaign: no fault sets");
+  }
+  const std::size_t n =
+      std::min(options.max_samples, workload.feature_codes.size());
+  if (n == 0) {
+    throw std::invalid_argument("run_fault_campaign: zero samples");
+  }
+  const auto ports = feature_ports(module, num_features);
+  const netlist::Port* class_port = module.find_output("class");
+  if (class_port == nullptr) {
+    throw std::invalid_argument("run_fault_campaign: missing 'class' output");
+  }
+  const std::shared_ptr<const sim::Levelization> lv =
+      options.levelization != nullptr ? options.levelization
+                                      : sim::levelize_shared(module);
+  const bool sequential = !lv->dffs.empty();
+
+  // Lane 0 carries the golden reference, so 63 variants ride per batch.
+  constexpr std::size_t kVariantLanes = sim::BatchFaultSimulator::kLanes - 1;
+  const std::size_t num_sets = fault_sets.size();
+  const std::size_t num_batches =
+      (num_sets + kVariantLanes - 1) / kVariantLanes;
+  std::size_t num_threads =
+      options.num_threads != 0
+          ? options.num_threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  num_threads = std::min(num_threads, num_batches);
+
+  FaultCampaignResult result;
+  result.variants.assign(num_sets, FaultVariantResult{0, n});
+  result.golden.samples = n;
+
+  std::atomic<std::size_t> next_batch{0};
+
+  // Each batch writes disjoint result slots (its own 63 variants, plus
+  // golden for batch 0 only), so workers need no locking on results.
+  auto worker = [&](std::size_t /*thread_index*/) {
+    sim::BatchFaultSimulator bsim(module, lv);
+    std::size_t miscount[sim::BatchFaultSimulator::kLanes];
+    for (;;) {
+      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_batches) return;
+      const std::size_t begin = b * kVariantLanes;
+      const std::size_t count = std::min(kVariantLanes, num_sets - begin);
+
+      bsim.clear_faults();
+      for (std::size_t v = 0; v < count; ++v) {
+        for (const StuckAtFault& f : fault_sets[begin + v].faults) {
+          bsim.set_fault(f.net, v + 1, f.stuck_value);
+        }
+      }
+      // Every batch starts from power-on reset (faults applied during the
+      // settle), making the per-variant counts independent of batch order.
+      bsim.reset();
+
+      std::fill(miscount, miscount + count + 1, std::size_t{0});
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < ports.size(); ++j) {
+          bsim.set_port(*ports[j], static_cast<std::uint64_t>(
+                                       workload.feature_codes[i][j]));
+        }
+        if (sequential) {
+          for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
+        } else {
+          bsim.propagate();
+        }
+        const int expected = workload.expected_class[i];
+        for (std::size_t lane = 0; lane <= count; ++lane) {
+          const int predicted =
+              static_cast<int>(bsim.port_unsigned(*class_port, lane));
+          miscount[lane] += predicted != expected;
+        }
+      }
+      for (std::size_t v = 0; v < count; ++v) {
+        result.variants[begin + v].misclassified = miscount[v + 1];
+      }
+      // Lane 0 recomputes the same golden run in every batch; record the
+      // canonical copy from batch 0.
+      if (b == 0) result.golden.misclassified = miscount[0];
+    }
+  };
+
+  util::run_workers(num_threads, next_batch, num_batches, worker);
+
+  return result;
+}
+
+std::vector<FaultCurvePoint> accuracy_vs_fault_count(
+    const std::vector<FaultSet>& fault_sets, const FaultCampaignResult& result,
+    double broken_threshold) {
+  if (fault_sets.size() != result.variants.size()) {
+    throw std::invalid_argument(
+        "accuracy_vs_fault_count: fault_sets/result size mismatch");
+  }
+  // mean_accuracy holds a running sum until the division below; the
+  // golden reference seeds the 0-fault bucket, where any empty fault sets
+  // (legal: a variant with no faults is another golden replica) also land.
+  std::map<std::size_t, FaultCurvePoint> by_count;
+  FaultCurvePoint& zero = by_count[0];
+  zero.variants = 1;
+  zero.mean_accuracy = result.golden.accuracy();
+  zero.broken = result.golden.accuracy() <= broken_threshold ? 1 : 0;
+  for (std::size_t i = 0; i < fault_sets.size(); ++i) {
+    FaultCurvePoint& p = by_count[fault_sets[i].faults.size()];
+    const double acc = result.variants[i].accuracy();
+    p.mean_accuracy += acc;
+    ++p.variants;
+    p.broken += acc <= broken_threshold ? 1 : 0;
+  }
+  std::vector<FaultCurvePoint> curve;
+  curve.reserve(by_count.size());
+  for (auto& [count, point] : by_count) {
+    point.num_faults = count;
+    point.mean_accuracy /= static_cast<double>(point.variants);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace pml::core

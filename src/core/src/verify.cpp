@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
 #include "pml/sim/batch_sim.hpp"
+#include "pml/util/parallel.hpp"
 
 namespace pml::core {
 
@@ -66,7 +66,7 @@ VerifyResult verify_workload(const netlist::Module& module,
   std::atomic<std::size_t> mismatch_count{0};
   std::mutex mu;  // guards result.first (mismatches are the rare path)
 
-  auto worker = [&]() {
+  auto worker = [&](std::size_t /*thread_index*/) {
     sim::BatchSimulator bsim(module, lv);
     std::uint64_t lane_values[kLanes];
     for (;;) {
@@ -108,30 +108,7 @@ VerifyResult verify_workload(const netlist::Module& module,
     }
   };
 
-  if (num_threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads - 1);
-    std::exception_ptr error;
-    std::mutex error_mu;
-    auto guarded = [&]() {
-      try {
-        worker();
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!error) error = std::current_exception();
-        // Drain the queue so siblings stop claiming batches.
-        next_batch.store(num_batches, std::memory_order_relaxed);
-      }
-    };
-    for (std::size_t t = 0; t + 1 < num_threads; ++t) {
-      pool.emplace_back(guarded);
-    }
-    guarded();
-    for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
-  }
+  util::run_workers(num_threads, next_batch, num_batches, worker);
 
   result.mismatches = mismatch_count.load();
   return result;

@@ -37,6 +37,13 @@ struct PrecisionSearchOptions {
   int max_weight_bits = 8;
   /// Acceptable accuracy drop vs the float model (absolute, e.g. 0.01).
   double tolerance = 0.005;
+  /// Worker threads for candidate evaluation; 0 = one per hardware thread
+  /// (clamped to the candidate count).  Candidates are evaluated one
+  /// num_threads-wide chunk at a time in cost order, so the early exit at
+  /// the winner survives and the winner and `sweep` are bit-identical to
+  /// the serial search for any thread count (num_threads == 1 IS the
+  /// serial search).
+  std::size_t num_threads = 0;
 };
 
 /// Search on `holdout` (typically a validation slice of the training set).

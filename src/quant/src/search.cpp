@@ -1,9 +1,12 @@
 #include "pml/quant/search.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "pml/ml/metrics.hpp"
+#include "pml/util/parallel.hpp"
 
 namespace pml::quant {
 
@@ -36,21 +39,46 @@ PrecisionSearchResult search_min_precision(
     return a.bw < b.bw;
   });
 
+  // Evaluate candidates one num_threads-wide chunk at a time, in cost
+  // order.  Quantize + holdout accuracy is pure and deterministic, so the
+  // fan-out cannot change any value, and scanning each chunk serially
+  // keeps the winner, the sweep entries, and the early exit bit-identical
+  // to the old one-at-a-time search (num_threads == 1 IS that search; a
+  // wider chunk over-evaluates at most chunk-1 points past the winner and
+  // discards them from the sweep).
+  const std::size_t num_threads = std::max<std::size_t>(
+      1, std::min(cands.size(),
+                  options.num_threads != 0
+                      ? options.num_threads
+                      : std::max<std::size_t>(
+                            1, std::thread::hardware_concurrency())));
+  std::vector<double> accs(cands.size(), 0.0);
   bool found = false;
-  for (const Cand& c : cands) {
-    const QuantizedSvm q = quantize_svm(model, c.bx, c.bw);
-    const double acc = ml::accuracy(q.predict_all(holdout.X), holdout.y);
-    result.sweep.push_back({c.bx, c.bw, acc});
-    if (!found && acc + 1e-12 >= result.float_accuracy - options.tolerance) {
-      result.input_bits = c.bx;
-      result.weight_bits = c.bw;
-      result.quantized_accuracy = acc;
-      found = true;
-      // Keep sweeping to fill the sweep table?  No: the sweep is O(grid),
-      // and callers wanting the full surface use the sweep up to here plus
-      // explicit quantize_svm calls.  Stop at the winner.
-      break;
+  for (std::size_t begin = 0; begin < cands.size() && !found;) {
+    const std::size_t end = std::min(cands.size(), begin + num_threads);
+    std::atomic<std::size_t> next{begin};
+    util::run_workers(end - begin, next, end, [&](std::size_t /*thread*/) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= end) return;
+        const QuantizedSvm q = quantize_svm(model, cands[i].bx, cands[i].bw);
+        accs[i] = ml::accuracy(q.predict_all(holdout.X), holdout.y);
+      }
+    });
+    for (std::size_t i = begin; i < end; ++i) {
+      const double acc = accs[i];
+      result.sweep.push_back({cands[i].bx, cands[i].bw, acc});
+      if (acc + 1e-12 >= result.float_accuracy - options.tolerance) {
+        result.input_bits = cands[i].bx;
+        result.weight_bits = cands[i].bw;
+        result.quantized_accuracy = acc;
+        found = true;
+        // The sweep stops at the winner, exactly like the serial search:
+        // callers wanting the full surface use explicit quantize_svm calls.
+        break;
+      }
     }
+    begin = end;
   }
   if (!found) {
     // Fall back to the most precise configuration.

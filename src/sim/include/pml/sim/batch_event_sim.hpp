@@ -34,6 +34,7 @@
 #include "pml/netlist/module.hpp"
 #include "pml/sim/event_sim.hpp"
 #include "pml/sim/levelize.hpp"
+#include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
@@ -115,17 +116,6 @@ class BatchEventSimulator {
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
-  /// Compact per-cell evaluation record with unused pins remapped to the
-  /// constant-0 net (same layout trick as BatchSimulator::Op).
-  struct Op {
-    netlist::CellType type;
-    netlist::NetId a, b, s, out;
-  };
-  struct DffOp {
-    netlist::NetId d, q;
-    std::uint64_t init;  ///< power-on value broadcast to all lanes
-  };
-
   void schedule(std::size_t delay_ticks, netlist::NetId net,
                 std::uint64_t word);
   void run_wheel(bool count);
@@ -133,9 +123,9 @@ class BatchEventSimulator {
 
   const netlist::Module& module_;
   std::shared_ptr<const Levelization> lv_;
-  std::vector<int> delay_ticks_;  ///< per cell type
-  std::vector<Op> cell_ops_;      ///< indexed by cell; DFF entries unused
-  std::vector<DffOp> dffs_;
+  std::vector<int> delay_ticks_;   ///< per cell type
+  std::vector<SwarOp> cell_ops_;   ///< indexed by cell; DFF entries unused
+  std::vector<SwarDffOp> dffs_;
   std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
   std::vector<std::uint64_t> dff_state_;  ///< captured D words, per DFF
   /// Timing wheel: bucket [t % size] holds the (net, word) events applying

@@ -1,0 +1,130 @@
+#pragma once
+// 64-way bit-parallel (SWAR) zero-delay *fault-variant* simulator.
+//
+// The dual of BatchSimulator: instead of 64 samples through one unperturbed
+// design, the lanes of the uint64_t word per net are 64 stuck-at fault
+// variants of the SAME circuit evaluated on the SAME input.  Per-net
+// `force0`/`force1` lane-mask words are applied after each SWAR cell eval
+// (two extra bit-ops per cell, branch-free), so variant L sees net n stuck
+// at 0/1 exactly where bit L of the masks is set.  Functional results are
+// bit-identical, lane by lane, to a scalar CycleSimulator with the same
+// faults installed via force_net — the equivalence suite in
+// tests/test_sim_fault_batch.cpp proves it on generated sequential-SVM,
+// parallel-SVM, and random netlists.
+//
+// Lane 0 is reserved fault-free (set_fault rejects it): every batch of a
+// campaign carries the golden reference for free, and the lane-0 outputs
+// are guaranteed to equal an unfaulted run by construction.
+//
+// This is the engine behind core::run_fault_campaign, which packs fault
+// sets 63 per batch and shards batches across threads; the scalar
+// CycleSimulator::force_net path remains the oracle.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+#include "pml/sim/levelize.hpp"
+#include "pml/sim/swar.hpp"
+
+namespace pml::sim {
+
+class BatchFaultSimulator {
+ public:
+  /// Lanes per pass: one fault variant per bit of the SWAR word.  Lane 0
+  /// is the reserved fault-free reference, so kLanes - 1 variants fit.
+  static constexpr std::size_t kLanes = 64;
+
+  explicit BatchFaultSimulator(const netlist::Module& module);
+  /// Reuse a previously derived levelization (campaign workers across
+  /// threads share one instead of re-deriving it per simulator).
+  BatchFaultSimulator(const netlist::Module& module,
+                      std::shared_ptr<const Levelization> lv);
+
+  /// Restore all DFFs (every lane) to their power-on values, zero all
+  /// nets, and settle *with the installed faults applied* — the batch
+  /// equivalent of CycleSimulator::reset after force_net.
+  void reset();
+
+  // --- fault control --------------------------------------------------------
+  /// Stick `net` at `stuck_value` in fault variant `lane` (1 <= lane < 64;
+  /// lane 0 is the reserved fault-free reference).  Re-sticking the same
+  /// net in the same lane overwrites, like CycleSimulator::force_net.
+  /// Takes effect from the next reset()/propagate()/step().  Throws on
+  /// lane 0, out-of-range nets/lanes, and the constant nets.
+  void set_fault(netlist::NetId net, std::size_t lane, bool stuck_value);
+  /// Remove every fault from every lane.
+  void clear_faults();
+  /// Total installed (net, lane) stuck-at entries.
+  [[nodiscard]] std::size_t num_faults() const { return num_faults_; }
+  /// Per-lane stuck-at-0 / stuck-at-1 masks for a net (bit L = lane L).
+  [[nodiscard]] std::uint64_t fault0_mask(netlist::NetId net) const {
+    return force0_[net];
+  }
+  [[nodiscard]] std::uint64_t fault1_mask(netlist::NetId net) const {
+    return force1_[net];
+  }
+
+  // --- stimulus (broadcast: every variant sees the same input) --------------
+  /// Drive a primary-input net to `value` in all 64 lanes.
+  void set_net(netlist::NetId net, bool value);
+  /// Drive an input port (LSB first) with the low bits of `value`, all
+  /// lanes.
+  void set_port(const netlist::Port& port, std::uint64_t value);
+  void set_port(const std::string& name, std::uint64_t value);
+
+  // --- evaluation -----------------------------------------------------------
+  /// Propagate combinational logic for all lanes (no clock edge), faults
+  /// applied.
+  void propagate();
+  /// Clock every DFF (capture D into Q, all lanes) and re-settle.  As in
+  /// BatchSimulator, the pre-clock sweep is skipped when nothing changed
+  /// since the last propagate — faults are part of the fixpoint, so the
+  /// skip stays an observably-identical no-op.
+  void step();
+
+  // --- observation ----------------------------------------------------------
+  /// All 64 lanes of a net.
+  [[nodiscard]] std::uint64_t net_lanes(netlist::NetId net) const {
+    return values_[net];
+  }
+  [[nodiscard]] bool net(netlist::NetId net, std::size_t lane) const {
+    return ((values_[net] >> lane) & 1u) != 0;
+  }
+  /// Read a port in one fault variant as an unsigned integer (LSB first).
+  [[nodiscard]] std::uint64_t port_unsigned(const netlist::Port& port,
+                                            std::size_t lane) const;
+  [[nodiscard]] std::uint64_t port_unsigned(const std::string& name,
+                                            std::size_t lane) const;
+  /// Read a port in one fault variant as a two's complement signed integer.
+  [[nodiscard]] std::int64_t port_signed(const netlist::Port& port,
+                                         std::size_t lane) const;
+  [[nodiscard]] std::int64_t port_signed(const std::string& name,
+                                         std::size_t lane) const;
+
+  [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
+  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const Levelization& levelization() const { return *lv_; }
+
+ private:
+  /// Re-assert faults on source nets (PIs, DFF Qs) that are not rewritten
+  /// by the cell loop; cell outputs are masked inline after each eval.
+  void apply_faults_to_sources();
+
+  const netlist::Module& module_;
+  std::shared_ptr<const Levelization> lv_;
+  std::vector<SwarOp> ops_;      ///< levelized cells, pins flattened
+  std::vector<SwarDffOp> dffs_;
+  std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
+  std::vector<std::uint64_t> dff_state_;  ///< captured D, per DFF
+  std::vector<std::uint64_t> force0_;     ///< stuck-at-0 lane mask per net
+  std::vector<std::uint64_t> force1_;     ///< stuck-at-1 lane mask per net
+  std::vector<netlist::NetId> forced_nets_;  ///< nets with any mask bit set
+  std::size_t num_faults_ = 0;
+  std::uint64_t cycles_ = 0;
+  bool inputs_dirty_ = false;  ///< true if stimulus/faults changed
+};
+
+}  // namespace pml::sim

@@ -29,6 +29,7 @@
 
 #include "pml/netlist/module.hpp"
 #include "pml/sim/levelize.hpp"
+#include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
@@ -114,22 +115,10 @@ class BatchSimulator {
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
-  /// Compact evaluation record: levelized cells with pin indirection
-  /// flattened out of netlist::Cell (better cache behaviour in the one
-  /// loop that dominates verification time).
-  struct Op {
-    netlist::CellType type;
-    netlist::NetId a, b, s, out;
-  };
-  struct DffOp {
-    netlist::NetId d, q;
-    std::uint64_t init;  ///< power-on value broadcast to all lanes
-  };
-
   const netlist::Module& module_;
   std::shared_ptr<const Levelization> lv_;
-  std::vector<Op> ops_;
-  std::vector<DffOp> dffs_;
+  std::vector<SwarOp> ops_;      ///< levelized cells, pins flattened
+  std::vector<SwarDffOp> dffs_;
   std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
   std::vector<std::uint64_t> dff_state_;  ///< captured D, per DFF
   std::vector<std::uint64_t> toggles_;

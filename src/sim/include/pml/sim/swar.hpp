@@ -1,14 +1,18 @@
 #pragma once
 // 64-lane SWAR evaluation of one combinational cell: bit L of every word
 // is lane L's logic value, so a gate evaluates for 64 independent samples
-// in a handful of machine ops.  Shared by the zero-delay BatchSimulator
-// and the delay-accurate BatchEventSimulator so both engines agree with
-// netlist::eval_cell lane for lane by construction.
+// in a handful of machine ops.  Shared by the zero-delay BatchSimulator,
+// the stuck-at BatchFaultSimulator, and the delay-accurate
+// BatchEventSimulator so all three engines agree with netlist::eval_cell
+// lane for lane by construction — along with the flattened Op-list layout
+// and port read helpers they have in common.
 
 #include <cstdint>
 #include <stdexcept>
+#include <vector>
 
-#include "pml/netlist/types.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sim/levelize.hpp"
 
 namespace pml::sim {
 
@@ -42,6 +46,73 @@ namespace pml::sim {
     default:
       throw std::logic_error("eval_cell_lanes: not a combinational cell");
   }
+}
+
+/// Compact per-cell evaluation record with the pin indirection flattened
+/// out of netlist::Cell (better cache behaviour in the loops that
+/// dominate batch-simulation time).  Unused pins are remapped to the
+/// constant-0 net so every load in a hot loop is in bounds without
+/// per-op pin-count branching.
+struct SwarOp {
+  netlist::CellType type;
+  netlist::NetId a, b, s, out;
+};
+struct SwarDffOp {
+  netlist::NetId d, q;
+  std::uint64_t init;  ///< power-on value broadcast to all lanes
+};
+
+[[nodiscard]] inline SwarOp flatten_cell(const netlist::Cell& c) {
+  return SwarOp{c.type,
+                c.in[0] == netlist::kInvalidNet ? netlist::kConst0 : c.in[0],
+                c.in[1] == netlist::kInvalidNet ? netlist::kConst0 : c.in[1],
+                c.in[2] == netlist::kInvalidNet ? netlist::kConst0 : c.in[2],
+                c.out};
+}
+
+/// Combinational cells in levelized evaluation order (BatchSimulator,
+/// BatchFaultSimulator).
+[[nodiscard]] inline std::vector<SwarOp> swar_comb_ops(
+    const netlist::Module& module, const Levelization& lv) {
+  std::vector<SwarOp> ops;
+  ops.reserve(lv.comb_order.size());
+  for (const std::uint32_t idx : lv.comb_order) {
+    ops.push_back(flatten_cell(module.cells()[idx]));
+  }
+  return ops;
+}
+
+/// Every cell, indexed by cell id (BatchEventSimulator's wake table).
+[[nodiscard]] inline std::vector<SwarOp> swar_cell_ops(
+    const netlist::Module& module) {
+  std::vector<SwarOp> ops;
+  ops.reserve(module.cells().size());
+  for (const netlist::Cell& c : module.cells()) {
+    ops.push_back(flatten_cell(c));
+  }
+  return ops;
+}
+
+[[nodiscard]] inline std::vector<SwarDffOp> swar_dff_ops(
+    const netlist::Module& module, const Levelization& lv) {
+  std::vector<SwarDffOp> dffs;
+  dffs.reserve(lv.dffs.size());
+  for (const std::uint32_t idx : lv.dffs) {
+    const netlist::Cell& c = module.cells()[idx];
+    dffs.push_back(SwarDffOp{c.in[0], c.out,
+                             c.dff_init ? ~std::uint64_t{0} : 0});
+  }
+  return dffs;
+}
+
+/// Two's complement reading of a `bits`-wide raw port value.
+[[nodiscard]] inline std::int64_t sign_extend_port(std::uint64_t raw,
+                                                   std::size_t bits) {
+  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
+  if (bits < 64 && (raw & sign)) {
+    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
+  }
+  return static_cast<std::int64_t>(raw);
 }
 
 }  // namespace pml::sim

@@ -43,24 +43,8 @@ BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
   }
   wheel_.assign(static_cast<std::size_t>(max_delay) + 1, {});
 
-  const auto& cells = module_.cells();
-  cell_ops_.reserve(cells.size());
-  for (const Cell& c : cells) {
-    cell_ops_.push_back(Op{c.type,
-                           c.in[0] == netlist::kInvalidNet ? netlist::kConst0
-                                                           : c.in[0],
-                           c.in[1] == netlist::kInvalidNet ? netlist::kConst0
-                                                           : c.in[1],
-                           c.in[2] == netlist::kInvalidNet ? netlist::kConst0
-                                                           : c.in[2],
-                           c.out});
-  }
-  dffs_.reserve(lv_->dffs.size());
-  for (const std::uint32_t idx : lv_->dffs) {
-    const Cell& c = cells[idx];
-    dffs_.push_back(
-        DffOp{c.in[0], c.out, c.dff_init ? ~std::uint64_t{0} : 0});
-  }
+  cell_ops_ = swar_cell_ops(module_);
+  dffs_ = swar_dff_ops(module_, *lv_);
   values_.assign(module_.num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
   cell_epoch_.assign(cells.size(), 0);
@@ -93,7 +77,7 @@ void BatchEventSimulator::full_settle_zero_delay() {
   // Levelized consistent assignment used for initialization only (mirrors
   // EventSimulator::full_settle_zero_delay, 64 lanes at a time).
   for (const std::uint32_t idx : lv_->comb_order) {
-    const Op& op = cell_ops_[idx];
+    const SwarOp& op = cell_ops_[idx];
     values_[op.out] =
         eval_cell_lanes(op.type, values_[op.a], values_[op.b], values_[op.s]);
   }
@@ -183,7 +167,7 @@ void BatchEventSimulator::run_wheel(bool count) {
       // Phase 2: re-evaluate each affected gate once (all 64 lanes in one
       // pass); schedule its response after the gate delay.
       for (const std::uint32_t ci : touched_cells_) {
-        const Op& op = cell_ops_[ci];
+        const SwarOp& op = cell_ops_[ci];
         const std::uint64_t out = eval_cell_lanes(op.type, values_[op.a],
                                                   values_[op.b], values_[op.s]);
         schedule(static_cast<std::size_t>(
@@ -245,13 +229,7 @@ std::int64_t BatchEventSimulator::port_signed(const std::string& name,
   const Port* port = module_.find_output(name);
   if (port == nullptr) port = module_.find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  const std::uint64_t raw = port_unsigned(*port, lane);
-  const int bits = static_cast<int>(port->nets.size());
-  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
-  if (bits < 64 && (raw & sign)) {
-    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
-  }
-  return static_cast<std::int64_t>(raw);
+  return sign_extend_port(port_unsigned(*port, lane), port->nets.size());
 }
 
 }  // namespace pml::sim

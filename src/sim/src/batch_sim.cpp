@@ -21,27 +21,8 @@ BatchSimulator::BatchSimulator(const netlist::Module& module,
   if (lv_ == nullptr) {
     throw std::invalid_argument("BatchSimulator: null levelization");
   }
-  const auto& cells = module_.cells();
-  ops_.reserve(lv_->comb_order.size());
-  for (const std::uint32_t idx : lv_->comb_order) {
-    const Cell& c = cells[idx];
-    // Unused pins are remapped to the constant-0 net so every load in the
-    // hot loop is in bounds without per-op pin-count branching.
-    ops_.push_back(Op{c.type,
-                      c.in[0] == netlist::kInvalidNet ? netlist::kConst0
-                                                      : c.in[0],
-                      c.in[1] == netlist::kInvalidNet ? netlist::kConst0
-                                                      : c.in[1],
-                      c.in[2] == netlist::kInvalidNet ? netlist::kConst0
-                                                      : c.in[2],
-                      c.out});
-  }
-  dffs_.reserve(lv_->dffs.size());
-  for (const std::uint32_t idx : lv_->dffs) {
-    const Cell& c = cells[idx];
-    dffs_.push_back(
-        DffOp{c.in[0], c.out, c.dff_init ? ~std::uint64_t{0} : 0});
-  }
+  ops_ = swar_comb_ops(module_, *lv_);
+  dffs_ = swar_dff_ops(module_, *lv_);
   values_.assign(module_.num_nets(), 0);
   toggles_.assign(module_.num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
@@ -120,7 +101,7 @@ void BatchSimulator::set_port_broadcast(const std::string& name,
 
 void BatchSimulator::propagate() {
   const std::uint64_t* const v = values_.data();
-  for (const Op& op : ops_) {
+  for (const SwarOp& op : ops_) {
     const std::uint64_t out =
         eval_cell_lanes(op.type, v[op.a], v[op.b], v[op.s]);
     const std::uint64_t diff = (out ^ values_[op.out]) & active_mask_;
@@ -172,13 +153,7 @@ std::uint64_t BatchSimulator::port_unsigned(const std::string& name,
 
 std::int64_t BatchSimulator::port_signed(const Port& port,
                                          std::size_t lane) const {
-  const std::uint64_t raw = port_unsigned(port, lane);
-  const int bits = static_cast<int>(port.nets.size());
-  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
-  if (bits < 64 && (raw & sign)) {
-    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
-  }
-  return static_cast<std::int64_t>(raw);
+  return sign_extend_port(port_unsigned(port, lane), port.nets.size());
 }
 
 std::int64_t BatchSimulator::port_signed(const std::string& name,

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "pml/sim/swar.hpp"
+
 namespace pml::sim {
 
 using netlist::Cell;
@@ -137,13 +139,7 @@ std::uint64_t CycleSimulator::port_unsigned(const std::string& name) const {
 }
 
 std::int64_t CycleSimulator::port_signed(const Port& port) const {
-  const std::uint64_t raw = port_unsigned(port);
-  const int bits = static_cast<int>(port.nets.size());
-  const std::uint64_t sign = std::uint64_t{1} << (bits - 1);
-  if (bits < 64 && (raw & sign)) {
-    return static_cast<std::int64_t>(raw | ~((std::uint64_t{1} << bits) - 1));
-  }
-  return static_cast<std::int64_t>(raw);
+  return sign_extend_port(port_unsigned(port), port.nets.size());
 }
 
 std::int64_t CycleSimulator::port_signed(const std::string& name) const {

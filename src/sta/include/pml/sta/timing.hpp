@@ -8,11 +8,13 @@
 // outputs (t=clk-to-Q); sinks are primary outputs and DFF D pins
 // (+setup).  The critical path is also extracted for reporting.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pml/cells/library.hpp"
 #include "pml/netlist/module.hpp"
+#include "pml/sim/levelize.hpp"
 
 namespace pml::sta {
 
@@ -35,5 +37,13 @@ struct TimingReport {
 /// (combinationally); Module::validate() reports violations first.
 [[nodiscard]] TimingReport analyze(const netlist::Module& module,
                                    const cells::CellLibrary& lib);
+
+/// As above, but reuse a previously derived levelization (for the
+/// topological order and fanout lists) instead of re-deriving one —
+/// evaluate_circuit shares a single derivation across verification,
+/// timing, activity collection, and power.
+[[nodiscard]] TimingReport analyze(
+    const netlist::Module& module, const cells::CellLibrary& lib,
+    const std::shared_ptr<const sim::Levelization>& lv);
 
 }  // namespace pml::sta

@@ -1,8 +1,7 @@
 #include "pml/sta/timing.hpp"
 
 #include <algorithm>
-
-#include "pml/sim/levelize.hpp"
+#include <stdexcept>
 
 namespace pml::sta {
 
@@ -12,7 +11,16 @@ using netlist::NetId;
 
 TimingReport analyze(const netlist::Module& module,
                      const cells::CellLibrary& lib) {
-  const auto lv = sim::levelize(module);
+  return analyze(module, lib, sim::levelize_shared(module));
+}
+
+TimingReport analyze(const netlist::Module& module,
+                     const cells::CellLibrary& lib,
+                     const std::shared_ptr<const sim::Levelization>& lv_ptr) {
+  if (lv_ptr == nullptr) {
+    throw std::invalid_argument("sta::analyze: null levelization");
+  }
+  const sim::Levelization& lv = *lv_ptr;
   const auto& cells = module.cells();
 
   const double clk_to_q = lib.params(CellType::kDff).delay_ms;

@@ -1,0 +1,61 @@
+#pragma once
+// Shared worker-pool runner for the batched drivers (verify_workload,
+// collect_activity, run_fault_campaign, search_min_precision).
+//
+// All of them share one shape: an atomic claim counter hands out work
+// indices, each worker owns per-thread state (usually a simulator) and
+// loops claiming until the queue is exhausted, and a worker that throws
+// must stop its siblings and surface the first exception to the caller.
+// This header is that shape, written once.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace pml::util {
+
+/// Run `worker(thread_index)` on `num_threads` threads (the calling
+/// thread is index 0; `num_threads <= 1` runs inline with no spawn).
+/// Workers claim work from `queue` themselves; when one throws, `queue`
+/// is stored to `drain_to` so siblings stop claiming, every thread is
+/// joined, and the first exception is rethrown.  Thread-spawn failure
+/// drains and joins the already-running workers before rethrowing.
+template <typename Worker>
+void run_workers(std::size_t num_threads, std::atomic<std::size_t>& queue,
+                 std::size_t drain_to, Worker&& worker) {
+  if (num_threads <= 1) {
+    worker(std::size_t{0});
+    return;
+  }
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto guarded = [&](std::size_t t) {
+    try {
+      worker(t);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+      queue.store(drain_to, std::memory_order_relaxed);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  try {
+    for (std::size_t t = 1; t < num_threads; ++t) {
+      pool.emplace_back(guarded, t);
+    }
+  } catch (...) {
+    queue.store(drain_to, std::memory_order_relaxed);
+    for (auto& th : pool) th.join();
+    throw;
+  }
+  guarded(0);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pml::util

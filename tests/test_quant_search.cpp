@@ -80,6 +80,31 @@ TEST(Search, FallsBackToMaxPrecision) {
   EXPECT_EQ(r.weight_bits, 5);
 }
 
+TEST(Search, ParallelEvaluationIsBitIdenticalToSerial) {
+  // The candidate fan-out across threads must not change the winner, the
+  // accuracies, or the sweep's cost-ordered prefix shape.
+  const Trained s = trained(ml::UciProfile::kCardio);
+  PrecisionSearchOptions serial;
+  serial.num_threads = 1;
+  const auto base = search_min_precision(s.model, s.holdout, serial);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{5},
+                                    std::size_t{16}, std::size_t{0}}) {
+    PrecisionSearchOptions par = serial;
+    par.num_threads = threads;
+    const auto r = search_min_precision(s.model, s.holdout, par);
+    EXPECT_EQ(r.input_bits, base.input_bits);
+    EXPECT_EQ(r.weight_bits, base.weight_bits);
+    EXPECT_EQ(r.float_accuracy, base.float_accuracy);
+    EXPECT_EQ(r.quantized_accuracy, base.quantized_accuracy);
+    ASSERT_EQ(r.sweep.size(), base.sweep.size());
+    for (std::size_t i = 0; i < base.sweep.size(); ++i) {
+      EXPECT_EQ(r.sweep[i].input_bits, base.sweep[i].input_bits);
+      EXPECT_EQ(r.sweep[i].weight_bits, base.sweep[i].weight_bits);
+      EXPECT_EQ(r.sweep[i].accuracy, base.sweep[i].accuracy);
+    }
+  }
+}
+
 TEST(Search, RejectsEmptyHoldout) {
   const Trained s = trained(ml::UciProfile::kCardio);
   ml::Dataset empty;

@@ -111,6 +111,23 @@ TEST(Sta, ConstantDesignGetsNominalPeriod) {
   EXPECT_GT(rep.max_frequency_hz, 0.0);
 }
 
+TEST(Sta, SharedLevelizationOverloadMatchesAndRejectsNull) {
+  Module m;
+  const auto a = m.add_input_port("a", 2);
+  const auto x = m.add_gate_raw(CellType::kXor2, a[0], a[1]);
+  const auto q = m.dff(x, false);
+  m.add_output_port("y", {m.add_gate_raw(CellType::kAnd2, q, a[0])});
+  const auto lib = unit_library();
+  const auto lv = sim::levelize_shared(m);
+  const auto fresh = analyze(m, lib);
+  const auto shared = analyze(m, lib, lv);
+  EXPECT_DOUBLE_EQ(shared.critical_path_ms, fresh.critical_path_ms);
+  EXPECT_EQ(shared.logic_depth, fresh.logic_depth);
+  EXPECT_EQ(shared.sink_description, fresh.sink_description);
+  EXPECT_EQ(shared.critical_path.size(), fresh.critical_path.size());
+  EXPECT_THROW((void)analyze(m, lib, nullptr), std::invalid_argument);
+}
+
 TEST(Sta, RealLibraryGivesHzRangeForClassifierDepth) {
   // ~50 levels of printed logic must land in the tens-of-Hz range the
   // paper reports.
