@@ -47,7 +47,7 @@ BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
   dffs_ = swar_dff_ops(module_, *lv_);
   values_.assign(module_.num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
-  cell_epoch_.assign(cells.size(), 0);
+  cell_epoch_.assign(module_.cells().size(), 0);
   activity_.net_toggles.assign(module_.num_nets(), 0);
   reset();
 }
