@@ -14,6 +14,7 @@
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
 #include "pml/netlist/verilog.hpp"
+#include "pml/power/power.hpp"
 #include "pml/sim/cycle_sim.hpp"
 #include "pml/sim/vcd.hpp"
 
@@ -33,6 +34,27 @@ int main(int argc, char** argv) {
   const core::SequentialSvmDesign design = core::design_sequential_svm(
       train, test, cells::CellLibrary::egfet(), options);
   const netlist::Module& module = design.circuit.module;
+
+  // Optimizer scoreboard: the Verilog below is the *compacted* netlist.
+  const opt::OptReport& opt = design.circuit.opt;
+  const cells::CellLibrary lib = cells::CellLibrary::egfet();
+  std::cout << "optimizer: " << opt.before.num_cells << " -> "
+            << opt.after.num_cells << " cells ("
+            << static_cast<int>(opt.cell_reduction() * 100.0 + 0.5)
+            << "% removed), " << opt.before.num_dffs << " -> "
+            << opt.after.num_dffs << " DFFs, " << opt.before.num_nets
+            << " -> " << opt.after.num_nets << " nets\n"
+            << "           area " << power::area_cm2(opt.before, lib)
+            << " -> " << power::area_cm2(opt.after, lib)
+            << " cm2, static power "
+            << power::static_power_mw(opt.before, lib) << " -> "
+            << power::static_power_mw(opt.after, lib) << " mW\n";
+  for (const auto& d : opt.totals_by_pass()) {
+    std::cout << "           " << d.pass << ": -" << d.cells_removed
+              << " cells (-" << d.dffs_removed << " DFFs), -"
+              << d.nets_removed << " nets, " << d.cells_retyped
+              << " retyped\n";
+  }
 
   // 1. Structural Verilog.
   const std::string v_path = out_dir + "/seq_svm.v";

@@ -7,6 +7,7 @@
 // over the output logits.  Bit-exact twin of quant::QuantizedMlp.
 
 #include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
 #include "pml/quant/mlp_quant.hpp"
 
 namespace pml::arch {
@@ -15,10 +16,13 @@ struct MlpCircuit {
   netlist::Module module;
   int cycles_per_inference = 1;  ///< combinational
   int class_bits = 0;
+  /// Post-generation optimization report (`opt.before` = raw stats).
+  opt::OptReport opt;
 };
 
 /// Ports: inputs "x0".."x{m-1}"; output "class".
-[[nodiscard]] MlpCircuit build_mlp_circuit(const quant::QuantizedMlp& model);
+[[nodiscard]] MlpCircuit build_mlp_circuit(const quant::QuantizedMlp& model,
+                                           const opt::OptOptions& opt_options = {});
 
 /// TC'23-style approximation: truncate the CSD expansion of every weight
 /// to `max_csd_digits` digits (apply before build_mlp_circuit and use the

@@ -14,6 +14,7 @@
 // supports the sequential-vs-parallel ablation at equal algorithm.
 
 #include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
 #include "pml/quant/svm_quant.hpp"
 
 namespace pml::arch {
@@ -22,6 +23,8 @@ struct ParallelSvmCircuit {
   netlist::Module module;
   int cycles_per_inference = 1;  ///< combinational: one (long) cycle
   int class_bits = 0;
+  /// Post-generation optimization report (`opt.before` = raw stats).
+  opt::OptReport opt;
 };
 
 /// How each classifier block accumulates its weighted sum.
@@ -37,6 +40,8 @@ enum class Accumulator {
 
 struct ParallelSvmOptions {
   Accumulator accumulator = Accumulator::kChain;
+  /// Post-generation optimization (disable for the raw netlist).
+  opt::OptOptions opt;
 };
 
 /// Ports: inputs "x0".."x{m-1}"; output "class".

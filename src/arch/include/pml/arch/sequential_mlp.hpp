@@ -18,6 +18,7 @@
 // Bit-exact twin of quant::QuantizedMlp (same as the parallel generator).
 
 #include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
 #include "pml/quant/mlp_quant.hpp"
 
 namespace pml::arch {
@@ -26,10 +27,12 @@ struct SequentialMlpCircuit {
   netlist::Module module;
   int cycles_per_inference = 0;  ///< = hidden + outputs
   int class_bits = 0;
+  /// Post-generation optimization report (`opt.before` = raw stats).
+  opt::OptReport opt;
 };
 
 /// Ports: inputs "x0".."x{m-1}"; outputs "class", "done".
 [[nodiscard]] SequentialMlpCircuit build_sequential_mlp(
-    const quant::QuantizedMlp& model);
+    const quant::QuantizedMlp& model, const opt::OptOptions& opt_options = {});
 
 }  // namespace pml::arch

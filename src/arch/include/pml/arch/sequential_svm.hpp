@@ -19,6 +19,7 @@
 // reset.
 
 #include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
 #include "pml/quant/svm_quant.hpp"
 
 namespace pml::arch {
@@ -34,14 +35,18 @@ struct SequentialSvmCircuit {
   int cycles_per_inference = 0;  ///< = n classes
   int score_bits = 0;
   int class_bits = 0;
+  /// Post-generation optimization report; `opt.before` holds the raw
+  /// generator stats, `module` is the optimized netlist.
+  opt::OptReport opt;
 };
 
-/// Generate the circuit for an OvR-quantized SVM.  Ports:
+/// Generate the circuit for an OvR-quantized SVM and run the opt pipeline
+/// on it (disable via opt_options.enabled for the raw netlist).  Ports:
 ///   inputs  "x0".."x{m-1}" (input_format.total_bits each, unsigned),
 ///   outputs "class" (ceil(log2 n) bits), "done" (1 bit),
 ///           "score" (score_bits, the current cycle's weighted sum —
 ///           exposed for verification and the Fig. 1 activity bench).
 [[nodiscard]] SequentialSvmCircuit build_sequential_svm(
-    const quant::QuantizedSvm& model);
+    const quant::QuantizedSvm& model, const opt::OptOptions& opt_options = {});
 
 }  // namespace pml::arch

@@ -31,7 +31,8 @@ quant::QuantizedMlp approximate_mlp_csd(quant::QuantizedMlp model,
   return model;
 }
 
-MlpCircuit build_mlp_circuit(const quant::QuantizedMlp& model) {
+MlpCircuit build_mlp_circuit(const quant::QuantizedMlp& model,
+                             const opt::OptOptions& opt_options) {
   const int m = model.num_inputs;
   const int h = model.num_hidden;
   const int n = model.num_outputs;
@@ -117,6 +118,7 @@ MlpCircuit build_mlp_circuit(const quant::QuantizedMlp& model) {
 
   out.class_bits = cls.width();
   mod.add_output_port("class", cls.bits);
+  out.opt = opt::optimize(mod, opt_options);
   return out;
 }
 

@@ -79,6 +79,7 @@ ParallelSvmCircuit build_parallel_svm(const quant::QuantizedSvm& model,
 
   out.class_bits = cls.width();
   mod.add_output_port("class", cls.bits);
+  out.opt = opt::optimize(mod, options.opt);
   return out;
 }
 

@@ -40,7 +40,8 @@ int width_for_words(const std::vector<std::int64_t>& words, int at_least) {
 
 }  // namespace
 
-SequentialMlpCircuit build_sequential_mlp(const quant::QuantizedMlp& model) {
+SequentialMlpCircuit build_sequential_mlp(const quant::QuantizedMlp& model,
+                                          const opt::OptOptions& opt_options) {
   const int m_in = model.num_inputs;
   const int h = model.num_hidden;
   const int n = model.num_outputs;
@@ -210,6 +211,7 @@ SequentialMlpCircuit build_sequential_mlp(const quant::QuantizedMlp& model) {
   // Observability for verification/debug benches: the engines' outputs.
   mod.add_output_port("hval", hval.bits);
   mod.add_output_port("score", score.bits);
+  out.opt = opt::optimize(mod, opt_options);
   return out;
 }
 

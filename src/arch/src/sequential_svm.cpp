@@ -18,7 +18,8 @@ using netlist::Module;
 using netlist::NetId;
 using synth::Bus;
 
-SequentialSvmCircuit build_sequential_svm(const quant::QuantizedSvm& model) {
+SequentialSvmCircuit build_sequential_svm(const quant::QuantizedSvm& model,
+                                          const opt::OptOptions& opt_options) {
   if (model.strategy != ml::MulticlassStrategy::kOneVsRest) {
     throw std::invalid_argument(
         "build_sequential_svm: model must be One-vs-Rest");
@@ -124,6 +125,10 @@ SequentialSvmCircuit build_sequential_svm(const quant::QuantizedSvm& model) {
   mod.add_output_port("class", best_id.bits);
   mod.add_output_port("done", {ctr.at_last});
   mod.add_output_port("score", score.bits);
+
+  // Post-generation cleanup: what the paper's synthesis step does to the
+  // hardwired-coefficient logic.  Ports survive; interior NetIds don't.
+  out.opt = opt::optimize(mod, opt_options);
   return out;
 }
 

@@ -20,6 +20,7 @@
 #include "pml/core/hardware_report.hpp"
 #include "pml/core/verify.hpp"
 #include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
 
 namespace pml::core {
 
@@ -43,6 +44,12 @@ struct EvaluateOptions {
   /// is managed by evaluate_circuit itself; `max_mismatches` is honored
   /// when set, and defaults to fail-fast under require_bit_exact.
   VerifyOptions verify;
+  /// Run the opt pipeline on a copy of the module before levelization —
+  /// verification, timing, activity, and power then all see the compacted
+  /// netlist (a fast no-op when the arch generator already optimized).
+  /// Disable via optimize.enabled to measure the module exactly as
+  /// handed in.  Pre/post ModuleStats land in the HardwareReport.
+  opt::OptOptions optimize;
 };
 
 /// Evaluate `module` (inputs "x0".."x{m-1}", output "class") over the

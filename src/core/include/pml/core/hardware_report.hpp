@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "pml/netlist/module.hpp"
 #include "pml/power/power.hpp"
 
 namespace pml::core {
@@ -27,6 +28,17 @@ struct HardwareReport {
   std::size_t num_dffs = 0;
   int cycles_per_inference = 1;
   std::vector<power::GroupReport> groups;
+
+  /// Netlist shape before/after the opt pipeline.  evaluate_circuit fills
+  /// both from what it was handed; the flows overwrite `pre_opt_stats`
+  /// with the raw generator stats (arch builders optimize before
+  /// returning), so a Table I row reports generation -> final.
+  netlist::ModuleStats pre_opt_stats;
+  netlist::ModuleStats post_opt_stats;
+  /// Fraction of cells the optimizer removed (pre -> post).
+  [[nodiscard]] double opt_cell_reduction() const {
+    return netlist::cell_reduction(pre_opt_stats, post_opt_stats);
+  }
 
   /// Set when the gate-level predictions matched the integer software
   /// model on every verification sample (the flow requires this).

@@ -39,6 +39,7 @@ ParallelSvmBaseline build_parallel_svm_baseline(
   out.hw.dataset = train.name;
   out.hw.model = options.approx_csd_digits >= 0 ? "SVM [3]" : "SVM [2]";
   out.hw.accuracy = ml::accuracy(out.quantized.predict_all(test.X), test.y);
+  out.hw.pre_opt_stats = out.circuit.opt.before;  // raw generator shape
   return out;
 }
 
@@ -76,6 +77,7 @@ MlpBaseline build_mlp_baseline(const ml::Dataset& train,
   out.hw.dataset = train.name;
   out.hw.model = "MLP [4]";
   out.hw.accuracy = ml::accuracy(out.quantized.predict_all(test.X), test.y);
+  out.hw.pre_opt_stats = out.circuit.opt.before;  // raw generator shape
   return out;
 }
 

@@ -27,14 +27,28 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   }
 
   HardwareReport rep;
-  const auto stats = module.stats();
-  rep.num_cells = stats.num_cells;
-  rep.num_dffs = stats.num_dffs;
   rep.cycles_per_inference = cycles_per_inference;
+
+  // Opt pipeline on a copy (the caller's module is untouched), so every
+  // downstream analysis — verification, STA, activity replay, power —
+  // sees the compacted netlist.  Already-optimized modules converge in
+  // one cheap sweep.
+  rep.pre_opt_stats = module.stats();
+  netlist::Module optimized;
+  const netlist::Module* mp = &module;
+  if (options.optimize.enabled) {
+    optimized = module;
+    (void)opt::optimize(optimized, options.optimize);
+    mp = &optimized;
+  }
+  const netlist::Module& mod = *mp;
+  rep.post_opt_stats = mod.stats();
+  rep.num_cells = rep.post_opt_stats.num_cells;
+  rep.num_dffs = rep.post_opt_stats.num_dffs;
 
   // One levelization per circuit, shared by the batch-verification workers
   // and the event simulator below instead of re-derived per simulator.
-  const auto lv = sim::levelize_shared(module);
+  const auto lv = sim::levelize_shared(mod);
 
   // --- 1. functional verification (full workload, zero-delay) -------------
   // Batched 64-way bit-parallel simulation sharded across threads; the
@@ -49,7 +63,7 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
     vopts.max_mismatches = 1;
   }
   const VerifyResult vr =
-      verify_workload(module, cycles_per_inference, workload, vopts);
+      verify_workload(mod, cycles_per_inference, workload, vopts);
   if (!vr.ok() && options.require_bit_exact) {
     const VerifyMismatch& m = *vr.first;
     throw std::runtime_error(
@@ -64,7 +78,7 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.verified_mismatches = vr.mismatches;
 
   // --- 2. timing (shared levelization) --------------------------------------
-  const sta::TimingReport timing = sta::analyze(module, lib, lv);
+  const sta::TimingReport timing = sta::analyze(mod, lib, lv);
   rep.logic_depth = timing.logic_depth;
   const double period_ms = timing.critical_path_ms;
 
@@ -80,9 +94,9 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   aopts.time_quantum_ms = options.time_quantum_ms;
   aopts.levelization = lv;
   const sim::ActivityStats activity = collect_activity(
-      module, lib, cycles_per_inference, workload, n_power, aopts);
+      mod, lib, cycles_per_inference, workload, n_power, aopts);
   const power::PowerReport pr =
-      power::estimate(module, lib, activity, n_power,
+      power::estimate(mod, lib, activity, n_power,
                       static_cast<std::size_t>(cycles_per_inference),
                       period_ms, lv);
 

@@ -71,6 +71,9 @@ SequentialSvmDesign design_sequential_svm(
   design.hw.dataset = train.name;
   design.hw.model = "Ours";
   design.hw.accuracy = design.quantized_test_accuracy;
+  // The generator already ran the opt pipeline, so evaluate_circuit saw an
+  // optimized module; report the raw-generation shape as the "pre" side.
+  design.hw.pre_opt_stats = design.circuit.opt.before;
   return design;
 }
 

@@ -47,6 +47,15 @@ struct ModuleStats {
   std::vector<std::vector<std::size_t>> counts_by_group;
 };
 
+/// Fraction of cells removed between two stats snapshots (0 when `before`
+/// was empty); shared by opt::OptReport and core::HardwareReport.
+[[nodiscard]] inline double cell_reduction(const ModuleStats& before,
+                                           const ModuleStats& after) {
+  if (before.num_cells == 0) return 0.0;
+  return 1.0 - static_cast<double>(after.num_cells) /
+                   static_cast<double>(before.num_cells);
+}
+
 class Module {
  public:
   explicit Module(std::string name = "top");
@@ -123,8 +132,37 @@ class Module {
   // --- analysis support -----------------------------------------------------
   /// Index of the cell driving each net, or -1 for constants/PIs.
   [[nodiscard]] std::vector<std::int32_t> driver_map() const;
+  /// Readers per net, counting both cell input pins and output-port bits
+  /// (so a net that only feeds a port still shows a nonzero fanout).
+  [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
   /// True if `net` is a primary input net.
   [[nodiscard]] bool is_primary_input(NetId net) const;
+
+  // --- optimizer support ----------------------------------------------------
+  /// Mutable access to one cell, for in-place rewrites by pml::opt passes
+  /// (e.g. retyping NAND2(a,a) to INV(a)).  Callers own the invariants;
+  /// run validate() (the optimizer does, in debug builds) after mutating.
+  [[nodiscard]] Cell& cell_mut(std::size_t index) { return cells_[index]; }
+
+  struct RewriteStats {
+    std::size_t cells_removed = 0;
+    std::size_t nets_removed = 0;
+  };
+  /// Net-rewrite + compaction primitive for optimization passes.
+  ///
+  /// `net_map[n]` names the net to be read wherever `n` was read (identity
+  /// for unaffected nets; chains are resolved transitively); cells with
+  /// `keep_cell[i] == false` are deleted.  Afterwards every net no longer
+  /// referenced by a surviving cell pin, input port, or (remapped) output
+  /// port is dropped and the remaining nets are renumbered densely, in
+  /// their original order, so the result is deterministic.  Ports keep
+  /// their names, widths, and order; cells keep their group tags.
+  ///
+  /// Outstanding NetIds other than the ports' are invalidated; the
+  /// structural-hash table of add_gate is reset (gates added afterwards
+  /// no longer share with pre-rewrite cells).
+  RewriteStats apply_rewrite(std::vector<NetId> net_map,
+                             const std::vector<bool>& keep_cell);
 
   [[nodiscard]] ModuleStats stats() const;
 

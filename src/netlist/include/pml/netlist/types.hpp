@@ -7,6 +7,7 @@
 // area analyses see one uniform representation.
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace pml::netlist {
@@ -50,5 +51,15 @@ inline constexpr NetId kInvalidNet = 0xFFFFFFFFu;
 /// (e.g. "storage", "compute", "voter", "control" in the paper's Fig. 1).
 using GroupId = std::uint16_t;
 inline constexpr GroupId kDefaultGroup = 0;
+
+/// The pure-dissolve subset of the peephole identities: the cell's value
+/// equals an *existing* net (a constant or one of its inputs), so no gate
+/// is needed at all.  Single source of truth shared by Module::add_gate's
+/// creation-time folding and opt::propagate_constants; rules that need a
+/// new or retyped gate (e.g. NAND2(1, b) -> INV(b)) live with each caller.
+/// kDff always returns nullopt (its rules need the power-on value).
+[[nodiscard]] std::optional<NetId> fold_to_existing(CellType type, NetId a,
+                                                    NetId b = kInvalidNet,
+                                                    NetId s = kInvalidNet);
 
 }  // namespace pml::netlist

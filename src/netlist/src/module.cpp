@@ -65,71 +65,43 @@ GroupId Module::begin_group(const std::string& name) {
 }
 
 std::optional<NetId> Module::fold(CellType type, NetId a, NetId b, NetId s) {
+  // Buffers are free in the IR (loading is modelled by fanout); all other
+  // "value equals an existing net" identities live in fold_to_existing,
+  // shared with opt::propagate_constants.  What remains here are the
+  // rules that *create* gates, which only the Module can do.
+  if (auto existing = fold_to_existing(type, a, b, s)) return existing;
   const bool a0 = (a == kConst0), a1 = (a == kConst1);
   const bool b0 = (b == kConst0), b1 = (b == kConst1);
   switch (type) {
-    case CellType::kBuf:
-      return a;  // buffers are free in the IR; loading is modelled by fanout
-    case CellType::kInv:
-      if (a0) return kConst1;
-      if (a1) return kConst0;
-      return std::nullopt;
     case CellType::kNand2:
-      if (a0 || b0) return kConst1;
       if (a1) return inv(b);
       if (b1) return inv(a);
       if (a == b) return inv(a);
       return std::nullopt;
     case CellType::kNor2:
-      if (a1 || b1) return kConst0;
       if (a0) return inv(b);
       if (b0) return inv(a);
       if (a == b) return inv(a);
       return std::nullopt;
-    case CellType::kAnd2:
-      if (a0 || b0) return kConst0;
-      if (a1) return b;
-      if (b1) return a;
-      if (a == b) return a;
-      return std::nullopt;
-    case CellType::kOr2:
-      if (a1 || b1) return kConst1;
-      if (a0) return b;
-      if (b0) return a;
-      if (a == b) return a;
-      return std::nullopt;
     case CellType::kXor2:
-      if (a0) return b;
-      if (b0) return a;
       if (a1) return inv(b);
       if (b1) return inv(a);
-      if (a == b) return kConst0;
       return std::nullopt;
     case CellType::kXnor2:
-      if (a1) return b;
-      if (b1) return a;
       if (a0) return inv(b);
       if (b0) return inv(a);
-      if (a == b) return kConst1;
       return std::nullopt;
-    case CellType::kMux2: {
-      const bool s0 = (s == kConst0), s1 = (s == kConst1);
-      if (s0) return a;
-      if (s1) return b;
-      if (a == b) return a;
+    case CellType::kMux2:
       // Hardwired data inputs: the heart of bespoke storage folding.
-      if (a0 && b1) return s;
       if (a1 && b0) return inv(s);
       if (a0) return and2(s, b);
       if (a1) return or2(inv(s), b);
       if (b0) return and2(inv(s), a);
       if (b1) return or2(s, a);
       return std::nullopt;
-    }
-    case CellType::kDff:
+    default:
       return std::nullopt;
   }
-  return std::nullopt;
 }
 
 NetId Module::add_gate(CellType type, NetId a, NetId b, NetId s) {
@@ -249,8 +221,114 @@ std::vector<std::int32_t> Module::driver_map() const {
   return drivers;
 }
 
+std::vector<std::uint32_t> Module::fanout_counts() const {
+  std::vector<std::uint32_t> counts(num_nets_, 0);
+  for (const Cell& c : cells_) {
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) ++counts[c.in[k]];
+  }
+  for (const Port& port : outputs_) {
+    for (NetId n : port.nets) ++counts[n];
+  }
+  return counts;
+}
+
 bool Module::is_primary_input(NetId net) const {
   return net < pi_nets_.size() && pi_nets_[net];
+}
+
+Module::RewriteStats Module::apply_rewrite(std::vector<NetId> net_map,
+                                           const std::vector<bool>& keep_cell) {
+  if (net_map.size() != num_nets_ || keep_cell.size() != cells_.size()) {
+    throw std::invalid_argument("apply_rewrite: map/keep size mismatch");
+  }
+  net_map[kConst0] = kConst0;
+  net_map[kConst1] = kConst1;
+
+  // Resolve substitution chains with path compression; a cycle in the map
+  // is a pass bug (substituting a net for itself transitively).
+  auto resolve = [&net_map](NetId n) {
+    NetId root = n;
+    std::size_t steps = 0;
+    while (net_map[root] != root) {
+      root = net_map[root];
+      if (++steps > net_map.size()) {
+        throw std::logic_error("apply_rewrite: substitution cycle");
+      }
+    }
+    while (net_map[n] != root) {
+      const NetId next = net_map[n];
+      net_map[n] = root;
+      n = next;
+    }
+    return root;
+  };
+
+  // 1. Drop cells and remap surviving cells' input pins.
+  std::vector<Cell> kept;
+  kept.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!keep_cell[i]) continue;
+    Cell c = cells_[i];
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) c.in[k] = resolve(c.in[k]);
+    kept.push_back(c);
+  }
+
+  // 2. Remap output ports (input ports are net *defs*, never remapped).
+  for (Port& port : outputs_) {
+    for (NetId& n : port.nets) n = resolve(n);
+  }
+
+  // 3. Compact: keep constants, every input-port net (the port must
+  //    survive even when unread), and every net referenced by a kept cell
+  //    or remapped output port.
+  std::vector<bool> used(num_nets_, false);
+  used[kConst0] = used[kConst1] = true;
+  for (const Port& port : inputs_) {
+    for (NetId n : port.nets) used[n] = true;
+  }
+  for (const Cell& c : kept) {
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) used[c.in[k]] = true;
+    used[c.out] = true;
+  }
+  for (const Port& port : outputs_) {
+    for (NetId n : port.nets) used[n] = true;
+  }
+
+  std::vector<NetId> renum(num_nets_, kInvalidNet);
+  NetId next_id = 0;
+  for (std::size_t n = 0; n < num_nets_; ++n) {
+    if (used[n]) renum[n] = next_id++;
+  }
+
+  for (Cell& c : kept) {
+    const int arity = cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) c.in[k] = renum[c.in[k]];
+    c.out = renum[c.out];
+  }
+  for (Port& port : inputs_) {
+    for (NetId& n : port.nets) n = renum[n];
+  }
+  for (Port& port : outputs_) {
+    for (NetId& n : port.nets) n = renum[n];
+  }
+  std::vector<bool> pi(next_id, false);
+  for (std::size_t n = 0; n < pi_nets_.size(); ++n) {
+    if (pi_nets_[n] && renum[n] != kInvalidNet) pi[renum[n]] = true;
+  }
+
+  RewriteStats stats;
+  stats.cells_removed = cells_.size() - kept.size();
+  stats.nets_removed = num_nets_ - next_id;
+  cells_ = std::move(kept);
+  num_nets_ = next_id;
+  pi_nets_ = std::move(pi);
+  // Pre-rewrite structural hashes reference dead net ids; drop them (gates
+  // added after a rewrite simply don't share with pre-rewrite cells).
+  cse_.clear();
+  return stats;
 }
 
 ModuleStats Module::stats() const {

@@ -39,6 +39,59 @@ std::string_view cell_type_name(CellType type) {
   return "?";
 }
 
+std::optional<NetId> fold_to_existing(CellType type, NetId a, NetId b,
+                                      NetId s) {
+  const bool a0 = (a == kConst0), a1 = (a == kConst1);
+  const bool b0 = (b == kConst0), b1 = (b == kConst1);
+  switch (type) {
+    case CellType::kBuf:
+      return a;
+    case CellType::kInv:
+      if (a0) return kConst1;
+      if (a1) return kConst0;
+      return std::nullopt;
+    case CellType::kNand2:
+      if (a0 || b0) return kConst1;
+      if (a1 && b1) return kConst0;
+      return std::nullopt;
+    case CellType::kNor2:
+      if (a1 || b1) return kConst0;
+      if (a0 && b0) return kConst1;
+      return std::nullopt;
+    case CellType::kAnd2:
+      if (a0 || b0) return kConst0;
+      if (a1) return b;
+      if (b1) return a;
+      if (a == b) return a;
+      return std::nullopt;
+    case CellType::kOr2:
+      if (a1 || b1) return kConst1;
+      if (a0) return b;
+      if (b0) return a;
+      if (a == b) return a;
+      return std::nullopt;
+    case CellType::kXor2:
+      if (a == b) return kConst0;
+      if (a0) return b;
+      if (b0) return a;
+      return std::nullopt;
+    case CellType::kXnor2:
+      if (a == b) return kConst1;
+      if (a1) return b;
+      if (b1) return a;
+      return std::nullopt;
+    case CellType::kMux2:
+      if (s == kConst0) return a;
+      if (s == kConst1) return b;
+      if (a == b) return a;
+      if (a0 && b1) return s;
+      return std::nullopt;
+    case CellType::kDff:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
 bool eval_cell(CellType type, bool a, bool b, bool s) {
   switch (type) {
     case CellType::kInv: return !a;

@@ -96,8 +96,31 @@ std::optional<std::string> Module::validate() const {
     }
   }
   if (visited != num_comb) {
-    return "combinational cycle detected (" +
-           std::to_string(num_comb - visited) + " cells in cycles)";
+    // Kahn leftovers include cells merely downstream of a cycle; walk
+    // backwards through leftover predecessors (every leftover has one)
+    // until a cell repeats — that cell provably sits ON a cycle.
+    std::size_t cur = 0;
+    while (cells_[cur].type == CellType::kDff || indegree[cur] == 0) ++cur;
+    std::vector<char> on_path(cells_.size(), 0);
+    while (!on_path[cur]) {
+      on_path[cur] = 1;
+      const Cell& c = cells_[cur];
+      const int arity = cell_num_inputs(c.type);
+      for (int k = 0; k < arity; ++k) {
+        const std::int32_t di = driver[c.in[k]];
+        if (di >= 0 && cells_[static_cast<std::size_t>(di)].type !=
+                           CellType::kDff &&
+            indegree[di] > 0) {
+          cur = static_cast<std::size_t>(di);
+          break;
+        }
+      }
+    }
+    return "combinational cycle detected through cell " +
+           std::to_string(cur) + " (" +
+           std::string(cell_type_name(cells_[cur].type)) + " driving net " +
+           std::to_string(cells_[cur].out) + "; " +
+           std::to_string(num_comb - visited) + " cells stuck in or behind cycles)";
   }
   return std::nullopt;
 }

@@ -1,0 +1,125 @@
+#pragma once
+// Post-generation netlist optimization — the stand-in for the logic-synthesis
+// cleanup step of the paper's Synopsys DC flow.
+//
+// The generators fold constants *at gate creation time* (netlist::Module's
+// peephole rules), but that single forward pass still leaves dead cells,
+// duplicated subexpressions (notably the add_gate_raw MUX storage trees,
+// which skip creation-time sharing by design), and buffer/inverter chains
+// in the emitted circuit.  The passes here clean those up *after* the
+// module is fully built, the way synthesis melts hardwired-coefficient
+// logic away:
+//
+//   constant-propagation : constants and algebraic identities through
+//                          gates and DFFs (a DFF whose D is tied to its
+//                          power-on value is a constant);
+//   buffer-chain-collapse: buffers and double inversions dissolve into
+//                          wires; single-fanout inversions are pushed
+//                          into the neighboring gate (NAND<->AND,
+//                          XOR<->XNOR, MUX select swap, De Morgan);
+//   structural-hash      : common-subexpression elimination over all
+//                          cells, including add_gate_raw cells and DFFs
+//                          sharing (D, power-on value);
+//   dead-sweep           : cells (and their nets) that no primary output
+//                          transitively reads are deleted.
+//
+// Every pass preserves bit-exactness cycle for cycle, including power-on
+// behavior — proven lane by lane against the unoptimized module with
+// sim::BatchSimulator in tests/test_opt_passes.cpp.  Passes only remove
+// or retype cells (never create them), so the pipeline is monotone and
+// opt::Optimizer's fixpoint iteration terminates.  The result is
+// deterministic in the input module alone: cells are scanned in index
+// order and surviving nets are renumbered densely in their original
+// order — no iteration-order, pointer, or thread dependence.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+
+namespace pml::opt {
+
+/// Cell/DFF/net reduction from one application of one pass.
+struct PassDelta {
+  std::string pass;
+  std::size_t cells_removed = 0;
+  std::size_t dffs_removed = 0;  ///< subset of cells_removed
+  std::size_t nets_removed = 0;
+  std::size_t cells_retyped = 0;  ///< in-place rewrites (NAND2(a,a) -> INV(a))
+  [[nodiscard]] bool changed() const {
+    return cells_removed > 0 || nets_removed > 0 || cells_retyped > 0;
+  }
+};
+
+// --- the individual passes (each sound on its own; see file comment) --------
+[[nodiscard]] PassDelta propagate_constants(netlist::Module& m);
+[[nodiscard]] PassDelta collapse_buffer_chains(netlist::Module& m);
+[[nodiscard]] PassDelta hash_structural(netlist::Module& m);
+[[nodiscard]] PassDelta sweep_dead(netlist::Module& m);
+
+struct Pass {
+  std::string name;
+  PassDelta (*run)(netlist::Module&) = nullptr;
+};
+
+/// The default pipeline, in application order.
+[[nodiscard]] std::vector<Pass> default_passes();
+
+struct OptOptions {
+  /// Master switch: false makes optimize()/Optimizer::run a no-op (used
+  /// by the optimizer-off legs of benches and the equivalence tests).
+  bool enabled = true;
+  /// Fixpoint guard: maximum sweeps over the whole pipeline.  Real
+  /// circuits converge in 2-4 sweeps; the cap only bounds pathology.
+  int max_iterations = 16;
+  /// Validate the module after every pass application (debug builds
+  /// assert with the pass name; every build gets one final validate whose
+  /// failure throws).
+  bool check_invariants = true;
+};
+
+struct OptReport {
+  netlist::ModuleStats before;
+  netlist::ModuleStats after;
+  /// One entry per pass application that changed the module, in order.
+  std::vector<PassDelta> deltas;
+  int iterations = 0;  ///< pipeline sweeps executed (last one is a no-op)
+
+  [[nodiscard]] std::size_t cells_removed() const {
+    return before.num_cells - after.num_cells;
+  }
+  [[nodiscard]] std::size_t dffs_removed() const {
+    return before.num_dffs - after.num_dffs;
+  }
+  /// Fraction of cells removed (0 when the module was empty).
+  [[nodiscard]] double cell_reduction() const {
+    return netlist::cell_reduction(before, after);
+  }
+  /// Per-pass totals aggregated over all fixpoint sweeps, in first-seen
+  /// pass order (the per-pass cell/DFF delta summary).
+  [[nodiscard]] std::vector<PassDelta> totals_by_pass() const;
+};
+
+/// A pass pipeline iterated to fixpoint.
+class Optimizer {
+ public:
+  explicit Optimizer(OptOptions options = {});
+  Optimizer(OptOptions options, std::vector<Pass> passes);
+
+  /// Optimize `m` in place (no-op when options.enabled is false).  Throws
+  /// std::runtime_error if the final module fails netlist validation —
+  /// which would mean a pass bug, never a property of the input.
+  OptReport run(netlist::Module& m) const;
+
+  [[nodiscard]] const std::vector<Pass>& passes() const { return passes_; }
+
+ private:
+  OptOptions options_;
+  std::vector<Pass> passes_;
+};
+
+/// Run the default pipeline on `m`.
+OptReport optimize(netlist::Module& m, const OptOptions& options = {});
+
+}  // namespace pml::opt

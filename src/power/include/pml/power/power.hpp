@@ -45,9 +45,16 @@ struct PowerReport {
 /// Cell area only (cm^2, including routing overhead).
 [[nodiscard]] double area_cm2(const netlist::Module& module,
                               const cells::CellLibrary& lib);
+/// Same, from per-type cell counts alone — lets callers price a netlist
+/// shape they no longer hold (e.g. the pre-optimization module whose
+/// ModuleStats a HardwareReport carries).
+[[nodiscard]] double area_cm2(const netlist::ModuleStats& stats,
+                              const cells::CellLibrary& lib);
 
 /// Static power only (mW, including clock tree).
 [[nodiscard]] double static_power_mw(const netlist::Module& module,
+                                     const cells::CellLibrary& lib);
+[[nodiscard]] double static_power_mw(const netlist::ModuleStats& stats,
                                      const cells::CellLibrary& lib);
 
 /// Full report.

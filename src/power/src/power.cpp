@@ -9,24 +9,35 @@ namespace pml::power {
 using netlist::Cell;
 using netlist::CellType;
 
-double area_cm2(const netlist::Module& module, const cells::CellLibrary& lib) {
+double area_cm2(const netlist::ModuleStats& stats,
+                const cells::CellLibrary& lib) {
   double mm2 = 0.0;
-  for (const Cell& c : module.cells()) {
-    mm2 += lib.params(c.type).area_mm2;
+  for (int t = 0; t < netlist::kNumCellTypes; ++t) {
+    mm2 += static_cast<double>(stats.counts_by_type[t]) *
+           lib.params(static_cast<CellType>(t)).area_mm2;
   }
   return mm2 * lib.calibration().routing_area_factor / 100.0;
 }
 
-double static_power_mw(const netlist::Module& module,
+double area_cm2(const netlist::Module& module, const cells::CellLibrary& lib) {
+  return area_cm2(module.stats(), lib);
+}
+
+double static_power_mw(const netlist::ModuleStats& stats,
                        const cells::CellLibrary& lib) {
   double uw = 0.0;
-  std::size_t dffs = 0;
-  for (const Cell& c : module.cells()) {
-    uw += lib.params(c.type).static_power_uw;
-    if (c.type == CellType::kDff) ++dffs;
+  for (int t = 0; t < netlist::kNumCellTypes; ++t) {
+    uw += static_cast<double>(stats.counts_by_type[t]) *
+          lib.params(static_cast<CellType>(t)).static_power_uw;
   }
-  uw += static_cast<double>(dffs) * lib.calibration().clock_tree_power_uw_per_dff;
+  uw += static_cast<double>(stats.num_dffs) *
+        lib.calibration().clock_tree_power_uw_per_dff;
   return uw / 1000.0;
+}
+
+double static_power_mw(const netlist::Module& module,
+                       const cells::CellLibrary& lib) {
+  return static_power_mw(module.stats(), lib);
 }
 
 PowerReport estimate(const netlist::Module& module,

@@ -59,6 +59,11 @@ TEST(Validate, CombinationalCycle) {
   const auto err = m.validate();
   ASSERT_TRUE(err.has_value());
   EXPECT_NE(err->find("cycle"), std::string::npos);
+  // The offender is named: cell index, type, and driven net.
+  EXPECT_NE(err->find("through cell 0"), std::string::npos) << *err;
+  EXPECT_NE(err->find("AND2"), std::string::npos) << *err;
+  EXPECT_NE(err->find("driving net " + std::to_string(x)), std::string::npos)
+      << *err;
 }
 
 TEST(Validate, CycleThroughDffIsFine) {
