@@ -66,8 +66,9 @@ int main(int argc, char** argv) {
   // power priced from the pre/post cell mixes with the same library).
   std::cout << "\n=== Optimizer impact (raw generation -> measured netlist) "
                "===\n";
-  report::Table opt_table({"Dataset", "Model", "Cells pre>post", "Cells (%)",
-                           "Area pre>post (cm2)", "Static pre>post (mW)"});
+  report::Table opt_table({"Dataset", "Model", "Flow", "Cells pre>post",
+                           "Cells (%)", "Area pre>post (cm2)",
+                           "Static pre>post (mW)", "Glitch share (%)"});
   std::string last_opt_dataset;
   double pre_cells_total = 0.0, post_cells_total = 0.0;
   for (const auto& row : result.rows) {
@@ -78,7 +79,7 @@ int main(int argc, char** argv) {
     pre_cells_total += static_cast<double>(row.pre_opt_stats.num_cells);
     post_cells_total += static_cast<double>(row.post_opt_stats.num_cells);
     opt_table.add_row(
-        {row.dataset, row.model,
+        {row.dataset, row.model, row.opt_flow,
          std::to_string(row.pre_opt_stats.num_cells) + " > " +
              std::to_string(row.post_opt_stats.num_cells),
          "-" + report::fmt(row.opt_cell_reduction() * 100.0, 1),
@@ -86,7 +87,8 @@ int main(int argc, char** argv) {
              report::fmt(power::area_cm2(row.post_opt_stats, lib), 2),
          report::fmt(power::static_power_mw(row.pre_opt_stats, lib), 2) +
              " > " +
-             report::fmt(power::static_power_mw(row.post_opt_stats, lib), 2)});
+             report::fmt(power::static_power_mw(row.post_opt_stats, lib), 2),
+         report::fmt_pct(row.glitch_fraction())});
   }
   opt_table.print(std::cout);
   if (pre_cells_total > 0.0) {

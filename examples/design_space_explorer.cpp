@@ -22,6 +22,7 @@
 #include "pml/ml/metrics.hpp"
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
+#include "pml/opt/pass_manager.hpp"
 #include "pml/report/table.hpp"
 
 using namespace pml;
@@ -39,7 +40,15 @@ struct Candidate {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --flow <name> selects the optimization recipe every candidate is
+  // evaluated under ("area", "energy", "balanced", "none", "best").
+  std::string flow = "area";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flow" && i + 1 < argc) flow = argv[++i];
+  }
+
   const auto profile = ml::UciProfile::kCardio;
   const ml::Dataset raw = ml::make_uci_like(profile);
   ml::Split split = ml::stratified_split(raw, 0.8, 7777);
@@ -63,6 +72,13 @@ int main() {
   std::vector<Candidate> candidates;
   core::EvaluateOptions eopts;
   eopts.power_samples = 24;
+  eopts.optimize.flow = flow;
+  // Cost-driven flows are applied inside evaluate_circuit, where the
+  // workload-probing switching-energy model lives; generating raw keeps
+  // the cell-count fallback from pre-melting the netlist.
+  const bool cost_driven_flow =
+      flow == opt::kBestFlow || opt::flow_recipe(flow).cost_driven;
+  std::cout << "optimization flow: " << flow << "\n";
   // Every candidate's bit-exactness gate runs on the 64-way bit-parallel
   // batch simulator, sharded across all hardware threads (0 = auto).
   eopts.verify.num_threads = 0;
@@ -75,14 +91,18 @@ int main() {
         const double acc = ml::accuracy(q.predict_all(test.X), test.y);
         const core::CircuitWorkload wl = core::make_svm_workload(q, test);
         // Parallel works for both reductions; sequential is OvR-only
-        // (the paper's architecture).
-        auto par = arch::build_parallel_svm(q);
+        // (the paper's architecture).  The generators run the same flow
+        // recipe the evaluation uses (raw for cost-driven flows, above).
+        arch::ParallelSvmOptions popts;
+        popts.opt = eopts.optimize;
+        popts.opt.enabled = !cost_driven_flow;
+        auto par = arch::build_parallel_svm(q, popts);
         candidates.push_back(
             {"parallel", reduction, bx, bw, acc,
              core::evaluate_circuit(par.module, par.cycles_per_inference,
                                     lib, wl, eopts)});
         if (reduction == "OvR") {
-          auto seq = arch::build_sequential_svm(q);
+          auto seq = arch::build_sequential_svm(q, popts.opt);
           candidates.push_back(
               {"sequential", reduction, bx, bw, acc,
                core::evaluate_circuit(seq.module, seq.cycles_per_inference,
@@ -149,6 +169,38 @@ int main() {
               << " bits -> " << report::fmt_pct(best->accuracy) << "% at "
               << report::fmt(best->hw.energy_mj, 3) << " mJ/classification ("
               << report::fmt(best->hw.power_mw, 1) << " mW)\n";
+
+    // Per-recipe area/energy trade-off for the selected design: how each
+    // optimization flow would move it.
+    const auto& model = best->reduction == "OvR" ? ovr : ovo;
+    const auto q =
+        quant::quantize_svm(model, best->input_bits, best->weight_bits);
+    const core::CircuitWorkload wl = core::make_svm_workload(q, test);
+    netlist::Module raw_module;
+    int cycles = 1;
+    if (best->arch == "sequential") {
+      auto c = arch::build_sequential_svm(q, opt::OptOptions{.enabled = false});
+      raw_module = std::move(c.module);
+      cycles = c.cycles_per_inference;
+    } else {
+      arch::ParallelSvmOptions popts;
+      popts.opt.enabled = false;
+      auto c = arch::build_parallel_svm(q, popts);
+      raw_module = std::move(c.module);
+      cycles = c.cycles_per_inference;
+    }
+    const auto rows = core::sweep_flows(raw_module, cycles, lib, wl, eopts);
+    report::Table flows_table({"Flow", "Cells", "Area (cm2)", "Power (mW)",
+                               "Energy (mJ)", "Glitch share (%)"});
+    for (const auto& row : rows) {
+      flows_table.add_row(
+          {row.flow, std::to_string(row.hw.num_cells),
+           report::fmt(row.hw.area_cm2, 1), report::fmt(row.hw.power_mw, 1),
+           report::fmt(row.hw.energy_mj, 3),
+           report::fmt_pct(row.hw.glitch_fraction())});
+    }
+    std::cout << "\nflow trade-offs for the selected design:\n";
+    flows_table.print(std::cout);
   }
   return 0;
 }

@@ -1,26 +1,39 @@
 // Export a generated design: structural Verilog for an external flow and
 // a VCD waveform of one classification for GTKWave.
 //
-//   $ ./export_design [out_dir]
+//   $ ./export_design [out_dir] [--flow <area|energy|balanced|none|best>]
 //
-// Writes <out>/seq_svm.v and <out>/classify.vcd.
+// Writes <out>/seq_svm.v and <out>/classify.vcd (the netlist optimized by
+// the selected flow recipe), and prints the per-recipe area/energy
+// trade-off table for the design.
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "pml/arch/sequential_svm.hpp"
 #include "pml/cells/library.hpp"
 #include "pml/core/flow.hpp"
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
 #include "pml/netlist/verilog.hpp"
 #include "pml/power/power.hpp"
+#include "pml/report/table.hpp"
 #include "pml/sim/cycle_sim.hpp"
 #include "pml/sim/vcd.hpp"
 
 int main(int argc, char** argv) {
   using namespace pml;
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  std::string out_dir = ".";
+  std::string flow = "area";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--flow" && i + 1 < argc) {
+      flow = argv[++i];
+    } else {
+      out_dir = arg;
+    }
+  }
 
   // Design a small sequential SVM (RedWine profile keeps it quick).
   const ml::Dataset raw = ml::make_uci_like(ml::UciProfile::kRedWine);
@@ -31,9 +44,11 @@ int main(int argc, char** argv) {
   const ml::Dataset test = scaler.transform(split.test);
   core::SequentialSvmFlowOptions options;
   options.evaluate.power_samples = 12;
+  options.flow = flow;
   const core::SequentialSvmDesign design = core::design_sequential_svm(
       train, test, cells::CellLibrary::egfet(), options);
   const netlist::Module& module = design.circuit.module;
+  std::cout << "flow recipe: " << design.hw.opt_flow << '\n';
 
   // Optimizer scoreboard: the Verilog below is the *compacted* netlist.
   const opt::OptReport& opt = design.circuit.opt;
@@ -53,7 +68,31 @@ int main(int argc, char** argv) {
     std::cout << "           " << d.pass << ": -" << d.cells_removed
               << " cells (-" << d.dffs_removed << " DFFs), -"
               << d.nets_removed << " nets, " << d.cells_retyped
-              << " retyped\n";
+              << " retyped, +" << d.cells_added << " added\n";
+  }
+
+  // Per-recipe area/energy trade-off on this design's raw netlist: what
+  // each flow would have produced.
+  {
+    const auto raw_circuit = arch::build_sequential_svm(
+        design.quantized, opt::OptOptions{.enabled = false});
+    const core::CircuitWorkload wl =
+        core::make_svm_workload(design.quantized, test);
+    core::EvaluateOptions eopts;
+    eopts.power_samples = 24;
+    const auto rows =
+        core::sweep_flows(raw_circuit.module, raw_circuit.cycles_per_inference,
+                          cells::CellLibrary::egfet(), wl, eopts);
+    report::Table table({"Flow", "Cells", "Area (cm2)", "Energy (mJ/inf)",
+                         "Glitch share (%)"});
+    for (const auto& row : rows) {
+      table.add_row(
+          {row.flow, std::to_string(row.hw.num_cells),
+           report::fmt(row.hw.area_cm2, 2), report::fmt(row.hw.energy_mj, 3),
+           report::fmt_pct(row.hw.glitch_fraction())});
+    }
+    std::cout << "\nflow trade-offs (area vs glitch energy):\n";
+    table.print(std::cout);
   }
 
   // 1. Structural Verilog.

@@ -20,6 +20,7 @@
 #include "pml/core/hardware_report.hpp"
 #include "pml/core/verify.hpp"
 #include "pml/netlist/module.hpp"
+#include "pml/opt/cost_model.hpp"
 #include "pml/opt/optimizer.hpp"
 
 namespace pml::core {
@@ -44,12 +45,19 @@ struct EvaluateOptions {
   /// is managed by evaluate_circuit itself; `max_mismatches` is honored
   /// when set, and defaults to fail-fast under require_bit_exact.
   VerifyOptions verify;
-  /// Run the opt pipeline on a copy of the module before levelization —
-  /// verification, timing, activity, and power then all see the compacted
-  /// netlist (a fast no-op when the arch generator already optimized).
-  /// Disable via optimize.enabled to measure the module exactly as
-  /// handed in.  Pre/post ModuleStats land in the HardwareReport.
+  /// Run the opt flow named by `optimize.flow` on a copy of the module
+  /// before levelization — verification, timing, activity, and power then
+  /// all see the optimized netlist (a fast no-op when the arch generator
+  /// already ran the same flow).  Disable via optimize.enabled to measure
+  /// the module exactly as handed in.  Pre/post ModuleStats and the
+  /// chosen recipe land in the HardwareReport.
   opt::OptOptions optimize;
+  /// Workload samples probed per cost-model query when the selected flow
+  /// is cost-driven ("balanced") or a selection policy ("best"): the
+  /// opt::SwitchingEnergyCost replays them through the batch event
+  /// simulator to price candidate netlists by measured switching energy.
+  /// Capped at 64 (one lane each); 0 falls back to the cell-count model.
+  std::size_t flow_probe_samples = 48;
 };
 
 /// Evaluate `module` (inputs "x0".."x{m-1}", output "class") over the
@@ -61,5 +69,14 @@ struct EvaluateOptions {
                                               const cells::CellLibrary& lib,
                                               const CircuitWorkload& workload,
                                               const EvaluateOptions& options = {});
+
+/// Build an opt::SwitchingEnergyCost probe from the workload's leading
+/// `num_samples` samples (capped at 64), aligned with the module's
+/// input-port order.  Returns an empty probe when the module's input
+/// ports are not the workload's feature ports.  Shared by
+/// evaluate_circuit and design flows that optimize before evaluating.
+[[nodiscard]] opt::ProbeWorkload make_probe_workload(
+    const netlist::Module& module, int cycles_per_inference,
+    const CircuitWorkload& workload, std::size_t num_samples);
 
 }  // namespace pml::core

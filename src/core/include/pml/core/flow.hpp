@@ -37,6 +37,10 @@ struct SequentialSvmFlowOptions {
   quant::PrecisionSearchOptions precision;
   std::uint64_t seed = 7;
   EvaluateOptions evaluate;
+  /// Optimization flow recipe for generation *and* evaluation ("area",
+  /// "energy", "balanced", "none", "best").  Non-empty overrides
+  /// evaluate.optimize.flow so one knob steers the whole design.
+  std::string flow;
 };
 
 struct SequentialSvmDesign {
@@ -58,5 +62,27 @@ struct SequentialSvmDesign {
 /// bit-exact reference workload for a QuantizedSvm.
 [[nodiscard]] CircuitWorkload make_svm_workload(const quant::QuantizedSvm& model,
                                                 const ml::Dataset& test);
+
+// --- flow-recipe sweeps ------------------------------------------------------
+
+/// One flow recipe applied to the same raw design: the full hardware
+/// evaluation under that recipe.  The HardwareReport carries the recipe
+/// name, cells, area, energy, and the functional/glitch transition split
+/// — everything the area-vs-glitch-energy trade-off table needs.
+struct FlowSweepRow {
+  std::string flow;
+  HardwareReport hw;
+};
+
+/// Evaluate `raw_module` (as generated, optimizer off) once per flow
+/// recipe.  Every row is verified bit-exact against the workload (a
+/// mismatch throws, as in evaluate_circuit).  Used by bench_opt_flows and
+/// the examples' --flow trade-off tables.
+[[nodiscard]] std::vector<FlowSweepRow> sweep_flows(
+    const netlist::Module& raw_module, int cycles_per_inference,
+    const cells::CellLibrary& lib, const CircuitWorkload& workload,
+    const EvaluateOptions& base_options,
+    const std::vector<std::string>& flows = {"none", "area", "energy",
+                                             "balanced"});
 
 }  // namespace pml::core

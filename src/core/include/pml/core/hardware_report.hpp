@@ -23,6 +23,18 @@ struct HardwareReport {
   // Detail for analysis benches.
   double static_mw = 0.0;
   double dynamic_mw = 0.0;
+  /// Functional/glitch split of dynamic_mw and the cell-driven transition
+  /// totals behind it, from the delay-accurate power replay (see
+  /// power::PowerReport) — the figure the optimization flows trade
+  /// against area.
+  double dynamic_glitch_mw = 0.0;
+  std::uint64_t functional_transitions = 0;
+  std::uint64_t glitch_transitions = 0;
+  /// Glitch share of dynamic power (0 when there is no dynamic power);
+  /// same definition as power::PowerReport::glitch_fraction().
+  [[nodiscard]] double glitch_fraction() const {
+    return dynamic_mw > 0.0 ? dynamic_glitch_mw / dynamic_mw : 0.0;
+  }
   int logic_depth = 0;
   std::size_t num_cells = 0;
   std::size_t num_dffs = 0;
@@ -35,6 +47,9 @@ struct HardwareReport {
   /// returning), so a Table I row reports generation -> final.
   netlist::ModuleStats pre_opt_stats;
   netlist::ModuleStats post_opt_stats;
+  /// Flow recipe evaluate_circuit applied ("best" resolves to the winning
+  /// recipe's name; "none" when the optimizer was disabled outright).
+  std::string opt_flow;
   /// Fraction of cells the optimizer removed (pre -> post).
   [[nodiscard]] double opt_cell_reduction() const {
     return netlist::cell_reduction(pre_opt_stats, post_opt_stats);

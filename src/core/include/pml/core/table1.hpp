@@ -22,6 +22,10 @@ struct Table1Options {
   /// Run the three baselines too (true for Table I; the flow alone needs
   /// only "Ours").
   bool include_baselines = true;
+  /// Optimization flow recipe for the "Ours" designs ("area", "energy",
+  /// "balanced", "none", "best"); empty keeps the default.  The baselines
+  /// always use their published (area-driven) flow.
+  std::string flow;
 };
 
 struct Table1Summary {

@@ -7,11 +7,50 @@
 #include <string>
 
 #include "pml/core/activity.hpp"
+#include "pml/opt/cost_model.hpp"
+#include "pml/opt/pass_manager.hpp"
 #include "pml/power/power.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/sta/timing.hpp"
 
 namespace pml::core {
+
+opt::ProbeWorkload make_probe_workload(const netlist::Module& module,
+                                       int cycles_per_inference,
+                                       const CircuitWorkload& workload,
+                                       std::size_t num_samples) {
+  opt::ProbeWorkload probe;
+  probe.cycles_per_inference = cycles_per_inference;
+  if (workload.feature_codes.empty() || num_samples == 0) return {};
+  const std::size_t features = workload.feature_codes.front().size();
+  const auto ports = feature_ports(module, features);
+  // Map input-port position -> feature index so probe rows line up with
+  // Module::input_ports() (what the cost model drives).
+  const auto& inputs = module.input_ports();
+  std::vector<std::size_t> feature_of(inputs.size());
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    std::size_t j = 0;
+    while (j < ports.size() && ports[j] != &inputs[p]) ++j;
+    if (j == ports.size()) {
+      // An input port that is not a feature port: no generic stimulus
+      // available, so skip the switching probe entirely.
+      return {};
+    }
+    feature_of[p] = j;
+  }
+  const std::size_t count =
+      std::min({num_samples, workload.feature_codes.size(), std::size_t{64}});
+  probe.samples.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint64_t> row(inputs.size());
+    for (std::size_t p = 0; p < inputs.size(); ++p) {
+      row[p] = static_cast<std::uint64_t>(
+          workload.feature_codes[i][feature_of[p]]);
+    }
+    probe.samples.push_back(std::move(row));
+  }
+  return probe;
+}
 
 HardwareReport evaluate_circuit(const netlist::Module& module,
                                 int cycles_per_inference,
@@ -29,17 +68,37 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   HardwareReport rep;
   rep.cycles_per_inference = cycles_per_inference;
 
-  // Opt pipeline on a copy (the caller's module is untouched), so every
+  // Opt flow on a copy (the caller's module is untouched), so every
   // downstream analysis — verification, STA, activity replay, power —
-  // sees the compacted netlist.  Already-optimized modules converge in
-  // one cheap sweep.
+  // sees the optimized netlist.  Already-optimized modules converge in
+  // one cheap sweep.  Cost-driven flows ("balanced", "best") get a
+  // switching-energy cost model probing a slice of this very workload,
+  // so accept/reject decisions track measured transitions, not cell
+  // count.
   rep.pre_opt_stats = module.stats();
   netlist::Module optimized;
   const netlist::Module* mp = &module;
   if (options.optimize.enabled) {
     optimized = module;
-    (void)opt::optimize(optimized, options.optimize);
+    const bool wants_cost =
+        options.optimize.flow == opt::kBestFlow ||
+        opt::flow_recipe(options.optimize.flow).cost_driven;
+    std::unique_ptr<opt::SwitchingEnergyCost> cost;
+    if (wants_cost && options.flow_probe_samples > 0) {
+      opt::ProbeWorkload probe =
+          make_probe_workload(module, cycles_per_inference, workload,
+                              options.flow_probe_samples);
+      if (!probe.samples.empty()) {
+        cost = std::make_unique<opt::SwitchingEnergyCost>(
+            lib, std::move(probe), options.time_quantum_ms);
+      }
+    }
+    const opt::OptReport opt_rep =
+        opt::optimize(optimized, options.optimize, cost.get());
+    rep.opt_flow = opt_rep.recipe;
     mp = &optimized;
+  } else {
+    rep.opt_flow = "none";
   }
   const netlist::Module& mod = *mp;
   rep.post_opt_stats = mod.stats();
@@ -103,6 +162,9 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.area_cm2 = pr.area_cm2;
   rep.static_mw = pr.static_mw;
   rep.dynamic_mw = pr.dynamic_mw;
+  rep.dynamic_glitch_mw = pr.dynamic_glitch_mw;
+  rep.functional_transitions = pr.functional_transitions;
+  rep.glitch_transitions = pr.glitch_transitions;
   rep.power_mw = pr.total_mw;
   rep.frequency_hz = pr.frequency_hz;
   rep.latency_ms = pr.latency_ms;

@@ -1,6 +1,7 @@
 #include "pml/core/flow.hpp"
 
 #include "pml/ml/metrics.hpp"
+#include "pml/opt/pass_manager.hpp"
 #include "pml/quant/formats.hpp"
 
 namespace pml::core {
@@ -62,12 +63,44 @@ SequentialSvmDesign design_sequential_svm(
   design.quantized_test_accuracy =
       ml::accuracy(design.quantized.predict_all(test.X), test.y);
 
-  // 5-7. Circuit, verification, timing, power.
-  design.circuit = arch::build_sequential_svm(design.quantized);
+  // 5-7. Circuit, verification, timing, power.  One flow knob steers both
+  // the generator's post-generation optimization and the evaluation; the
+  // evaluation re-runs the same recipe, which converges in one cheap
+  // sweep.  Cost-driven flows ("balanced"/"best") must NOT pre-optimize
+  // in the generator — its cell-count fallback would irreversibly melt
+  // the netlist before the measured switching-energy model could veto —
+  // so the circuit is generated raw and optimized here, with the cost
+  // model probing the real workload.
+  EvaluateOptions eopts = options.evaluate;
+  if (!options.flow.empty()) eopts.optimize.flow = options.flow;
+  const bool cost_driven =
+      eopts.optimize.enabled &&
+      (eopts.optimize.flow == opt::kBestFlow ||
+       opt::flow_recipe(eopts.optimize.flow).cost_driven);
+  opt::OptOptions gen_opts = eopts.optimize;
+  gen_opts.enabled = eopts.optimize.enabled && !cost_driven;
+  design.circuit = arch::build_sequential_svm(design.quantized, gen_opts);
   const CircuitWorkload wl = make_svm_workload(design.quantized, test);
+  if (cost_driven) {
+    opt::ProbeWorkload probe = make_probe_workload(
+        design.circuit.module, design.circuit.cycles_per_inference, wl,
+        eopts.flow_probe_samples);
+    if (probe.samples.empty()) {
+      design.circuit.opt = opt::optimize(design.circuit.module,
+                                         eopts.optimize);
+    } else {
+      const opt::SwitchingEnergyCost cost(lib, std::move(probe),
+                                          eopts.time_quantum_ms);
+      design.circuit.opt =
+          opt::optimize(design.circuit.module, eopts.optimize, &cost);
+    }
+    // Evaluate under the recipe that actually won ("best" resolves to a
+    // concrete name); its re-run converges in one cheap sweep.
+    eopts.optimize.flow = design.circuit.opt.recipe;
+  }
   design.hw = evaluate_circuit(design.circuit.module,
                                design.circuit.cycles_per_inference, lib, wl,
-                               options.evaluate);
+                               eopts);
   design.hw.dataset = train.name;
   design.hw.model = "Ours";
   design.hw.accuracy = design.quantized_test_accuracy;
@@ -75,6 +108,27 @@ SequentialSvmDesign design_sequential_svm(
   // optimized module; report the raw-generation shape as the "pre" side.
   design.hw.pre_opt_stats = design.circuit.opt.before;
   return design;
+}
+
+std::vector<FlowSweepRow> sweep_flows(const netlist::Module& raw_module,
+                                      int cycles_per_inference,
+                                      const cells::CellLibrary& lib,
+                                      const CircuitWorkload& workload,
+                                      const EvaluateOptions& base_options,
+                                      const std::vector<std::string>& flows) {
+  std::vector<FlowSweepRow> rows;
+  rows.reserve(flows.size());
+  for (const std::string& flow : flows) {
+    EvaluateOptions opts = base_options;
+    opts.optimize.enabled = true;
+    opts.optimize.flow = flow;
+    FlowSweepRow row;
+    row.flow = flow;
+    row.hw = evaluate_circuit(raw_module, cycles_per_inference, lib,
+                              workload, opts);
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace pml::core

@@ -71,6 +71,7 @@ Table1Result run_table1(const cells::CellLibrary& lib,
     SequentialSvmFlowOptions fopts;
     fopts.seed = options.train_seed;
     fopts.evaluate.power_samples = options.power_samples;
+    fopts.flow = options.flow;
     SequentialSvmDesign ours = design_sequential_svm(train, test, lib, fopts);
     ours.hw.dataset = ds_name;
     pd.ours_energy = ours.hw.energy_mj;

@@ -1,0 +1,76 @@
+#pragma once
+// Hardware cost models for the cost-driven pass manager.
+//
+// The point of scoring candidate modules *inside* the optimization loop
+// (rather than trusting cell count) is that the two real objectives —
+// area and switching energy — disagree: PR 4's area-minimal netlist
+// glitches more than the raw one.  SwitchingEnergyCost replays a short
+// caller-supplied probe workload through a 64-lane
+// sim::BatchEventSimulator and prices a candidate by measured
+// transitions x per-cell switch energy x fanout load (+ clock energy) —
+// the same glitch-aware figure power::estimate reports, minus the
+// period-dependent scaling that cancels between candidates.
+//
+// Cost models must be deterministic in the module alone (the accept /
+// reject trace of a cost-driven recipe is part of the reproducibility
+// contract, tested in tests/test_opt_passes.cpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/netlist/module.hpp"
+
+namespace pml::opt {
+
+/// Scalar figure of demerit for a candidate module; lower is better.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  /// Must be deterministic in `m` alone and side-effect free.
+  [[nodiscard]] virtual double cost(const netlist::Module& m) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Cell count — the PR 4 objective, and the fallback when no workload is
+/// available to probe with.
+class CellCountCost final : public CostModel {
+ public:
+  [[nodiscard]] double cost(const netlist::Module& m) const override;
+  [[nodiscard]] std::string name() const override { return "cell-count"; }
+};
+
+/// A short stimulus for probing candidate modules: per-sample raw codes
+/// for every input port, aligned with Module::input_ports() order (the
+/// optimization passes preserve port identity, so one probe serves every
+/// candidate derived from the same design).
+struct ProbeWorkload {
+  /// samples[i][p] = unsigned raw code driven into input port p.  At most
+  /// the first 64 samples are used (one BatchEventSimulator lane each).
+  std::vector<std::vector<std::uint64_t>> samples;
+  /// Clock cycles per sample for sequential circuits; <= 0 settles once
+  /// (combinational).
+  int cycles_per_inference = 1;
+};
+
+/// Measured switching energy (nJ) of one probe replay, glitches included.
+class SwitchingEnergyCost final : public CostModel {
+ public:
+  /// `lib` is borrowed and must outlive the model.  Throws
+  /// std::invalid_argument on an empty probe.
+  SwitchingEnergyCost(const cells::CellLibrary& lib, ProbeWorkload probe,
+                      double time_quantum_ms = 0.02);
+
+  [[nodiscard]] double cost(const netlist::Module& m) const override;
+  [[nodiscard]] std::string name() const override {
+    return "switching-energy";
+  }
+
+ private:
+  const cells::CellLibrary& lib_;
+  ProbeWorkload probe_;
+  double time_quantum_ms_;
+};
+
+}  // namespace pml::opt

@@ -20,17 +20,29 @@
 //   structural-hash      : common-subexpression elimination over all
 //                          cells, including add_gate_raw cells and DFFs
 //                          sharing (D, power-on value);
+//   rebalance-trees      : associative AND/OR/XOR trees are re-paired by
+//                          input depth into balanced form — the
+//                          glitch-attacking restructuring pass (melting
+//                          skews paths; re-balancing re-aligns arrival
+//                          times and shortens the critical path);
 //   dead-sweep           : cells (and their nets) that no primary output
 //                          transitively reads are deleted.
 //
 // Every pass preserves bit-exactness cycle for cycle, including power-on
 // behavior — proven lane by lane against the unoptimized module with
-// sim::BatchSimulator in tests/test_opt_passes.cpp.  Passes only remove
-// or retype cells (never create them), so the pipeline is monotone and
-// opt::Optimizer's fixpoint iteration terminates.  The result is
-// deterministic in the input module alone: cells are scanned in index
-// order and surviving nets are renumbered densely in their original
-// order — no iteration-order, pointer, or thread dependence.
+// sim::BatchSimulator in tests/test_opt_passes.cpp.  Most passes only
+// remove or retype cells; rebalance-trees also *creates* cells (one per
+// pair of leaves it re-joins, exactly replacing the interior cells it
+// retires), and only fires when it strictly reduces a tree's depth, so
+// every pipeline still reaches a fixpoint.  The result is deterministic
+// in the input module alone: cells are scanned in index order and
+// surviving nets are renumbered densely in their original order — no
+// iteration-order, pointer, or thread dependence.
+//
+// Pass *composition* is a flow decision: see pass_manager.hpp for the
+// registry of named passes, the named flow recipes ("area", "energy",
+// "balanced", "none"), and the cost-driven PassManager that accepts or
+// rejects pass applications by a measured opt::CostModel.
 
 #include <cstddef>
 #include <string>
@@ -40,15 +52,17 @@
 
 namespace pml::opt {
 
-/// Cell/DFF/net reduction from one application of one pass.
+/// Cell/DFF/net changes from one application of one pass.
 struct PassDelta {
   std::string pass;
   std::size_t cells_removed = 0;
   std::size_t dffs_removed = 0;  ///< subset of cells_removed
   std::size_t nets_removed = 0;
   std::size_t cells_retyped = 0;  ///< in-place rewrites (NAND2(a,a) -> INV(a))
+  std::size_t cells_added = 0;    ///< created by restructuring passes
   [[nodiscard]] bool changed() const {
-    return cells_removed > 0 || nets_removed > 0 || cells_retyped > 0;
+    return cells_removed > 0 || nets_removed > 0 || cells_retyped > 0 ||
+           cells_added > 0;
   }
 };
 
@@ -56,6 +70,7 @@ struct PassDelta {
 [[nodiscard]] PassDelta propagate_constants(netlist::Module& m);
 [[nodiscard]] PassDelta collapse_buffer_chains(netlist::Module& m);
 [[nodiscard]] PassDelta hash_structural(netlist::Module& m);
+[[nodiscard]] PassDelta rebalance_trees(netlist::Module& m);
 [[nodiscard]] PassDelta sweep_dead(netlist::Module& m);
 
 struct Pass {
@@ -63,7 +78,7 @@ struct Pass {
   PassDelta (*run)(netlist::Module&) = nullptr;
 };
 
-/// The default pipeline, in application order.
+/// The default ("area") pipeline, in application order.
 [[nodiscard]] std::vector<Pass> default_passes();
 
 struct OptOptions {
@@ -77,6 +92,15 @@ struct OptOptions {
   /// assert with the pass name; every build gets one final validate whose
   /// failure throws).
   bool check_invariants = true;
+  /// Flow recipe applied by optimize(): a name from
+  /// opt::standard_flows() ("area", "energy", "balanced", "none") or
+  /// "best" to score every standard recipe with the cost model and keep
+  /// the cheapest result.  Unknown names throw std::invalid_argument.
+  std::string flow = "area";
+  /// Cost-driven recipes reject a pass application whose measured cost
+  /// exceeds the pre-pass cost by more than this relative tolerance
+  /// (0 = any worsening is rejected).
+  double cost_tolerance = 0.0;
 };
 
 struct OptReport {
@@ -85,14 +109,37 @@ struct OptReport {
   /// One entry per pass application that changed the module, in order.
   std::vector<PassDelta> deltas;
   int iterations = 0;  ///< pipeline sweeps executed (last one is a no-op)
+  /// Flow recipe that produced this report ("best" resolves to the name
+  /// of the winning recipe).
+  std::string recipe = "area";
+  /// Cost-model probes of the input/output module; -1 when the run had
+  /// no cost model attached.
+  double cost_before = -1.0;
+  double cost_after = -1.0;
+  /// Pass applications a cost-driven recipe rejected (and reverted), in
+  /// application order.
+  std::vector<std::string> rejected;
 
+  /// Net cells removed, clamped at zero when the pipeline *grew* the
+  /// module (restructuring passes can add cells); see cell_delta() for
+  /// the signed change.
   [[nodiscard]] std::size_t cells_removed() const {
-    return before.num_cells - after.num_cells;
+    return after.num_cells >= before.num_cells
+               ? 0
+               : before.num_cells - after.num_cells;
   }
   [[nodiscard]] std::size_t dffs_removed() const {
-    return before.num_dffs - after.num_dffs;
+    return after.num_dffs >= before.num_dffs
+               ? 0
+               : before.num_dffs - after.num_dffs;
   }
-  /// Fraction of cells removed (0 when the module was empty).
+  /// Signed cell-count change (negative = the module shrank).
+  [[nodiscard]] std::ptrdiff_t cell_delta() const {
+    return static_cast<std::ptrdiff_t>(after.num_cells) -
+           static_cast<std::ptrdiff_t>(before.num_cells);
+  }
+  /// Fraction of cells removed (0 when the module was empty; negative
+  /// when the module grew).
   [[nodiscard]] double cell_reduction() const {
     return netlist::cell_reduction(before, after);
   }
@@ -101,7 +148,9 @@ struct OptReport {
   [[nodiscard]] std::vector<PassDelta> totals_by_pass() const;
 };
 
-/// A pass pipeline iterated to fixpoint.
+/// A pass pipeline iterated to fixpoint.  Thin compatibility wrapper over
+/// opt::PassManager (pass_manager.hpp) for callers that hold a bare pass
+/// vector; new code should name a flow recipe instead.
 class Optimizer {
  public:
   explicit Optimizer(OptOptions options = {});
@@ -119,7 +168,12 @@ class Optimizer {
   std::vector<Pass> passes_;
 };
 
-/// Run the default pipeline on `m`.
-OptReport optimize(netlist::Module& m, const OptOptions& options = {});
+class CostModel;  // cost_model.hpp
+
+/// Run the flow recipe named by `options.flow` on `m`.  `cost_model` is
+/// consulted by cost-driven recipes and by flow "best"; when null those
+/// fall back to the deterministic cell-count model.
+OptReport optimize(netlist::Module& m, const OptOptions& options = {},
+                   const CostModel* cost_model = nullptr);
 
 }  // namespace pml::opt

@@ -1,0 +1,113 @@
+#pragma once
+// Cost-driven pass management: the pass registry, named flow recipes, and
+// the PassManager that composes them.
+//
+// PR 4's single hardcoded pipeline minimized *cell count* — and the
+// event-driven power replay showed the area-minimal netlist can *glitch
+// more* (melting the MUX storage trees shortens/skews paths), eroding the
+// energy win the sequential SVM exists for.  Area and switching activity
+// pull in different directions, so pass composition is a flow decision:
+//
+//   "area"     : the PR 4 pipeline — constant propagation, buffer-chain
+//                collapse, structural hash, dead sweep.  Minimal cells.
+//   "energy"   : CSE + DCE only (structural hash, dead sweep).  Keeps the
+//                delay-balancing redundancy of the generated storage
+//                trees, cutting glitch transitions at a small area cost.
+//   "balanced" : the area passes plus rebalance-trees, each application
+//                accepted only when the cost model's *measured* cost does
+//                not worsen (cost-driven).
+//   "none"     : no passes (the raw module, but through the same API).
+//
+// Flow "best" (PassManager::run_best / optimize with flow="best") runs
+// every standard recipe on a copy and keeps the module the cost model
+// scores cheapest — the measure-then-commit loop of hardware-aware
+// co-optimization.
+//
+// The cost model (cost_model.hpp) defaults to cell count; callers that
+// hold a workload attach a SwitchingEnergyCost, which replays a probe
+// through sim::BatchEventSimulator and prices candidates by measured
+// transitions x switch capacitance — glitches included.
+
+#include <string>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
+
+namespace pml::opt {
+
+class CostModel;  // cost_model.hpp
+
+// --- pass registry -----------------------------------------------------------
+
+/// Every registered pass, in registration order.
+[[nodiscard]] const std::vector<Pass>& pass_registry();
+
+/// Look up a pass by name; throws std::invalid_argument on unknown names
+/// (the error lists the registered names).
+[[nodiscard]] const Pass& find_pass(const std::string& name);
+
+// --- flow recipes ------------------------------------------------------------
+
+/// An ordered pass composition, described by pass *names* so recipes can
+/// be stored, printed, and round-tripped through flow options.
+struct FlowRecipe {
+  std::string name;
+  std::vector<std::string> passes;
+  /// When true the PassManager probes the cost model after every pass
+  /// application and reverts applications whose measured cost worsens.
+  bool cost_driven = false;
+};
+
+/// The built-in recipes: "area", "energy", "balanced", "none".
+[[nodiscard]] const std::vector<FlowRecipe>& standard_flows();
+
+/// Look up a standard recipe by name; throws std::invalid_argument on
+/// unknown names.  "best" is not a recipe (it is a selection policy over
+/// recipes) and also throws here.
+[[nodiscard]] const FlowRecipe& flow_recipe(const std::string& name);
+
+/// Name of the recipe-selection policy accepted by OptOptions::flow.
+inline constexpr const char* kBestFlow = "best";
+
+// --- the manager -------------------------------------------------------------
+
+/// Runs one flow recipe to fixpoint, optionally gatekeeping every pass
+/// application with a cost model.  The cost model (when given) is
+/// borrowed, not owned, and must outlive the manager.
+class PassManager {
+ public:
+  /// Resolve `recipe.passes` against the registry (throws
+  /// std::invalid_argument on an unknown pass name).
+  explicit PassManager(FlowRecipe recipe, OptOptions options = {},
+                       const CostModel* cost_model = nullptr);
+  /// Pre-resolved pass list (Optimizer's custom-pipeline path).
+  PassManager(std::string name, std::vector<Pass> passes, OptOptions options,
+              const CostModel* cost_model, bool cost_driven);
+
+  /// Optimize `m` in place.  With a cost-driven recipe and a cost model,
+  /// each pass runs on a copy and is committed only when the measured
+  /// cost does not worsen beyond options.cost_tolerance; rejected
+  /// applications are recorded in OptReport::rejected.  Deterministic in
+  /// the module and the cost model alone.
+  OptReport run(netlist::Module& m) const;
+
+  /// Run every recipe in `flows` on a copy of `m`, score each result
+  /// with `cost_model`, commit the cheapest into `m`, and return its
+  /// report (ties resolve to the earliest recipe in `flows`).
+  static OptReport run_best(netlist::Module& m,
+                            const std::vector<FlowRecipe>& flows,
+                            const CostModel& cost_model,
+                            const OptOptions& options = {});
+
+  [[nodiscard]] const FlowRecipe& recipe() const { return recipe_; }
+  [[nodiscard]] const std::vector<Pass>& passes() const { return passes_; }
+
+ private:
+  FlowRecipe recipe_;
+  std::vector<Pass> passes_;
+  OptOptions options_;
+  const CostModel* cost_model_ = nullptr;
+};
+
+}  // namespace pml::opt

@@ -1,412 +1,18 @@
 #include "pml/opt/optimizer.hpp"
 
-#include <algorithm>
-#include <cassert>
-#include <cstdio>
-#include <stdexcept>
-#include <unordered_map>
 #include <utility>
+
+#include "pml/opt/cost_model.hpp"
+#include "pml/opt/pass_manager.hpp"
 
 namespace pml::opt {
 
-namespace {
-
-using netlist::Cell;
-using netlist::CellType;
-using netlist::kConst0;
-using netlist::kConst1;
-using netlist::kInvalidNet;
-using netlist::Module;
-using netlist::NetId;
-
-/// Growing net substitution with path compression.  `map[n]` is the net to
-/// read instead of `n`; identity when untouched.
-class Subst {
- public:
-  explicit Subst(std::size_t num_nets) : map_(num_nets) {
-    for (std::size_t n = 0; n < num_nets; ++n) map_[n] = static_cast<NetId>(n);
-  }
-
-  [[nodiscard]] NetId resolve(NetId n) {
-    NetId root = n;
-    while (map_[root] != root) root = map_[root];
-    while (map_[n] != root) {
-      const NetId next = map_[n];
-      map_[n] = root;
-      n = next;
-    }
-    return root;
-  }
-
-  /// Redirect reads of `from` (a cell's now-bypassed output) to `to`.
-  void redirect(NetId from, NetId to) { map_[from] = resolve(to); }
-
-  [[nodiscard]] std::vector<NetId> take() { return std::move(map_); }
-
- private:
-  std::vector<NetId> map_;
-};
-
-/// Kill cell `i`, bookkeeping the DFF count.
-void kill(const Module& m, std::vector<bool>& keep, std::size_t i,
-          PassDelta& delta) {
-  keep[i] = false;
-  if (m.cells()[i].type == CellType::kDff) ++delta.dffs_removed;
-}
-
-void finish(Module& m, PassDelta& delta, Subst& sub, std::vector<bool> keep) {
-  const auto stats = m.apply_rewrite(sub.take(), keep);
-  delta.cells_removed = stats.cells_removed;
-  delta.nets_removed = stats.nets_removed;
-}
-
-}  // namespace
-
-// --- constant propagation ----------------------------------------------------
-// Forward propagation of constants and single-cell algebraic identities
-// through combinational cells and DFFs.  Rules either dissolve a cell into
-// an existing net (kill + redirect) or retype it in place to a strictly
-// simpler cell; repeated sweeps run until no rule fires, so constants flow
-// through arbitrarily deep cones (and DFF chains, across Optimizer
-// iterations) without requiring topological order.
-PassDelta propagate_constants(netlist::Module& m) {
-  PassDelta delta{.pass = "constant-propagation"};
-  Subst sub(m.num_nets());
-  std::vector<bool> keep(m.cells().size(), true);
-
-  bool again = true;
-  while (again) {
-    again = false;
-    for (std::size_t i = 0; i < m.cells().size(); ++i) {
-      if (!keep[i]) continue;
-      Cell& c = m.cell_mut(i);
-      const NetId a = sub.resolve(c.in[0]);
-      const NetId b = c.in[1] == kInvalidNet ? kInvalidNet : sub.resolve(c.in[1]);
-      const NetId s = c.in[2] == kInvalidNet ? kInvalidNet : sub.resolve(c.in[2]);
-      const bool a0 = a == kConst0, a1 = a == kConst1;
-      const bool b0 = b == kConst0, b1 = b == kConst1;
-
-      // `repl != kInvalidNet` dissolves the cell into that net.  The
-      // value-equals-an-existing-net identities come from the shared
-      // netlist::fold_to_existing table (the same one add_gate folds
-      // with at creation time); what remains here are the rules that
-      // need a gate — expressed as in-place *retypes*, since a pass
-      // cannot create cells.
-      NetId repl = kInvalidNet;
-      if (const auto existing = netlist::fold_to_existing(c.type, a, b, s)) {
-        repl = *existing;
-      }
-      auto retype = [&](CellType type, NetId x, NetId y = kInvalidNet) {
-        c.type = type;
-        c.in[0] = x;
-        c.in[1] = y;
-        c.in[2] = kInvalidNet;
-        ++delta.cells_retyped;
-        again = true;
-      };
-
-      if (repl == kInvalidNet) {
-        switch (c.type) {
-          case CellType::kNand2:
-            if (a1) retype(CellType::kInv, b);
-            else if (b1) retype(CellType::kInv, a);
-            else if (a == b) retype(CellType::kInv, a);
-            break;
-          case CellType::kNor2:
-            if (a0) retype(CellType::kInv, b);
-            else if (b0) retype(CellType::kInv, a);
-            else if (a == b) retype(CellType::kInv, a);
-            break;
-          case CellType::kXor2:
-            if (a1) retype(CellType::kInv, b);
-            else if (b1) retype(CellType::kInv, a);
-            break;
-          case CellType::kXnor2:
-            if (a0) retype(CellType::kInv, b);
-            else if (b0) retype(CellType::kInv, a);
-            break;
-          case CellType::kMux2:
-            if (a1 && b0) retype(CellType::kInv, s);
-            else if (a0 || a == s) retype(CellType::kAnd2, s, b);  // s ? b : 0
-            else if (b1 || b == s) retype(CellType::kOr2, s, a);   // s ? 1 : a
-            break;
-          case CellType::kDff: {
-            const NetId init_net = c.dff_init ? kConst1 : kConst0;
-            // D tied to the power-on value, or fed back from Q: the
-            // state can never change, so Q is that constant from cycle 0.
-            if (a == init_net || a == c.out) repl = init_net;
-            break;
-          }
-          default:
-            break;
-        }
-      }
-
-      if (repl != kInvalidNet) {
-        sub.redirect(c.out, repl);
-        kill(m, keep, i, delta);
-        again = true;
-      }
-    }
-  }
-
-  if (delta.changed() ||
-      std::find(keep.begin(), keep.end(), false) != keep.end()) {
-    finish(m, delta, sub, std::move(keep));
-  }
-  return delta;
-}
-
-// --- buffer/inverter-chain collapsing ---------------------------------------
-// Buffers dissolve into wires; INV(INV(x)) dissolves into x; and
-// single-fanout inversions are pushed through the neighboring cell where a
-// primitive absorbs them (complement gates, XOR<->XNOR, MUX select swap,
-// De Morgan on doubly-inverted AND/OR/NAND/NOR).  The bypassed inverters
-// become dead and fall to sweep_dead.
-PassDelta collapse_buffer_chains(netlist::Module& m) {
-  PassDelta delta{.pass = "buffer-chain-collapse"};
-  Subst sub(m.num_nets());
-  std::vector<bool> keep(m.cells().size(), true);
-  const std::vector<std::int32_t> driver = m.driver_map();
-  const std::vector<std::uint32_t> fanout = m.fanout_counts();
-
-  // True when `net`'s driver is a live INV whose only reader is the
-  // absorbing cell, returning that inverter's index.
-  auto absorbable_inv = [&](NetId net, std::size_t& inv_cell) {
-    if (net >= driver.size() || driver[net] < 0) return false;
-    const auto di = static_cast<std::size_t>(driver[net]);
-    if (!keep[di] || m.cells()[di].type != CellType::kInv) return false;
-    if (fanout[net] != 1) return false;
-    inv_cell = di;
-    return true;
-  };
-
-  for (std::size_t i = 0; i < m.cells().size(); ++i) {
-    if (!keep[i]) continue;
-    Cell& c = m.cell_mut(i);
-
-    if (c.type == CellType::kBuf) {
-      sub.redirect(c.out, sub.resolve(c.in[0]));
-      kill(m, keep, i, delta);
-      continue;
-    }
-
-    if (c.type == CellType::kInv) {
-      const NetId a = sub.resolve(c.in[0]);
-      if (a < driver.size() && driver[a] >= 0) {
-        const auto di = static_cast<std::size_t>(driver[a]);
-        const Cell& g = m.cells()[di];
-        if (keep[di] && g.type == CellType::kInv) {
-          // Double negation: reads of INV(INV(x)) become reads of x.
-          sub.redirect(c.out, sub.resolve(g.in[0]));
-          kill(m, keep, i, delta);
-          continue;
-        }
-        // Output-side push-through: INV(g(a,b)) retypes to the
-        // complement of g when this INV is g's only reader.
-        if (keep[di] && fanout[a] == 1) {
-          CellType comp = g.type;
-          switch (g.type) {
-            case CellType::kNand2: comp = CellType::kAnd2; break;
-            case CellType::kAnd2: comp = CellType::kNand2; break;
-            case CellType::kNor2: comp = CellType::kOr2; break;
-            case CellType::kOr2: comp = CellType::kNor2; break;
-            case CellType::kXor2: comp = CellType::kXnor2; break;
-            case CellType::kXnor2: comp = CellType::kXor2; break;
-            default: break;
-          }
-          if (comp != g.type) {
-            c.type = comp;
-            c.in[0] = sub.resolve(g.in[0]);
-            c.in[1] = sub.resolve(g.in[1]);
-            c.in[2] = kInvalidNet;
-            ++delta.cells_retyped;
-            continue;
-          }
-        }
-      }
-      continue;
-    }
-
-    // Input-side absorption.
-    if (c.type == CellType::kXor2 || c.type == CellType::kXnor2) {
-      for (int p = 0; p < 2; ++p) {
-        const NetId n = sub.resolve(c.in[p]);
-        std::size_t inv_cell = 0;
-        if (absorbable_inv(n, inv_cell)) {
-          c.in[p] = sub.resolve(m.cells()[inv_cell].in[0]);
-          c.type = c.type == CellType::kXor2 ? CellType::kXnor2
-                                             : CellType::kXor2;
-          ++delta.cells_retyped;
-        }
-      }
-      continue;
-    }
-    if (c.type == CellType::kMux2) {
-      const NetId s = sub.resolve(c.in[2]);
-      std::size_t inv_cell = 0;
-      if (absorbable_inv(s, inv_cell)) {
-        // MUX(d0, d1, ~x) == MUX(d1, d0, x).
-        const NetId d0 = sub.resolve(c.in[0]);
-        const NetId d1 = sub.resolve(c.in[1]);
-        c.in[0] = d1;
-        c.in[1] = d0;
-        c.in[2] = sub.resolve(m.cells()[inv_cell].in[0]);
-        ++delta.cells_retyped;
-      }
-      continue;
-    }
-    if (c.type == CellType::kNand2 || c.type == CellType::kNor2 ||
-        c.type == CellType::kAnd2 || c.type == CellType::kOr2) {
-      const NetId n0 = sub.resolve(c.in[0]);
-      const NetId n1 = sub.resolve(c.in[1]);
-      std::size_t inv0 = 0, inv1 = 0;
-      if (n0 != n1 && absorbable_inv(n0, inv0) && absorbable_inv(n1, inv1)) {
-        CellType dm = c.type;
-        switch (c.type) {  // De Morgan
-          case CellType::kNand2: dm = CellType::kOr2; break;
-          case CellType::kNor2: dm = CellType::kAnd2; break;
-          case CellType::kAnd2: dm = CellType::kNor2; break;
-          case CellType::kOr2: dm = CellType::kNand2; break;
-          default: break;
-        }
-        c.type = dm;
-        c.in[0] = sub.resolve(m.cells()[inv0].in[0]);
-        c.in[1] = sub.resolve(m.cells()[inv1].in[0]);
-        ++delta.cells_retyped;
-      }
-      continue;
-    }
-  }
-
-  if (delta.changed() ||
-      std::find(keep.begin(), keep.end(), false) != keep.end()) {
-    finish(m, delta, sub, std::move(keep));
-  }
-  return delta;
-}
-
-// --- structural hashing / CSE ------------------------------------------------
-// Merges structurally identical cells, *including* the add_gate_raw MUX
-// storage cells that skip creation-time sharing and DFFs agreeing on
-// (D, power-on value) — two such flops hold identical state forever.  The
-// first (lowest-index) cell of each equivalence class survives, so the
-// result is deterministic and group attribution goes to the first user.
-PassDelta hash_structural(netlist::Module& m) {
-  PassDelta delta{.pass = "structural-hash"};
-  Subst sub(m.num_nets());
-  std::vector<bool> keep(m.cells().size(), true);
-
-  // (type, a, b, s) packed in 20-bit net fields, the same scheme as
-  // Module::add_gate's creation-time table; oversized ids skip CSE.
-  constexpr NetId kLimit = 1u << 20;
-  constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
-  auto make_key = [](CellType type, NetId a, NetId b, NetId s) {
-    const NetId bb = (b == kInvalidNet) ? kLimit - 1 : b;
-    const NetId ss = (s == kInvalidNet) ? kLimit - 1 : s;
-    if (a >= kLimit - 1 || bb >= kLimit || ss >= kLimit) return kNoKey;
-    return (static_cast<std::uint64_t>(type) << 60) |
-           (static_cast<std::uint64_t>(a) << 40) |
-           (static_cast<std::uint64_t>(bb) << 20) |
-           static_cast<std::uint64_t>(ss);
-  };
-  auto is_commutative = [](CellType type) {
-    switch (type) {
-      case CellType::kNand2:
-      case CellType::kNor2:
-      case CellType::kAnd2:
-      case CellType::kOr2:
-      case CellType::kXor2:
-      case CellType::kXnor2:
-        return true;
-      default:
-        return false;
-    }
-  };
-
-  std::unordered_map<std::uint64_t, NetId> seen;
-  seen.reserve(m.cells().size());
-  for (std::size_t i = 0; i < m.cells().size(); ++i) {
-    const Cell& c = m.cells()[i];
-    NetId a = sub.resolve(c.in[0]);
-    NetId b = c.in[1] == kInvalidNet ? kInvalidNet : sub.resolve(c.in[1]);
-    NetId s = c.in[2] == kInvalidNet ? kInvalidNet : sub.resolve(c.in[2]);
-    if (is_commutative(c.type) && a > b) std::swap(a, b);
-    if (c.type == CellType::kDff) {
-      s = c.dff_init ? kConst1 : kConst0;  // fold the power-on value in
-    }
-    const std::uint64_t key = make_key(c.type, a, b, s);
-    if (key == kNoKey) continue;
-    const auto [it, inserted] = seen.emplace(key, c.out);
-    if (!inserted) {
-      sub.redirect(c.out, it->second);
-      kill(m, keep, i, delta);
-    }
-  }
-
-  if (std::find(keep.begin(), keep.end(), false) != keep.end()) {
-    finish(m, delta, sub, std::move(keep));
-  }
-  return delta;
-}
-
-// --- dead-cell + unused-net sweep -------------------------------------------
-// Backward reachability from the output ports; everything unreached —
-// including whole dead state machines — is deleted, and apply_rewrite's
-// compaction drops the orphaned nets.
-PassDelta sweep_dead(netlist::Module& m) {
-  PassDelta delta{.pass = "dead-sweep"};
-  const std::vector<std::int32_t> driver = m.driver_map();
-  std::vector<bool> cell_live(m.cells().size(), false);
-  std::vector<bool> net_seen(m.num_nets(), false);
-
-  std::vector<NetId> work;
-  for (const netlist::Port& port : m.output_ports()) {
-    for (const NetId n : port.nets) {
-      if (!net_seen[n]) {
-        net_seen[n] = true;
-        work.push_back(n);
-      }
-    }
-  }
-  while (!work.empty()) {
-    const NetId n = work.back();
-    work.pop_back();
-    if (driver[n] < 0) continue;
-    const auto ci = static_cast<std::size_t>(driver[n]);
-    if (cell_live[ci]) continue;
-    cell_live[ci] = true;
-    const Cell& c = m.cells()[ci];
-    const int arity = netlist::cell_num_inputs(c.type);
-    for (int k = 0; k < arity; ++k) {
-      if (!net_seen[c.in[k]]) {
-        net_seen[c.in[k]] = true;
-        work.push_back(c.in[k]);
-      }
-    }
-  }
-
-  bool any_dead = false;
-  for (std::size_t i = 0; i < cell_live.size(); ++i) {
-    if (!cell_live[i]) {
-      any_dead = true;
-      if (m.cells()[i].type == CellType::kDff) ++delta.dffs_removed;
-    }
-  }
-  if (any_dead) {
-    Subst sub(m.num_nets());
-    finish(m, delta, sub, std::move(cell_live));
-  }
-  return delta;
-}
-
-// --- the pipeline ------------------------------------------------------------
-
 std::vector<Pass> default_passes() {
-  return {Pass{"constant-propagation", &propagate_constants},
-          Pass{"buffer-chain-collapse", &collapse_buffer_chains},
-          Pass{"structural-hash", &hash_structural},
-          Pass{"dead-sweep", &sweep_dead}};
+  std::vector<Pass> passes;
+  for (const std::string& name : flow_recipe("area").passes) {
+    passes.push_back(find_pass(name));
+  }
+  return passes;
 }
 
 std::vector<PassDelta> OptReport::totals_by_pass() const {
@@ -424,6 +30,7 @@ std::vector<PassDelta> OptReport::totals_by_pass() const {
     slot->dffs_removed += d.dffs_removed;
     slot->nets_removed += d.nets_removed;
     slot->cells_retyped += d.cells_retyped;
+    slot->cells_added += d.cells_added;
   }
   return totals;
 }
@@ -434,56 +41,33 @@ Optimizer::Optimizer(OptOptions options)
 Optimizer::Optimizer(OptOptions options, std::vector<Pass> passes)
     : options_(options), passes_(std::move(passes)) {}
 
-namespace {
-
-void debug_validate(const netlist::Module& m, const std::string& pass) {
-#ifndef NDEBUG
-  if (const auto err = m.validate()) {
-    std::fprintf(stderr,
-                 "pml::opt: netlist invariant broken after pass '%s': %s\n",
-                 pass.c_str(), err->c_str());
-    assert(false && "optimizer pass broke netlist invariants");
-  }
-#else
-  (void)m;
-  (void)pass;
-#endif
-}
-
-}  // namespace
-
 OptReport Optimizer::run(netlist::Module& m) const {
-  OptReport report;
-  report.before = m.stats();
-  report.after = report.before;
-  if (!options_.enabled) return report;
-
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    report.iterations = iter + 1;
-    bool changed = false;
-    for (const Pass& pass : passes_) {
-      PassDelta delta = pass.run(m);
-      if (options_.check_invariants) debug_validate(m, pass.name);
-      if (delta.changed()) {
-        changed = true;
-        report.deltas.push_back(std::move(delta));
-      }
-    }
-    if (!changed) break;
-  }
-
-  if (options_.check_invariants) {
-    if (const auto err = m.validate()) {
-      throw std::runtime_error("pml::opt: optimized module is invalid: " +
-                               *err);
-    }
-  }
-  report.after = m.stats();
-  return report;
+  return PassManager("custom", passes_, options_, /*cost_model=*/nullptr,
+                     /*cost_driven=*/false)
+      .run(m);
 }
 
-OptReport optimize(netlist::Module& m, const OptOptions& options) {
-  return Optimizer(options).run(m);
+OptReport optimize(netlist::Module& m, const OptOptions& options,
+                   const CostModel* cost_model) {
+  if (!options.enabled) {
+    // Report the untouched shape under the requested recipe name without
+    // resolving it (disabled runs must stay no-ops even for "best").
+    OptReport report;
+    report.recipe = options.flow;
+    report.before = m.stats();
+    report.after = report.before;
+    return report;
+  }
+  const CellCountCost fallback;
+  if (options.flow == kBestFlow) {
+    return PassManager::run_best(
+        m, standard_flows(),
+        cost_model != nullptr ? *cost_model : fallback, options);
+  }
+  const FlowRecipe& recipe = flow_recipe(options.flow);
+  const CostModel* model = cost_model;
+  if (model == nullptr && recipe.cost_driven) model = &fallback;
+  return PassManager(recipe, options, model).run(m);
 }
 
 }  // namespace pml::opt

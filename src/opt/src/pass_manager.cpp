@@ -1,0 +1,220 @@
+#include "pml/opt/pass_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "pml/opt/cost_model.hpp"
+
+namespace pml::opt {
+
+// --- registry ----------------------------------------------------------------
+
+const std::vector<Pass>& pass_registry() {
+  static const std::vector<Pass> registry = {
+      Pass{"constant-propagation", &propagate_constants},
+      Pass{"buffer-chain-collapse", &collapse_buffer_chains},
+      Pass{"structural-hash", &hash_structural},
+      Pass{"rebalance-trees", &rebalance_trees},
+      Pass{"dead-sweep", &sweep_dead},
+  };
+  return registry;
+}
+
+const Pass& find_pass(const std::string& name) {
+  for (const Pass& pass : pass_registry()) {
+    if (pass.name == name) return pass;
+  }
+  std::string known;
+  for (const Pass& pass : pass_registry()) {
+    known += known.empty() ? pass.name : ", " + pass.name;
+  }
+  throw std::invalid_argument("pml::opt: unknown pass '" + name +
+                              "' (registered: " + known + ")");
+}
+
+// --- recipes -----------------------------------------------------------------
+
+const std::vector<FlowRecipe>& standard_flows() {
+  static const std::vector<FlowRecipe> flows = {
+      // PR 4's pipeline: minimal cell count.
+      FlowRecipe{"area",
+                 {"constant-propagation", "buffer-chain-collapse",
+                  "structural-hash", "dead-sweep"},
+                 /*cost_driven=*/false},
+      // CSE + DCE only: keeps the delay-balancing redundancy of the
+      // generated storage trees, trading a little area for markedly
+      // fewer glitch transitions (the measured ~25% switching-energy
+      // cut that motivated flow selection).
+      FlowRecipe{"energy",
+                 {"structural-hash", "dead-sweep"},
+                 /*cost_driven=*/false},
+      // Area passes plus tree re-balancing, every application gated by
+      // the cost model.
+      FlowRecipe{"balanced",
+                 {"constant-propagation", "buffer-chain-collapse",
+                  "structural-hash", "rebalance-trees", "dead-sweep"},
+                 /*cost_driven=*/true},
+      FlowRecipe{"none", {}, /*cost_driven=*/false},
+  };
+  return flows;
+}
+
+const FlowRecipe& flow_recipe(const std::string& name) {
+  for (const FlowRecipe& flow : standard_flows()) {
+    if (flow.name == name) return flow;
+  }
+  std::string known;
+  for (const FlowRecipe& flow : standard_flows()) {
+    known += known.empty() ? flow.name : ", " + flow.name;
+  }
+  throw std::invalid_argument("pml::opt: unknown flow recipe '" + name +
+                              "' (standard: " + known + ", or \"best\")");
+}
+
+// --- PassManager -------------------------------------------------------------
+
+namespace {
+
+std::vector<Pass> resolve(const FlowRecipe& recipe) {
+  std::vector<Pass> passes;
+  passes.reserve(recipe.passes.size());
+  for (const std::string& name : recipe.passes) {
+    passes.push_back(find_pass(name));
+  }
+  return passes;
+}
+
+void debug_validate(const netlist::Module& m, const std::string& pass) {
+#ifndef NDEBUG
+  if (const auto err = m.validate()) {
+    std::fprintf(stderr,
+                 "pml::opt: netlist invariant broken after pass '%s': %s\n",
+                 pass.c_str(), err->c_str());
+    assert(false && "optimizer pass broke netlist invariants");
+  }
+#else
+  (void)m;
+  (void)pass;
+#endif
+}
+
+}  // namespace
+
+PassManager::PassManager(FlowRecipe recipe, OptOptions options,
+                         const CostModel* cost_model)
+    : recipe_(std::move(recipe)),
+      passes_(resolve(recipe_)),
+      options_(options),
+      cost_model_(cost_model) {}
+
+PassManager::PassManager(std::string name, std::vector<Pass> passes,
+                         OptOptions options, const CostModel* cost_model,
+                         bool cost_driven)
+    : options_(options), cost_model_(cost_model) {
+  recipe_.name = std::move(name);
+  recipe_.cost_driven = cost_driven;
+  for (const Pass& pass : passes) recipe_.passes.push_back(pass.name);
+  passes_ = std::move(passes);
+}
+
+OptReport PassManager::run(netlist::Module& m) const {
+  OptReport report;
+  report.recipe = recipe_.name;
+  report.before = m.stats();
+  report.after = report.before;
+  if (!options_.enabled) return report;
+
+  // Cost gating needs a model; without one a cost-driven recipe runs
+  // ungated (the caller opted out of measurement).
+  const bool cost_gate = recipe_.cost_driven && cost_model_ != nullptr;
+  double current_cost =
+      cost_model_ != nullptr ? cost_model_->cost(m) : -1.0;
+  report.cost_before = current_cost;
+
+  // A pass rejected by the cost gate would produce the identical (and
+  // identically priced) candidate until some *other* pass changes the
+  // module, so it is vetoed — skipping the module copy and probe replay
+  // — until an acceptance clears the veto.
+  std::vector<bool> vetoed(passes_.size(), false);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    report.iterations = iter + 1;
+    bool changed = false;
+    for (std::size_t pi = 0; pi < passes_.size(); ++pi) {
+      const Pass& pass = passes_[pi];
+      if (cost_gate) {
+        if (vetoed[pi]) continue;
+        // Measure-then-commit: run the pass on a scratch copy, price the
+        // result with the model, and keep it only when it does not
+        // worsen the measured cost.
+        netlist::Module candidate = m;
+        PassDelta delta = pass.run(candidate);
+        if (options_.check_invariants) debug_validate(candidate, pass.name);
+        if (!delta.changed()) continue;
+        const double candidate_cost = cost_model_->cost(candidate);
+        if (candidate_cost <=
+            current_cost * (1.0 + options_.cost_tolerance)) {
+          m = std::move(candidate);
+          current_cost = candidate_cost;
+          changed = true;
+          report.deltas.push_back(std::move(delta));
+          std::fill(vetoed.begin(), vetoed.end(), false);
+        } else {
+          vetoed[pi] = true;
+          report.rejected.push_back(pass.name);
+        }
+      } else {
+        PassDelta delta = pass.run(m);
+        if (options_.check_invariants) debug_validate(m, pass.name);
+        if (delta.changed()) {
+          changed = true;
+          report.deltas.push_back(std::move(delta));
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  if (options_.check_invariants) {
+    if (const auto err = m.validate()) {
+      throw std::runtime_error("pml::opt: optimized module is invalid: " +
+                               *err);
+    }
+  }
+  report.after = m.stats();
+  report.cost_after =
+      cost_gate ? current_cost
+                : (cost_model_ != nullptr ? cost_model_->cost(m) : -1.0);
+  return report;
+}
+
+OptReport PassManager::run_best(netlist::Module& m,
+                                const std::vector<FlowRecipe>& flows,
+                                const CostModel& cost_model,
+                                const OptOptions& options) {
+  if (flows.empty()) {
+    throw std::invalid_argument("PassManager::run_best: no flows");
+  }
+  bool have_best = false;
+  double best_cost = 0.0;
+  netlist::Module best_module;
+  OptReport best_report;
+  for (const FlowRecipe& flow : flows) {
+    netlist::Module candidate = m;
+    OptReport report =
+        PassManager(flow, options, &cost_model).run(candidate);
+    const double cost = report.cost_after;
+    if (!have_best || cost < best_cost) {
+      have_best = true;
+      best_cost = cost;
+      best_module = std::move(candidate);
+      best_report = std::move(report);
+    }
+  }
+  m = std::move(best_module);
+  return best_report;
+}
+
+}  // namespace pml::opt

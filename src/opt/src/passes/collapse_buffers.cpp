@@ -1,0 +1,137 @@
+#include "pass_common.hpp"
+
+namespace pml::opt {
+
+using detail::Subst;
+using netlist::Cell;
+using netlist::CellType;
+using netlist::NetId;
+
+// Buffers dissolve into wires; INV(INV(x)) dissolves into x; and
+// single-fanout inversions are pushed through the neighboring cell where a
+// primitive absorbs them (complement gates, XOR<->XNOR, MUX select swap,
+// De Morgan on doubly-inverted AND/OR/NAND/NOR).  The bypassed inverters
+// become dead and fall to sweep_dead.
+PassDelta collapse_buffer_chains(netlist::Module& m) {
+  PassDelta delta{.pass = "buffer-chain-collapse"};
+  Subst sub(m.num_nets());
+  std::vector<bool> keep(m.cells().size(), true);
+  const std::vector<std::int32_t> driver = m.driver_map();
+  const std::vector<std::uint32_t> fanout = m.fanout_counts();
+
+  // True when `net`'s driver is a live INV whose only reader is the
+  // absorbing cell, returning that inverter's index.
+  auto absorbable_inv = [&](NetId net, std::size_t& inv_cell) {
+    if (net >= driver.size() || driver[net] < 0) return false;
+    const auto di = static_cast<std::size_t>(driver[net]);
+    if (!keep[di] || m.cells()[di].type != CellType::kInv) return false;
+    if (fanout[net] != 1) return false;
+    inv_cell = di;
+    return true;
+  };
+
+  for (std::size_t i = 0; i < m.cells().size(); ++i) {
+    if (!keep[i]) continue;
+    Cell& c = m.cell_mut(i);
+
+    if (c.type == CellType::kBuf) {
+      sub.redirect(c.out, sub.resolve(c.in[0]));
+      detail::kill(m, keep, i, delta);
+      continue;
+    }
+
+    if (c.type == CellType::kInv) {
+      const NetId a = sub.resolve(c.in[0]);
+      if (a < driver.size() && driver[a] >= 0) {
+        const auto di = static_cast<std::size_t>(driver[a]);
+        const Cell& g = m.cells()[di];
+        if (keep[di] && g.type == CellType::kInv) {
+          // Double negation: reads of INV(INV(x)) become reads of x.
+          sub.redirect(c.out, sub.resolve(g.in[0]));
+          detail::kill(m, keep, i, delta);
+          continue;
+        }
+        // Output-side push-through: INV(g(a,b)) retypes to the
+        // complement of g when this INV is g's only reader.
+        if (keep[di] && fanout[a] == 1) {
+          CellType comp = g.type;
+          switch (g.type) {
+            case CellType::kNand2: comp = CellType::kAnd2; break;
+            case CellType::kAnd2: comp = CellType::kNand2; break;
+            case CellType::kNor2: comp = CellType::kOr2; break;
+            case CellType::kOr2: comp = CellType::kNor2; break;
+            case CellType::kXor2: comp = CellType::kXnor2; break;
+            case CellType::kXnor2: comp = CellType::kXor2; break;
+            default: break;
+          }
+          if (comp != g.type) {
+            c.type = comp;
+            c.in[0] = sub.resolve(g.in[0]);
+            c.in[1] = sub.resolve(g.in[1]);
+            c.in[2] = netlist::kInvalidNet;
+            ++delta.cells_retyped;
+            continue;
+          }
+        }
+      }
+      continue;
+    }
+
+    // Input-side absorption.
+    if (c.type == CellType::kXor2 || c.type == CellType::kXnor2) {
+      for (int p = 0; p < 2; ++p) {
+        const NetId n = sub.resolve(c.in[p]);
+        std::size_t inv_cell = 0;
+        if (absorbable_inv(n, inv_cell)) {
+          c.in[p] = sub.resolve(m.cells()[inv_cell].in[0]);
+          c.type = c.type == CellType::kXor2 ? CellType::kXnor2
+                                             : CellType::kXor2;
+          ++delta.cells_retyped;
+        }
+      }
+      continue;
+    }
+    if (c.type == CellType::kMux2) {
+      const NetId s = sub.resolve(c.in[2]);
+      std::size_t inv_cell = 0;
+      if (absorbable_inv(s, inv_cell)) {
+        // MUX(d0, d1, ~x) == MUX(d1, d0, x).
+        const NetId d0 = sub.resolve(c.in[0]);
+        const NetId d1 = sub.resolve(c.in[1]);
+        c.in[0] = d1;
+        c.in[1] = d0;
+        c.in[2] = sub.resolve(m.cells()[inv_cell].in[0]);
+        ++delta.cells_retyped;
+      }
+      continue;
+    }
+    if (c.type == CellType::kNand2 || c.type == CellType::kNor2 ||
+        c.type == CellType::kAnd2 || c.type == CellType::kOr2) {
+      const NetId n0 = sub.resolve(c.in[0]);
+      const NetId n1 = sub.resolve(c.in[1]);
+      std::size_t inv0 = 0, inv1 = 0;
+      if (n0 != n1 && absorbable_inv(n0, inv0) && absorbable_inv(n1, inv1)) {
+        CellType dm = c.type;
+        switch (c.type) {  // De Morgan
+          case CellType::kNand2: dm = CellType::kOr2; break;
+          case CellType::kNor2: dm = CellType::kAnd2; break;
+          case CellType::kAnd2: dm = CellType::kNor2; break;
+          case CellType::kOr2: dm = CellType::kNand2; break;
+          default: break;
+        }
+        c.type = dm;
+        c.in[0] = sub.resolve(m.cells()[inv0].in[0]);
+        c.in[1] = sub.resolve(m.cells()[inv1].in[0]);
+        ++delta.cells_retyped;
+      }
+      continue;
+    }
+  }
+
+  if (delta.changed() || detail::any_killed(keep)) {
+    detail::finish(m, delta, sub, std::move(keep));
+  }
+  return delta;
+}
+
+}  // namespace pml::opt

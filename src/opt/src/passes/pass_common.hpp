@@ -1,0 +1,81 @@
+#pragma once
+// Shared machinery of the pml::opt passes (one pass per passes/*.cpp).
+//
+// Every pass follows the same protocol: scan cells in index order,
+// accumulate a net substitution (Subst) plus a keep/kill vector, and hand
+// both to Module::apply_rewrite via finish() exactly once at the end —
+// so the module is never observed in a half-rewritten state.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
+
+namespace pml::opt::detail {
+
+/// Growing net substitution with path compression.  `map[n]` is the net to
+/// read instead of `n`; identity when untouched.
+class Subst {
+ public:
+  explicit Subst(std::size_t num_nets) : map_(num_nets) {
+    for (std::size_t n = 0; n < num_nets; ++n)
+      map_[n] = static_cast<netlist::NetId>(n);
+  }
+
+  [[nodiscard]] netlist::NetId resolve(netlist::NetId n) {
+    netlist::NetId root = n;
+    while (map_[root] != root) root = map_[root];
+    while (map_[n] != root) {
+      const netlist::NetId next = map_[n];
+      map_[n] = root;
+      n = next;
+    }
+    return root;
+  }
+
+  /// Redirect reads of `from` (a cell's now-bypassed output) to `to`.
+  void redirect(netlist::NetId from, netlist::NetId to) {
+    map_[from] = resolve(to);
+  }
+
+  /// Extend the identity map to cover nets created after construction
+  /// (restructuring passes add nets; apply_rewrite wants full coverage).
+  void grow(std::size_t num_nets) {
+    const std::size_t old = map_.size();
+    map_.resize(num_nets);
+    for (std::size_t n = old; n < num_nets; ++n)
+      map_[n] = static_cast<netlist::NetId>(n);
+  }
+
+  [[nodiscard]] std::vector<netlist::NetId> take() { return std::move(map_); }
+
+ private:
+  std::vector<netlist::NetId> map_;
+};
+
+/// Kill cell `i`, bookkeeping the DFF count.
+inline void kill(const netlist::Module& m, std::vector<bool>& keep,
+                 std::size_t i, PassDelta& delta) {
+  keep[i] = false;
+  if (m.cells()[i].type == netlist::CellType::kDff) ++delta.dffs_removed;
+}
+
+/// Apply the accumulated rewrite.  `keep` may be shorter than the current
+/// cell count when the pass appended cells; the new cells are kept.
+inline void finish(netlist::Module& m, PassDelta& delta, Subst& sub,
+                   std::vector<bool> keep) {
+  sub.grow(m.num_nets());
+  keep.resize(m.cells().size(), true);
+  const auto stats = m.apply_rewrite(sub.take(), keep);
+  delta.cells_removed = stats.cells_removed;
+  delta.nets_removed = stats.nets_removed;
+}
+
+/// True when the pass accumulated anything worth an apply_rewrite.
+inline bool any_killed(const std::vector<bool>& keep) {
+  return std::find(keep.begin(), keep.end(), false) != keep.end();
+}
+
+}  // namespace pml::opt::detail

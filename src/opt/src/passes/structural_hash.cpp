@@ -1,0 +1,78 @@
+#include <unordered_map>
+
+#include "pass_common.hpp"
+
+namespace pml::opt {
+
+using detail::Subst;
+using netlist::Cell;
+using netlist::CellType;
+using netlist::kConst0;
+using netlist::kConst1;
+using netlist::kInvalidNet;
+using netlist::NetId;
+
+// Merges structurally identical cells, *including* the add_gate_raw MUX
+// storage cells that skip creation-time sharing and DFFs agreeing on
+// (D, power-on value) — two such flops hold identical state forever.  The
+// first (lowest-index) cell of each equivalence class survives, so the
+// result is deterministic and group attribution goes to the first user.
+PassDelta hash_structural(netlist::Module& m) {
+  PassDelta delta{.pass = "structural-hash"};
+  Subst sub(m.num_nets());
+  std::vector<bool> keep(m.cells().size(), true);
+
+  // (type, a, b, s) packed in 20-bit net fields, the same scheme as
+  // Module::add_gate's creation-time table; oversized ids skip CSE.
+  constexpr NetId kLimit = 1u << 20;
+  constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+  auto make_key = [](CellType type, NetId a, NetId b, NetId s) {
+    const NetId bb = (b == kInvalidNet) ? kLimit - 1 : b;
+    const NetId ss = (s == kInvalidNet) ? kLimit - 1 : s;
+    if (a >= kLimit - 1 || bb >= kLimit || ss >= kLimit) return kNoKey;
+    return (static_cast<std::uint64_t>(type) << 60) |
+           (static_cast<std::uint64_t>(a) << 40) |
+           (static_cast<std::uint64_t>(bb) << 20) |
+           static_cast<std::uint64_t>(ss);
+  };
+  auto is_commutative = [](CellType type) {
+    switch (type) {
+      case CellType::kNand2:
+      case CellType::kNor2:
+      case CellType::kAnd2:
+      case CellType::kOr2:
+      case CellType::kXor2:
+      case CellType::kXnor2:
+        return true;
+      default:
+        return false;
+    }
+  };
+
+  std::unordered_map<std::uint64_t, NetId> seen;
+  seen.reserve(m.cells().size());
+  for (std::size_t i = 0; i < m.cells().size(); ++i) {
+    const Cell& c = m.cells()[i];
+    NetId a = sub.resolve(c.in[0]);
+    NetId b = c.in[1] == kInvalidNet ? kInvalidNet : sub.resolve(c.in[1]);
+    NetId s = c.in[2] == kInvalidNet ? kInvalidNet : sub.resolve(c.in[2]);
+    if (is_commutative(c.type) && a > b) std::swap(a, b);
+    if (c.type == CellType::kDff) {
+      s = c.dff_init ? kConst1 : kConst0;  // fold the power-on value in
+    }
+    const std::uint64_t key = make_key(c.type, a, b, s);
+    if (key == kNoKey) continue;
+    const auto [it, inserted] = seen.emplace(key, c.out);
+    if (!inserted) {
+      sub.redirect(c.out, it->second);
+      detail::kill(m, keep, i, delta);
+    }
+  }
+
+  if (detail::any_killed(keep)) {
+    detail::finish(m, delta, sub, std::move(keep));
+  }
+  return delta;
+}
+
+}  // namespace pml::opt

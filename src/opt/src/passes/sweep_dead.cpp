@@ -1,0 +1,59 @@
+#include "pass_common.hpp"
+
+namespace pml::opt {
+
+using detail::Subst;
+using netlist::Cell;
+using netlist::CellType;
+using netlist::NetId;
+
+// Backward reachability from the output ports; everything unreached —
+// including whole dead state machines — is deleted, and apply_rewrite's
+// compaction drops the orphaned nets.
+PassDelta sweep_dead(netlist::Module& m) {
+  PassDelta delta{.pass = "dead-sweep"};
+  const std::vector<std::int32_t> driver = m.driver_map();
+  std::vector<bool> cell_live(m.cells().size(), false);
+  std::vector<bool> net_seen(m.num_nets(), false);
+
+  std::vector<NetId> work;
+  for (const netlist::Port& port : m.output_ports()) {
+    for (const NetId n : port.nets) {
+      if (!net_seen[n]) {
+        net_seen[n] = true;
+        work.push_back(n);
+      }
+    }
+  }
+  while (!work.empty()) {
+    const NetId n = work.back();
+    work.pop_back();
+    if (driver[n] < 0) continue;
+    const auto ci = static_cast<std::size_t>(driver[n]);
+    if (cell_live[ci]) continue;
+    cell_live[ci] = true;
+    const Cell& c = m.cells()[ci];
+    const int arity = netlist::cell_num_inputs(c.type);
+    for (int k = 0; k < arity; ++k) {
+      if (!net_seen[c.in[k]]) {
+        net_seen[c.in[k]] = true;
+        work.push_back(c.in[k]);
+      }
+    }
+  }
+
+  bool any_dead = false;
+  for (std::size_t i = 0; i < cell_live.size(); ++i) {
+    if (!cell_live[i]) {
+      any_dead = true;
+      if (m.cells()[i].type == CellType::kDff) ++delta.dffs_removed;
+    }
+  }
+  if (any_dead) {
+    Subst sub(m.num_nets());
+    detail::finish(m, delta, sub, std::move(cell_live));
+  }
+  return delta;
+}
+
+}  // namespace pml::opt

@@ -27,6 +27,9 @@ struct GroupReport {
   double area_cm2 = 0.0;
   double static_mw = 0.0;
   double dynamic_mw = 0.0;
+  /// Glitch slice of dynamic_mw (spurious transitions of delay-skewed
+  /// paths; zero when the activity carries no functional split).
+  double glitch_mw = 0.0;
   std::size_t cells = 0;
   [[nodiscard]] double total_mw() const { return static_mw + dynamic_mw; }
 };
@@ -35,11 +38,25 @@ struct PowerReport {
   double area_cm2 = 0.0;     ///< incl. routing overhead
   double static_mw = 0.0;    ///< incl. clock tree
   double dynamic_mw = 0.0;
+  /// Functional/glitch split of dynamic_mw, from the event simulator's
+  /// per-window transition accounting (sim::ActivityStats::net_functional).
+  /// DFF clock energy counts as functional; when the activity carries no
+  /// split, everything lands in `dynamic_functional_mw`.
+  double dynamic_functional_mw = 0.0;
+  double dynamic_glitch_mw = 0.0;
+  /// Cell-driven transition totals behind the split (counted over the
+  /// replayed activity window).
+  std::uint64_t functional_transitions = 0;
+  std::uint64_t glitch_transitions = 0;
   double total_mw = 0.0;
   double latency_ms = 0.0;   ///< cycles_per_inference x clock period
   double frequency_hz = 0.0;
   double energy_per_inference_mj = 0.0;
   std::vector<GroupReport> groups;  ///< pre-routing-overhead areas
+  /// Glitch share of dynamic power (0 when there is no dynamic power).
+  [[nodiscard]] double glitch_fraction() const {
+    return dynamic_mw > 0.0 ? dynamic_glitch_mw / dynamic_mw : 0.0;
+  }
 };
 
 /// Cell area only (cm^2, including routing overhead).
@@ -56,6 +73,16 @@ struct PowerReport {
                                      const cells::CellLibrary& lib);
 [[nodiscard]] double static_power_mw(const netlist::ModuleStats& stats,
                                      const cells::CellLibrary& lib);
+
+/// Dynamic switching energy (nJ) of the recorded activity alone: per-net
+/// transitions x per-cell switch energy x fanout load, plus DFF clock
+/// energy — the period-free figure the cost-driven optimization flows
+/// minimize (opt::SwitchingEnergyCost).  `lv` supplies the fanout loads;
+/// it must derive from `module`.
+[[nodiscard]] double switching_energy_nj(const netlist::Module& module,
+                                         const cells::CellLibrary& lib,
+                                         const sim::ActivityStats& activity,
+                                         const sim::Levelization& lv);
 
 /// Full report.
 ///

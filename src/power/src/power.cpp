@@ -1,5 +1,6 @@
 #include "pml/power/power.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "pml/sim/levelize.hpp"
@@ -40,6 +41,40 @@ double static_power_mw(const netlist::Module& module,
   return static_power_mw(module.stats(), lib);
 }
 
+namespace {
+
+/// Fanout load factor shared by estimate() and switching_energy_nj() so
+/// the cost model prices transitions exactly as the power report does.
+double fanout_load(const cells::Calibration& cal, const sim::Levelization& lv,
+                   netlist::NetId net) {
+  const double fanout = static_cast<double>(
+      lv.fanout[net].empty() ? 1 : lv.fanout[net].size());
+  return 1.0 + cal.fanout_energy_factor * (fanout - 1.0);
+}
+
+}  // namespace
+
+double switching_energy_nj(const netlist::Module& module,
+                           const cells::CellLibrary& lib,
+                           const sim::ActivityStats& activity,
+                           const sim::Levelization& lv) {
+  if (activity.net_toggles.size() < module.num_nets()) {
+    throw std::invalid_argument(
+        "power::switching_energy_nj: activity/module mismatch");
+  }
+  const auto& cal = lib.calibration();
+  double nj = 0.0;
+  for (const Cell& c : module.cells()) {
+    const std::uint64_t toggles = activity.net_toggles[c.out];
+    if (toggles == 0) continue;
+    nj += static_cast<double>(toggles) * lib.params(c.type).switch_energy_nj *
+          fanout_load(cal, lv, c.out);
+  }
+  nj += static_cast<double>(activity.dff_clock_events) *
+        cal.dff_clock_energy_nj;
+  return nj;
+}
+
 PowerReport estimate(const netlist::Module& module,
                      const cells::CellLibrary& lib,
                      const sim::ActivityStats& activity,
@@ -78,7 +113,14 @@ PowerReport estimate(const netlist::Module& module,
       static_cast<double>(inferences) *
       static_cast<double>(cycles_per_inference) * period_ms;
 
+  // The glitch split needs the per-window functional counts; activity
+  // built by hand (tests, external stimuli) may omit them, in which case
+  // every transition counts as functional.
+  const bool have_split =
+      activity.net_functional.size() >= module.num_nets();
+
   double dyn_nj = 0.0;
+  double glitch_nj = 0.0;
   for (const Cell& c : cells_vec) {
     const auto& p = lib.params(c.type);
     GroupReport& grp = rep.groups[c.group];
@@ -90,26 +132,35 @@ PowerReport estimate(const netlist::Module& module,
     }
     const std::uint64_t toggles = activity.net_toggles[c.out];
     if (toggles != 0) {
-      const double fanout =
-          static_cast<double>(lv.fanout[c.out].empty()
-                                  ? 1
-                                  : lv.fanout[c.out].size());
-      const double load = 1.0 + cal.fanout_energy_factor * (fanout - 1.0);
+      const std::uint64_t functional =
+          have_split ? std::min(activity.net_functional[c.out], toggles)
+                     : toggles;
+      const std::uint64_t glitches = toggles - functional;
+      rep.functional_transitions += functional;
+      rep.glitch_transitions += glitches;
+      const double load = fanout_load(cal, lv, c.out);
       const double cell_nj =
           static_cast<double>(toggles) * p.switch_energy_nj * load;
+      const double cell_glitch_nj =
+          static_cast<double>(glitches) * p.switch_energy_nj * load;
       dyn_nj += cell_nj;
+      glitch_nj += cell_glitch_nj;
       // nJ over ms -> uW; /1000 -> mW.
       grp.dynamic_mw += cell_nj / total_time_ms / 1000.0;
+      grp.glitch_mw += cell_glitch_nj / total_time_ms / 1000.0;
     }
   }
   dyn_nj += static_cast<double>(activity.dff_clock_events) *
             cal.dff_clock_energy_nj;
   // Clock energy is attributed to the group of each DFF proportionally;
   // for simplicity it lands in the totals only (groups keep logic energy).
+  // It is functional by definition, so it never enters the glitch slice.
 
   rep.area_cm2 = area_cm2(module, lib);
   rep.static_mw = static_power_mw(module, lib);
   rep.dynamic_mw = dyn_nj / total_time_ms / 1000.0;  // nJ/ms = uW
+  rep.dynamic_glitch_mw = glitch_nj / total_time_ms / 1000.0;
+  rep.dynamic_functional_mw = rep.dynamic_mw - rep.dynamic_glitch_mw;
   rep.total_mw = rep.static_mw + rep.dynamic_mw;
   rep.frequency_hz = 1000.0 / period_ms;
   rep.latency_ms = static_cast<double>(cycles_per_inference) * period_ms;

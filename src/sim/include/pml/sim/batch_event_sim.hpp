@@ -139,6 +139,13 @@ class BatchEventSimulator {
   std::vector<std::uint64_t> cell_epoch_;     ///< dedup stamps
   std::uint64_t epoch_ = 0;
   std::uint64_t count_mask_ = ~std::uint64_t{0};
+  // Per-propagation-window start-of-window value words for the
+  // functional/glitch split (same windows as the scalar oracle: one per
+  // counted run of the wheel, so the per-lane split is bit-exact too).
+  std::vector<std::uint64_t> window_start_;
+  std::vector<std::uint64_t> net_window_epoch_;
+  std::vector<netlist::NetId> window_nets_;
+  std::uint64_t window_epoch_ = 0;
   ActivityStats activity_;
 };
 

@@ -28,6 +28,14 @@ namespace pml::sim {
 struct ActivityStats {
   /// Transitions per net, including glitches.
   std::vector<std::uint64_t> net_toggles;
+  /// Functional subset of `net_toggles`: a net contributes at most one
+  /// functional transition per propagation window (one settle, or one of
+  /// the two phases of a clocked step) — the value change that survives
+  /// when the window goes quiet.  Everything else a delay-skewed path
+  /// produced in between is a glitch:
+  ///   glitches per net = net_toggles[n] - net_functional[n]  (>= 0).
+  /// The split is what the glitch-aware optimization flows minimize.
+  std::vector<std::uint64_t> net_functional;
   /// Total DFF clock events (num_dffs x cycles) — clock tree energy.
   std::uint64_t dff_clock_events = 0;
   /// Clock cycles simulated (summed over counted lanes under batching).
@@ -99,6 +107,12 @@ class EventSimulator {
   std::vector<std::uint32_t> touched_cells_;   // dedup scratch
   std::vector<std::uint64_t> cell_epoch_;      // dedup stamps
   std::uint64_t epoch_ = 0;
+  // Per-propagation-window bookkeeping for the functional/glitch split:
+  // the value each touched net held when the window opened.
+  std::vector<std::uint8_t> window_start_;
+  std::vector<std::uint64_t> net_window_epoch_;
+  std::vector<netlist::NetId> window_nets_;
+  std::uint64_t window_epoch_ = 0;
   ActivityStats activity_;
 };
 

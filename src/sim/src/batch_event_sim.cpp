@@ -48,7 +48,10 @@ BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
   values_.assign(module_.num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
   cell_epoch_.assign(module_.cells().size(), 0);
+  window_start_.assign(module_.num_nets(), 0);
+  net_window_epoch_.assign(module_.num_nets(), 0);
   activity_.net_toggles.assign(module_.num_nets(), 0);
+  activity_.net_functional.assign(module_.num_nets(), 0);
   reset();
 }
 
@@ -69,6 +72,8 @@ void BatchEventSimulator::reset() {
 
 void BatchEventSimulator::clear_activity() {
   std::fill(activity_.net_toggles.begin(), activity_.net_toggles.end(), 0);
+  std::fill(activity_.net_functional.begin(), activity_.net_functional.end(),
+            0);
   activity_.dff_clock_events = 0;
   activity_.cycles = 0;
 }
@@ -136,6 +141,13 @@ void BatchEventSimulator::run_wheel(bool count) {
   const std::uint64_t kMaxEvents =
       std::max<std::uint64_t>(1000, cells.size()) * 4096;
 
+  // One counted wheel run is one propagation window of the
+  // functional/glitch split (same windows as the scalar EventSimulator).
+  if (count) {
+    ++window_epoch_;
+    window_nets_.clear();
+  }
+
   while (pending_events_ > 0) {
     auto& bucket = wheel_[wheel_pos_];
     if (!bucket.empty()) {
@@ -150,11 +162,16 @@ void BatchEventSimulator::run_wheel(bool count) {
         }
         const std::uint64_t diff = word ^ values_[net];
         if (diff == 0) continue;
-        values_[net] = word;
         if (count) {
           activity_.net_toggles[net] +=
               static_cast<std::uint64_t>(std::popcount(diff & count_mask_));
+          if (net_window_epoch_[net] != window_epoch_) {
+            net_window_epoch_[net] = window_epoch_;
+            window_start_[net] = values_[net];
+            window_nets_.push_back(net);
+          }
         }
+        values_[net] = word;
         for (const std::uint32_t ci : lv_->fanout[net]) {
           if (cells[ci].type == CellType::kDff) continue;
           if (cell_epoch_[ci] != epoch_) {
@@ -176,6 +193,13 @@ void BatchEventSimulator::run_wheel(bool count) {
       }
     }
     wheel_pos_ = (wheel_pos_ + 1) % wheel_.size();
+  }
+
+  if (count) {
+    for (const NetId net : window_nets_) {
+      activity_.net_functional[net] += static_cast<std::uint64_t>(
+          std::popcount((values_[net] ^ window_start_[net]) & count_mask_));
+    }
   }
 }
 

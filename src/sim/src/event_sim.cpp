@@ -13,6 +13,12 @@ void ActivityStats::accumulate(const ActivityStats& other) {
   for (std::size_t i = 0; i < other.net_toggles.size(); ++i) {
     net_toggles[i] += other.net_toggles[i];
   }
+  if (net_functional.size() < other.net_functional.size()) {
+    net_functional.resize(other.net_functional.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.net_functional.size(); ++i) {
+    net_functional[i] += other.net_functional[i];
+  }
   dff_clock_events += other.dff_clock_events;
   cycles += other.cycles;
 }
@@ -46,7 +52,10 @@ EventSimulator::EventSimulator(const netlist::Module& module,
   values_.assign(module.num_nets(), 0);
   dff_state_.assign(lv_->dffs.size(), 0);
   cell_epoch_.assign(module.cells().size(), 0);
+  window_start_.assign(module.num_nets(), 0);
+  net_window_epoch_.assign(module.num_nets(), 0);
   activity_.net_toggles.assign(module.num_nets(), 0);
+  activity_.net_functional.assign(module.num_nets(), 0);
   reset();
 }
 
@@ -67,6 +76,8 @@ void EventSimulator::reset() {
 
 void EventSimulator::clear_activity() {
   std::fill(activity_.net_toggles.begin(), activity_.net_toggles.end(), 0);
+  std::fill(activity_.net_functional.begin(), activity_.net_functional.end(),
+            0);
   activity_.dff_clock_events = 0;
   activity_.cycles = 0;
 }
@@ -107,6 +118,14 @@ void EventSimulator::run_events(bool count) {
   const std::uint64_t kMaxEvents =
       std::max<std::uint64_t>(1000, module_.cells().size()) * 4096;
 
+  // One counted run_events call is one propagation window of the
+  // functional/glitch split: a net's start-of-window value is captured on
+  // its first transition, and the window's end settles the verdict.
+  if (count) {
+    ++window_epoch_;
+    window_nets_.clear();
+  }
+
   while (!heap_.empty()) {
     const std::int64_t now = heap_.front().time;
     // Phase 1: apply all net changes scheduled for `now`.
@@ -120,8 +139,15 @@ void EventSimulator::run_events(bool count) {
         throw std::runtime_error("event simulator: event budget exceeded");
       }
       if (values_[ev.net] == ev.value) continue;
+      if (count) {
+        ++activity_.net_toggles[ev.net];
+        if (net_window_epoch_[ev.net] != window_epoch_) {
+          net_window_epoch_[ev.net] = window_epoch_;
+          window_start_[ev.net] = values_[ev.net];
+          window_nets_.push_back(ev.net);
+        }
+      }
       values_[ev.net] = ev.value;
-      if (count) ++activity_.net_toggles[ev.net];
       for (const std::uint32_t ci : lv_->fanout[ev.net]) {
         if (cells[ci].type == CellType::kDff) continue;
         if (cell_epoch_[ci] != epoch_) {
@@ -140,6 +166,12 @@ void EventSimulator::run_events(bool count) {
       heap_.push_back(Event{now + delay_ticks_[static_cast<int>(c.type)],
                             c.out, v});
       std::push_heap(heap_.begin(), heap_.end(), cmp);
+    }
+  }
+
+  if (count) {
+    for (const NetId net : window_nets_) {
+      if (values_[net] != window_start_[net]) ++activity_.net_functional[net];
     }
   }
 }

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "pml/arch/sequential_svm.hpp"
 #include "pml/core/flow.hpp"
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
@@ -72,6 +73,126 @@ TEST(Flow, WorkloadExpectationsComeFromIntegerModel) {
       EXPECT_LE(code, design.quantized.input_format.max_code());
     }
   }
+}
+
+// --- flow-recipe selection plumbing ------------------------------------------
+
+/// A small quantized SVM shared by the flow-selection tests (training is
+/// the slow part; the plumbing under test starts at the circuit).
+quant::QuantizedSvm plumbing_model() {
+  quant::QuantizedSvm q;
+  q.strategy = ml::MulticlassStrategy::kOneVsRest;
+  q.num_classes = 3;
+  q.input_format = quant::input_format(3);
+  q.weight_format =
+      fixed::FixedFormat{.total_bits = 4, .frac_bits = 3, .is_signed = true};
+  q.classifiers = {quant::QuantizedClassifier{{3, -2, 1}, 1},
+                   quant::QuantizedClassifier{{-1, 4, 2}, 0},
+                   quant::QuantizedClassifier{{2, 2, -3}, -2}};
+  return q;
+}
+
+CircuitWorkload plumbing_workload(const quant::QuantizedSvm& q) {
+  CircuitWorkload wl;
+  for (std::int64_t a = 0; a <= 7; ++a) {
+    for (std::int64_t b = 0; b <= 7; ++b) {
+      wl.feature_codes.push_back({a, b, (a + b) & 7});
+      wl.expected_class.push_back(q.predict_codes(wl.feature_codes.back()));
+    }
+  }
+  return wl;
+}
+
+TEST(FlowSelection, EvaluateThreadsTheRecipeIntoTheReport) {
+  const auto lib = cells::CellLibrary::egfet();
+  const auto q = plumbing_model();
+  const auto raw =
+      arch::build_sequential_svm(q, opt::OptOptions{.enabled = false});
+  const CircuitWorkload wl = plumbing_workload(q);
+  EvaluateOptions opts;
+  opts.power_samples = 16;
+
+  auto eval_flow = [&](const std::string& flow) {
+    EvaluateOptions o = opts;
+    o.optimize.flow = flow;
+    return evaluate_circuit(raw.module, raw.cycles_per_inference, lib, wl, o);
+  };
+  const HardwareReport area = eval_flow("area");
+  const HardwareReport energy = eval_flow("energy");
+  const HardwareReport none = eval_flow("none");
+  EXPECT_EQ(area.opt_flow, "area");
+  EXPECT_EQ(energy.opt_flow, "energy");
+  EXPECT_EQ(none.opt_flow, "none");
+  // "none" runs no passes; "energy" (CSE+DCE) removes no more than the
+  // full "area" pipeline.
+  EXPECT_EQ(none.num_cells, raw.module.stats().num_cells);
+  EXPECT_LE(area.num_cells, energy.num_cells);
+  EXPECT_LE(energy.num_cells, none.num_cells);
+  // All flows report the same pre-opt shape and a verified design.
+  EXPECT_EQ(area.pre_opt_stats.num_cells, raw.module.stats().num_cells);
+  EXPECT_TRUE(area.verified && energy.verified && none.verified);
+
+  // Disabled optimizer reports "none" too.
+  EvaluateOptions off = opts;
+  off.optimize.enabled = false;
+  const HardwareReport raw_rep = evaluate_circuit(
+      raw.module, raw.cycles_per_inference, lib, wl, off);
+  EXPECT_EQ(raw_rep.opt_flow, "none");
+
+  // Unknown recipe names surface as std::invalid_argument.
+  EvaluateOptions bad = opts;
+  bad.optimize.flow = "no-such-flow";
+  EXPECT_THROW((void)evaluate_circuit(raw.module, raw.cycles_per_inference,
+                                      lib, wl, bad),
+               std::invalid_argument);
+}
+
+TEST(FlowSelection, GlitchSplitLandsInTheReport) {
+  const auto lib = cells::CellLibrary::egfet();
+  const auto q = plumbing_model();
+  const auto circuit = arch::build_sequential_svm(q);
+  const CircuitWorkload wl = plumbing_workload(q);
+  EvaluateOptions opts;
+  opts.power_samples = 16;
+  const HardwareReport rep = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, opts);
+  EXPECT_GT(rep.functional_transitions, 0u);
+  EXPECT_GT(rep.glitch_transitions, 0u);  // delay-skewed datapaths glitch
+  EXPECT_GE(rep.dynamic_mw, rep.dynamic_glitch_mw);
+  EXPECT_GT(rep.dynamic_glitch_mw, 0.0);
+}
+
+TEST(FlowSelection, SweepFlowsCoversAndVerifiesEveryRecipe) {
+  const auto lib = cells::CellLibrary::egfet();
+  const auto q = plumbing_model();
+  const auto raw =
+      arch::build_sequential_svm(q, opt::OptOptions{.enabled = false});
+  const CircuitWorkload wl = plumbing_workload(q);
+  EvaluateOptions opts;
+  opts.power_samples = 16;
+  const auto rows = sweep_flows(raw.module, raw.cycles_per_inference, lib,
+                                wl, opts);
+  ASSERT_EQ(rows.size(), 4u);  // none, area, energy, balanced
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.hw.opt_flow, row.flow);
+    EXPECT_TRUE(row.hw.verified) << row.flow;
+    EXPECT_GT(row.hw.energy_mj, 0.0) << row.flow;
+  }
+}
+
+TEST(FlowSelection, DesignFlowHonorsTheFlowOption) {
+  const Data data = cardio_subset();
+  const auto lib = cells::CellLibrary::egfet();
+  SequentialSvmFlowOptions opts;
+  opts.c_grid = {1.0};
+  opts.bias_calibration_rounds = 0;
+  opts.evaluate.power_samples = 8;
+  opts.flow = "energy";
+  const SequentialSvmDesign design =
+      design_sequential_svm(data.train, data.test, lib, opts);
+  EXPECT_EQ(design.hw.opt_flow, "energy");
+  EXPECT_EQ(design.circuit.opt.recipe, "energy");
+  EXPECT_TRUE(design.hw.verified);
 }
 
 TEST(Flow, DeterministicForFixedSeeds) {

@@ -22,9 +22,12 @@
 #include "pml/ml/multiclass.hpp"
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
+#include "pml/opt/cost_model.hpp"
 #include "pml/opt/optimizer.hpp"
+#include "pml/opt/pass_manager.hpp"
 #include "pml/quant/svm_quant.hpp"
 #include "pml/sim/batch_sim.hpp"
+#include "pml/sim/levelize.hpp"
 
 namespace pml::opt {
 namespace {
@@ -267,6 +270,56 @@ TEST(OptPass, DeadSweepIsBitExact) {
   check_pass_on_random_modules(&sweep_dead);
 }
 
+TEST(OptPass, RebalanceTreesIsBitExact) {
+  check_pass_on_random_modules(&rebalance_trees);
+}
+
+TEST(OptPass, RebalanceTreesBalancesChainsWithoutAddingCells) {
+  // A skewed 8-leaf AND chain: depth 7 -> 3, same cell count, bit-exact.
+  Module m("t");
+  const auto x = m.add_input_port("x", 8);
+  NetId n = x[0];
+  for (int i = 1; i < 8; ++i) {
+    n = m.add_gate_raw(CellType::kAnd2, n, x[static_cast<std::size_t>(i)]);
+  }
+  m.add_output_port("y", {n});
+  Module raw = m;
+  const std::size_t cells_before = m.cells().size();
+
+  const PassDelta delta = rebalance_trees(m);
+  EXPECT_EQ(delta.cells_added, cells_before);  // rebuilt one-for-one
+  EXPECT_EQ(delta.cells_removed, cells_before);
+  EXPECT_EQ(m.cells().size(), cells_before);
+  ASSERT_EQ(m.validate(), std::nullopt);
+
+  // Unit depth of the output net must now be ceil(log2(8)) = 3.
+  const auto lv = sim::levelize(m);
+  EXPECT_EQ(lv.max_depth, 3u);
+  expect_equivalent(raw, m, 150, 0, 777);
+
+  // Idempotent: a balanced tree offers no strict improvement.
+  const PassDelta again = rebalance_trees(m);
+  EXPECT_FALSE(again.changed());
+}
+
+TEST(OptPass, RebalanceSkipsMultiFanoutInteriors) {
+  // The interior AND feeds a second output: breaking it apart would
+  // change observable structure, so only trees over single-fanout
+  // interiors may be rebuilt.
+  Module m("t");
+  const auto x = m.add_input_port("x", 4);
+  const NetId i1 = m.add_gate_raw(CellType::kAnd2, x[0], x[1]);
+  const NetId i2 = m.add_gate_raw(CellType::kAnd2, i1, x[2]);
+  const NetId i3 = m.add_gate_raw(CellType::kAnd2, i2, x[3]);
+  m.add_output_port("y", {i3});
+  m.add_output_port("tap", {i2});  // i2 is multi-fanout: a tree leaf now
+  Module raw = m;
+  const PassDelta delta = rebalance_trees(m);
+  // The only candidate tree (root i3) has leaves {i2, x3}: too small.
+  EXPECT_FALSE(delta.changed());
+  expect_equivalent(raw, m, 100, 0, 13);
+}
+
 TEST(OptPipeline, FixpointIsBitExactOnRandomModules) {
   for (const std::uint64_t seed : {11ull, 12ull, 13ull, 14ull, 15ull}) {
     for (const bool with_dffs : {false, true}) {
@@ -465,6 +518,198 @@ TEST(OptPipeline, SequentialMlpRawVsOptimized) {
   EXPECT_LT(optd.module.stats().num_cells, raw.module.stats().num_cells);
   expect_equivalent(raw.module, optd.module, 150,
                     raw.cycles_per_inference, 3);
+}
+
+// --- pass registry and flow recipes -------------------------------------------
+
+TEST(PassRegistry, FindsEveryRegisteredPassByName) {
+  for (const Pass& pass : pass_registry()) {
+    const Pass& found = find_pass(pass.name);
+    EXPECT_EQ(found.name, pass.name);
+    EXPECT_EQ(found.run, pass.run);
+  }
+  EXPECT_GE(pass_registry().size(), 5u);  // incl. rebalance-trees
+}
+
+TEST(PassRegistry, UnknownPassNameThrows) {
+  EXPECT_THROW((void)find_pass("no-such-pass"), std::invalid_argument);
+  EXPECT_THROW(PassManager(FlowRecipe{"bad", {"no-such-pass"}, false}),
+               std::invalid_argument);
+}
+
+TEST(FlowRecipes, RoundTripByName) {
+  for (const FlowRecipe& flow : standard_flows()) {
+    const FlowRecipe& back = flow_recipe(flow.name);
+    EXPECT_EQ(back.name, flow.name);
+    EXPECT_EQ(back.passes, flow.passes);
+    EXPECT_EQ(back.cost_driven, flow.cost_driven);
+  }
+  // "area" must remain the PR 4 pipeline, "energy" the CSE+DCE-only
+  // composition, and "none" empty.
+  EXPECT_EQ(flow_recipe("area").passes,
+            (std::vector<std::string>{"constant-propagation",
+                                      "buffer-chain-collapse",
+                                      "structural-hash", "dead-sweep"}));
+  EXPECT_EQ(flow_recipe("energy").passes,
+            (std::vector<std::string>{"structural-hash", "dead-sweep"}));
+  EXPECT_TRUE(flow_recipe("none").passes.empty());
+  EXPECT_TRUE(flow_recipe("balanced").cost_driven);
+}
+
+TEST(FlowRecipes, UnknownFlowNameThrows) {
+  EXPECT_THROW((void)flow_recipe("no-such-flow"), std::invalid_argument);
+  Module m = random_module(3, true);
+  OptOptions opts;
+  opts.flow = "no-such-flow";
+  EXPECT_THROW((void)optimize(m, opts), std::invalid_argument);
+  // "best" is a selection policy, not a recipe.
+  EXPECT_THROW((void)flow_recipe("best"), std::invalid_argument);
+}
+
+TEST(FlowRecipes, EveryRecipeIsBitExactOnRandomModules) {
+  for (const FlowRecipe& flow : standard_flows()) {
+    for (const std::uint64_t seed : {21ull, 22ull}) {
+      const Module raw = random_module(seed, true);
+      Module optd = raw;
+      OptOptions opts;
+      opts.flow = flow.name;
+      const OptReport report = optimize(optd, opts);
+      EXPECT_EQ(report.recipe, flow.name);
+      ASSERT_EQ(optd.validate(), std::nullopt)
+          << flow.name << " seed " << seed;
+      expect_equivalent(raw, optd, 150, 6, seed * 7 + 1);
+    }
+  }
+}
+
+// --- cost-driven accept/reject ------------------------------------------------
+
+namespace {
+
+/// Adversarial model: rewards *more* cells, so every shrinking pass must
+/// be rejected by a cost-driven recipe.
+class PreferMoreCells final : public CostModel {
+ public:
+  [[nodiscard]] double cost(const netlist::Module& m) const override {
+    return 1e9 - static_cast<double>(m.cells().size());
+  }
+  [[nodiscard]] std::string name() const override { return "prefer-more"; }
+};
+
+}  // namespace
+
+TEST(PassManagerCost, RejectsApplicationsTheModelDislikes) {
+  Module m = random_module(9, true);
+  const Module before = m;
+  const PreferMoreCells adversarial;
+  const OptReport report =
+      PassManager(flow_recipe("balanced"), {}, &adversarial).run(m);
+  // Shrinking applications were rejected and reverted...
+  EXPECT_FALSE(report.rejected.empty());
+  // ...and whatever was accepted never reduced the cell count.
+  EXPECT_GE(m.cells().size(), before.cells().size());
+  for (const PassDelta& d : report.deltas) {
+    EXPECT_GE(d.cells_added + d.cells_retyped, d.cells_removed);
+  }
+}
+
+TEST(PassManagerCost, AcceptRejectTraceIsDeterministic) {
+  const cells::CellLibrary lib = cells::CellLibrary::egfet();
+  for (const std::uint64_t seed : {31ull, 32ull}) {
+    Module a = random_module(seed, true);
+    Module b = random_module(seed, true);
+    // A switching-energy model over a deterministic probe.
+    ProbeWorkload probe;
+    probe.cycles_per_inference = 2;
+    std::uint64_t s = seed | 1;
+    for (int i = 0; i < 16; ++i) {
+      std::vector<std::uint64_t> row;
+      for (const auto& port : a.input_ports()) {
+        const std::uint64_t mask =
+            (std::uint64_t{1} << port.nets.size()) - 1;
+        row.push_back(xorshift(s) & mask);
+      }
+      probe.samples.push_back(std::move(row));
+    }
+    const SwitchingEnergyCost cost(lib, probe);
+    const OptReport ra =
+        PassManager(flow_recipe("balanced"), {}, &cost).run(a);
+    const OptReport rb =
+        PassManager(flow_recipe("balanced"), {}, &cost).run(b);
+    EXPECT_EQ(ra.rejected, rb.rejected);
+    EXPECT_EQ(ra.deltas.size(), rb.deltas.size());
+    EXPECT_DOUBLE_EQ(ra.cost_after, rb.cost_after);
+    ASSERT_EQ(a.cells().size(), b.cells().size());
+    for (std::size_t i = 0; i < a.cells().size(); ++i) {
+      EXPECT_EQ(a.cells()[i].type, b.cells()[i].type);
+      EXPECT_EQ(a.cells()[i].out, b.cells()[i].out);
+    }
+    // Cost never worsens along an accepted trajectory (tolerance 0).
+    EXPECT_LE(ra.cost_after, ra.cost_before);
+  }
+}
+
+TEST(PassManagerCost, BestFlowPicksTheCheapestRecipe) {
+  Module m = random_module(41, true);
+  const CellCountCost cell_count;
+  Module best_m = m;
+  const OptReport best =
+      PassManager::run_best(best_m, standard_flows(), cell_count);
+  // Under the cell-count model the winner can never have more cells than
+  // any single recipe's result — including "area".
+  Module area_m = m;
+  OptOptions area_opts;
+  area_opts.flow = "area";
+  (void)optimize(area_m, area_opts);
+  EXPECT_LE(best_m.cells().size(), area_m.cells().size());
+  EXPECT_FALSE(best.recipe.empty());
+  expect_equivalent(m, best_m, 150, 5, 99);
+}
+
+// --- growth-safe report accounting --------------------------------------------
+
+TEST(OptReportGrowth, UnderflowGuardsAndSignedDelta) {
+  OptReport r;
+  r.before.num_cells = 5;
+  r.before.num_dffs = 2;
+  r.after.num_cells = 9;  // a restructuring pass grew the module
+  r.after.num_dffs = 3;
+  EXPECT_EQ(r.cells_removed(), 0u);  // clamped, no size_t wraparound
+  EXPECT_EQ(r.dffs_removed(), 0u);
+  EXPECT_EQ(r.cell_delta(), 4);
+  EXPECT_LT(r.cell_reduction(), 0.0);  // sign-correct for growth
+  r.after.num_cells = 3;
+  r.after.num_dffs = 1;
+  EXPECT_EQ(r.cells_removed(), 2u);
+  EXPECT_EQ(r.dffs_removed(), 1u);
+  EXPECT_EQ(r.cell_delta(), -2);
+  EXPECT_GT(r.cell_reduction(), 0.0);
+}
+
+TEST(OptReportGrowth, AddedCellsBalanceTheBooks) {
+  // On a chain-heavy module the balanced recipe exercises rebalance
+  // (adds cells) alongside the shrinking passes; the stats identity
+  //   before - after == sum(removed) - sum(added)
+  // must hold across all of it.
+  Module m("t");
+  const auto x = m.add_input_port("x", 8);
+  NetId n = x[0];
+  for (int i = 1; i < 8; ++i) {
+    n = m.add_gate_raw(CellType::kXor2, n, x[static_cast<std::size_t>(i)]);
+  }
+  m.add_output_port("y", {n});
+  OptOptions opts;
+  opts.flow = "balanced";
+  const OptReport report = optimize(m, opts);
+  std::ptrdiff_t removed = 0, added = 0;
+  for (const PassDelta& d : report.deltas) {
+    removed += static_cast<std::ptrdiff_t>(d.cells_removed);
+    added += static_cast<std::ptrdiff_t>(d.cells_added);
+  }
+  EXPECT_EQ(static_cast<std::ptrdiff_t>(report.before.num_cells) -
+                static_cast<std::ptrdiff_t>(report.after.num_cells),
+            removed - added);
+  EXPECT_GT(added, 0);  // the chain really was rebuilt
 }
 
 // --- the Table I acceptance bar ----------------------------------------------

@@ -222,6 +222,16 @@ void expect_batch_event_equivalent(
   EXPECT_EQ(batch.activity().net_toggles, scalar_sum.net_toggles);
   EXPECT_EQ(batch.activity().dff_clock_events, scalar_sum.dff_clock_events);
   EXPECT_EQ(batch.activity().cycles, scalar_sum.cycles);
+  // The functional/glitch split must be lane-sum consistent too, and the
+  // functional slice can never exceed the total per net.
+  EXPECT_EQ(batch.activity().net_functional, scalar_sum.net_functional);
+  ASSERT_EQ(batch.activity().net_functional.size(),
+            batch.activity().net_toggles.size());
+  for (std::size_t n = 0; n < batch.activity().net_toggles.size(); ++n) {
+    EXPECT_LE(batch.activity().net_functional[n],
+              batch.activity().net_toggles[n])
+        << "net " << n << ": functional transitions exceed the total";
+  }
 }
 
 std::vector<const netlist::Port*> feature_port_list(const Module& m,
@@ -352,6 +362,40 @@ TEST(BatchEventSim, CountsGlitchesLaneForLane) {
   EXPECT_EQ(batch.activity().net_toggles[y],
             64u * scalar.activity().net_toggles[y])
       << "all 64 lanes must see exactly the scalar glitch train";
+  // y is functionally constant 0: every one of its transitions is a
+  // glitch.  The input a, by contrast, transitions exactly once per
+  // settle and every one survives the window — purely functional.
+  EXPECT_EQ(scalar.activity().net_functional[y], 0u);
+  EXPECT_EQ(batch.activity().net_functional[y], 0u);
+  EXPECT_EQ(scalar.activity().net_functional[a], 10u);
+  EXPECT_EQ(scalar.activity().net_toggles[a], 10u);
+  EXPECT_EQ(batch.activity().net_functional[a], 64u * 10u);
+}
+
+TEST(BatchEventSim, FunctionalSplitCountsSurvivingTransitionsExactly) {
+  // y = AND(a, INV^6(a)): functionally y == a, and despite the heavily
+  // skewed second pin the AND's controlling input masks the skew — on a
+  // rise y waits for the slow pin, on a fall it follows the fast pin, so
+  // the pulse train is glitch-free.  Every transition must therefore be
+  // classified functional (the complement of the XOR case above, where
+  // every transition is a glitch).
+  Module m;
+  const auto a = m.add_input_port("a", 1)[0];
+  auto n = a;
+  for (int i = 0; i < 6; ++i) n = m.add_gate_raw(CellType::kInv, n);
+  const auto y = m.add_gate_raw(CellType::kAnd2, a, n);
+  m.add_output_port("y", {y});
+  const auto lib = cells::CellLibrary::egfet();
+
+  EventSimulator scalar(m, lib, 0.01);
+  for (int i = 0; i < 8; ++i) {
+    scalar.set_net(a, (i % 2) == 0);
+    scalar.settle();
+    EXPECT_EQ(scalar.port_unsigned("y"), (i % 2) == 0 ? 1u : 0u);
+  }
+  // y settles to a new value on all 8 edges, one physical transition each.
+  EXPECT_EQ(scalar.activity().net_functional[y], 8u);
+  EXPECT_EQ(scalar.activity().net_toggles[y], 8u);
 }
 
 // --- count masking -----------------------------------------------------------
@@ -508,6 +552,7 @@ CircuitWorkload exhaustive_workload(const QuantizedSvm& q, int repeats) {
 void expect_stats_equal(const sim::ActivityStats& a,
                         const sim::ActivityStats& b) {
   EXPECT_EQ(a.net_toggles, b.net_toggles);
+  EXPECT_EQ(a.net_functional, b.net_functional);
   EXPECT_EQ(a.dff_clock_events, b.dff_clock_events);
   EXPECT_EQ(a.cycles, b.cycles);
 }
