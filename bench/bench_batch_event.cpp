@@ -7,9 +7,8 @@
 // bench_batch_sim) so scripts/check_perf.py can gate CI on regressions;
 // the human-readable summary goes to stderr.
 //
-// Usage: bench_batch_event [--quick]
+// Usage: bench_batch_event [--quick] [--trace out.json] [--metrics]
 
-#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -31,11 +30,6 @@ namespace {
 
 constexpr double kQuantumMs = 0.02;
 constexpr std::size_t kChunk = 16;
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// Scalar reference loop: exactly what evaluate_circuit's power step did
 /// before the batch-event subsystem (warm-up on the first sample, then a
@@ -67,7 +61,10 @@ std::uint64_t total_toggles(const sim::ActivityStats& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = benchutil::quick_mode(argc, argv);
+  const benchutil::ObsArgs args = benchutil::parse_args(argc, argv);
+  const bool quick = args.quick;
+  benchutil::ObsSession session("batch_event", args, /*seed=*/7,
+                                quick ? "quick" : "full");
 
   // Train/quantize one OvR model and build the paper's sequential circuit
   // (same setup as bench_batch_sim).
@@ -105,11 +102,11 @@ int main(int argc, char** argv) {
             << " samples (" << n_scalar << " scalar)\n";
 
   // --- scalar reference ------------------------------------------------------
-  auto t0 = std::chrono::steady_clock::now();
+  benchutil::Stopwatch sw;
   const sim::ActivityStats scalar_stats =
       run_scalar(circuit.module, lib, circuit.cycles_per_inference, wl,
                  n_scalar, ports);
-  const double scalar_s = seconds_since(t0);
+  const double scalar_s = sw.seconds();
   const double scalar_sps = static_cast<double>(n_scalar) / scalar_s;
   std::cerr << "  scalar:        " << static_cast<long>(scalar_sps)
             << " samples/s (" << total_toggles(scalar_stats)
@@ -121,10 +118,10 @@ int main(int argc, char** argv) {
   aopts.chunk_samples = kChunk;
   aopts.time_quantum_ms = kQuantumMs;
   aopts.levelization = sim::levelize_shared(circuit.module);
-  t0 = std::chrono::steady_clock::now();
+  sw.restart();
   const sim::ActivityStats batch_stats = core::collect_activity(
       circuit.module, lib, circuit.cycles_per_inference, wl, n, aopts);
-  const double batch_s = seconds_since(t0);
+  const double batch_s = sw.seconds();
   const double batch_sps = static_cast<double>(n) / batch_s;
   const double speedup = batch_sps / scalar_sps;
   std::cerr << "  batch (1 thr): " << static_cast<long>(batch_sps)
@@ -144,10 +141,10 @@ int main(int argc, char** argv) {
   std::vector<ThreadPoint> scaling;
   for (const std::size_t t : thread_counts) {
     aopts.num_threads = t;
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     const auto r = core::collect_activity(
         circuit.module, lib, circuit.cycles_per_inference, wl, n, aopts);
-    const double sps = static_cast<double>(n) / seconds_since(t0);
+    const double sps = static_cast<double>(n) / sw.seconds();
     scaling.push_back({t, sps});
     std::cerr << "  batch (" << t << " thr): " << static_cast<long>(sps)
               << " samples/s"
@@ -158,30 +155,36 @@ int main(int argc, char** argv) {
   }
 
   // --- machine-readable record ----------------------------------------------
-  std::cout << "{\n"
-            << "  \"bench\": \"batch_event\",\n"
-            << "  \"dataset\": \"" << data.name << "\",\n"
-            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"cells\": "
-            << stats.num_cells << ", \"dffs\": " << stats.num_dffs
-            << ", \"nets\": " << stats.num_nets
-            << ", \"classes\": " << q.num_classes
-            << ", \"cycles_per_inference\": " << circuit.cycles_per_inference
-            << "},\n"
-            << "  \"samples\": " << n << ",\n"
-            << "  \"scalar\": {\"seconds\": " << scalar_s
-            << ", \"samples\": " << n_scalar
-            << ", \"samples_per_sec\": " << scalar_sps << "},\n"
-            << "  \"batch\": {\"seconds\": " << batch_s
-            << ", \"samples_per_sec\": " << batch_sps
-            << ", \"speedup_vs_scalar\": " << speedup << "},\n"
-            << "  \"thread_scaling\": [";
-  for (std::size_t i = 0; i < scaling.size(); ++i) {
-    std::cout << (i == 0 ? "" : ", ") << "{\"threads\": " << scaling[i].threads
-              << ", \"samples_per_sec\": " << scaling[i].sps
-              << ", \"speedup_vs_scalar\": " << scaling[i].sps / scalar_sps
-              << "}";
+  obs::Json rec = session.record();
+  rec.set("dataset", data.name);
+  rec.set("circuit",
+          obs::Json::object()
+              .set("arch", "sequential_svm")
+              .set("cells", stats.num_cells)
+              .set("dffs", stats.num_dffs)
+              .set("nets", stats.num_nets)
+              .set("classes", q.num_classes)
+              .set("cycles_per_inference", circuit.cycles_per_inference));
+  rec.set("samples", n);
+  rec.set("scalar", obs::Json::object()
+                        .set("seconds", scalar_s)
+                        .set("samples", n_scalar)
+                        .set("samples_per_sec", scalar_sps));
+  rec.set("batch", obs::Json::object()
+                       .set("seconds", batch_s)
+                       .set("samples_per_sec", batch_sps)
+                       .set("speedup_vs_scalar", speedup));
+  obs::Json points = obs::Json::array();
+  for (const ThreadPoint& p : scaling) {
+    points.push(obs::Json::object()
+                    .set("threads", p.threads)
+                    .set("samples_per_sec", p.sps)
+                    .set("speedup_vs_scalar", p.sps / scalar_sps));
   }
-  std::cout << "]\n}\n";
+  rec.set("thread_scaling", std::move(points));
+  rec.write(std::cout);
+  std::cout << "\n";
+  session.finish();
 
   if (total_toggles(batch_stats) == 0) {
     std::cerr << "bench_batch_event: no activity counted — failing\n";

@@ -1,13 +1,13 @@
 // Verification-throughput benchmark: scalar CycleSimulator vs the 64-way
 // bit-parallel BatchSimulator (core::verify_workload) on a sequential SVM
-// workload, plus thread-scaling of the sharded driver.
+// workload, plus thread-scaling of the sharded driver and the measured
+// overhead of the (uninstalled) observability hooks on the hot path.
 //
 // Emits a machine-readable JSON object on stdout so future PRs can track
 // the perf trajectory; the human-readable summary goes to stderr.
 //
-// Usage: bench_batch_sim [--quick]
+// Usage: bench_batch_sim [--quick] [--trace out.json] [--metrics]
 
-#include <chrono>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -25,11 +25,6 @@
 using namespace pml;
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// Scalar reference loop: exactly what evaluate_circuit's verification gate
 /// did before the batch subsystem (one sample at a time, free-running).
@@ -51,10 +46,22 @@ std::size_t run_scalar(const netlist::Module& module, int cycles,
   return matches;
 }
 
+/// Measured cost of one PML_OBS_COUNT with no trace sink installed — the
+/// per-invocation price every instrumented hot path pays by default.
+double calibrate_count_ns(std::uint64_t iterations) {
+  benchutil::Stopwatch sw;
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    PML_OBS_COUNT("obs.calibration", 1);
+  }
+  return sw.seconds() * 1e9 / static_cast<double>(iterations);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = benchutil::quick_mode(argc, argv);
+  const benchutil::ObsArgs args = benchutil::parse_args(argc, argv);
+  benchutil::ObsSession session("batch_sim", args, /*seed=*/7,
+                                args.quick ? "quick" : "full");
 
   // Train/quantize one OvR model and build the paper's sequential circuit.
   const auto data = benchutil::prepare(ml::UciProfile::kCardio);
@@ -70,7 +77,7 @@ int main(int argc, char** argv) {
   // are stable and the ragged-final-batch path is exercised.
   const core::CircuitWorkload base = core::make_svm_workload(q, data.test);
   core::CircuitWorkload wl;
-  const std::size_t target = quick ? 2000 : 20000;
+  const std::size_t target = args.quick ? 2000 : 20000;
   while (wl.feature_codes.size() < target) {
     wl.feature_codes.insert(wl.feature_codes.end(), base.feature_codes.begin(),
                             base.feature_codes.end());
@@ -93,11 +100,11 @@ int main(int argc, char** argv) {
             << n << " samples\n";
 
   // --- scalar reference ------------------------------------------------------
-  auto t0 = std::chrono::steady_clock::now();
+  benchutil::Stopwatch sw;
   const std::size_t scalar_matches =
       run_scalar(circuit.module, circuit.cycles_per_inference, wl, ports,
                  *class_port);
-  const double scalar_s = seconds_since(t0);
+  const double scalar_s = sw.seconds();
   const double scalar_sps = static_cast<double>(n) / scalar_s;
   std::cerr << "  scalar:        " << static_cast<long>(scalar_sps)
             << " samples/s (" << scalar_matches << "/" << n << " match)\n";
@@ -106,15 +113,44 @@ int main(int argc, char** argv) {
   core::VerifyOptions vopts;
   vopts.num_threads = 1;
   vopts.levelization = sim::levelize_shared(circuit.module);
-  t0 = std::chrono::steady_clock::now();
+  const auto obs_before = obs::snapshot_metrics();
+  sw.restart();
   const core::VerifyResult single = core::verify_workload(
       circuit.module, circuit.cycles_per_inference, wl, vopts);
-  const double batch_s = seconds_since(t0);
+  const double batch_s = sw.seconds();
+  const auto obs_delta =
+      obs::diff_metrics(obs_before, obs::snapshot_metrics());
   const double batch_sps = static_cast<double>(n) / batch_s;
   const double speedup = batch_sps / scalar_sps;
   std::cerr << "  batch (1 thr): " << static_cast<long>(batch_sps)
             << " samples/s  -> " << speedup << "x vs scalar"
             << (single.ok() ? "" : "  [MISMATCHES!]") << "\n";
+
+  // --- observability overhead ------------------------------------------------
+  // No tracer is installed during the legs above, so every PML_OBS_COUNT
+  // cost one relaxed fetch_add and every PML_OBS_SPAN one relaxed load.
+  // Reconstruct the exact number of macro invocations the batch leg made
+  // from the counter deltas (lane_words adds once per propagate sweep,
+  // batches once per claimed batch), price them at the measured
+  // per-invocation cost, and compare against the leg's wall time.  The
+  // budget is <= 1% — enforced here (exit 3) and gated in CI via the
+  // obs.overhead_ok metric.
+  const double count_ns =
+      calibrate_count_ns(args.quick ? 10'000'000 : 50'000'000);
+  const std::uint64_t comb_ops =
+      static_cast<std::uint64_t>(stats.num_cells - stats.num_dffs);
+  const std::uint64_t propagates =
+      comb_ops > 0 ? obs_delta.counter_value("sim.batch.lane_words") / comb_ops
+                   : 0;
+  const std::uint64_t batches = obs_delta.counter_value("sim.batch.batches");
+  const std::uint64_t obs_calls = propagates + batches + /*worker span*/ 1;
+  const double overhead_frac =
+      static_cast<double>(obs_calls) * count_ns / (batch_s * 1e9);
+  const bool overhead_ok = overhead_frac <= 0.01;
+  std::cerr << "  obs overhead:  " << count_ns << " ns/count x " << obs_calls
+            << " calls = " << overhead_frac * 100.0
+            << "% of the batch leg (budget 1%)"
+            << (overhead_ok ? "" : "  [OVER BUDGET!]") << "\n";
 
   // --- thread scaling --------------------------------------------------------
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -128,43 +164,56 @@ int main(int argc, char** argv) {
   std::vector<ThreadPoint> scaling;
   for (const std::size_t t : thread_counts) {
     vopts.num_threads = t;
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     const auto r = core::verify_workload(
         circuit.module, circuit.cycles_per_inference, wl, vopts);
-    const double sps = static_cast<double>(n) / seconds_since(t0);
+    const double sps = static_cast<double>(n) / sw.seconds();
     scaling.push_back({t, sps});
     std::cerr << "  batch (" << t << " thr): " << static_cast<long>(sps)
               << " samples/s" << (r.ok() ? "" : "  [MISMATCHES!]") << "\n";
   }
 
   // --- machine-readable record ----------------------------------------------
-  std::cout << "{\n"
-            << "  \"bench\": \"batch_sim\",\n"
-            << "  \"dataset\": \"" << data.name << "\",\n"
-            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"cells\": "
-            << stats.num_cells << ", \"dffs\": " << stats.num_dffs
-            << ", \"nets\": " << stats.num_nets
-            << ", \"classes\": " << q.num_classes
-            << ", \"cycles_per_inference\": " << circuit.cycles_per_inference
-            << "},\n"
-            << "  \"samples\": " << n << ",\n"
-            << "  \"scalar\": {\"seconds\": " << scalar_s
-            << ", \"samples_per_sec\": " << scalar_sps << "},\n"
-            << "  \"batch\": {\"seconds\": " << batch_s
-            << ", \"samples_per_sec\": " << batch_sps
-            << ", \"speedup_vs_scalar\": " << speedup << "},\n"
-            << "  \"thread_scaling\": [";
-  for (std::size_t i = 0; i < scaling.size(); ++i) {
-    std::cout << (i == 0 ? "" : ", ") << "{\"threads\": " << scaling[i].threads
-              << ", \"samples_per_sec\": " << scaling[i].sps
-              << ", \"speedup_vs_scalar\": " << scaling[i].sps / scalar_sps
-              << "}";
+  obs::Json rec = session.record();
+  rec.set("dataset", data.name);
+  rec.set("circuit",
+          obs::Json::object()
+              .set("arch", "sequential_svm")
+              .set("cells", stats.num_cells)
+              .set("dffs", stats.num_dffs)
+              .set("nets", stats.num_nets)
+              .set("classes", q.num_classes)
+              .set("cycles_per_inference", circuit.cycles_per_inference));
+  rec.set("samples", n);
+  rec.set("scalar", obs::Json::object()
+                        .set("seconds", scalar_s)
+                        .set("samples_per_sec", scalar_sps));
+  rec.set("batch", obs::Json::object()
+                       .set("seconds", batch_s)
+                       .set("samples_per_sec", batch_sps)
+                       .set("speedup_vs_scalar", speedup));
+  rec.set("obs", obs::Json::object()
+                     .set("count_ns", count_ns)
+                     .set("calls", obs_calls)
+                     .set("overhead_fraction", overhead_frac)
+                     .set("overhead_ok", overhead_ok ? 1.0 : 0.0));
+  obs::Json points = obs::Json::array();
+  for (const ThreadPoint& p : scaling) {
+    points.push(obs::Json::object()
+                    .set("threads", p.threads)
+                    .set("samples_per_sec", p.sps)
+                    .set("speedup_vs_scalar", p.sps / scalar_sps));
   }
-  std::cout << "]\n}\n";
+  rec.set("thread_scaling", std::move(points));
+  rec.write(std::cout);
+  std::cout << "\n";
+  session.finish();
 
   if (!single.ok() || scalar_matches != n) {
     std::cerr << "bench_batch_sim: verification mismatches — failing\n";
     return 1;
   }
+  if (!overhead_ok) return 3;
+  if (!session.ok()) return 4;
   return speedup >= 10.0 ? 0 : 2;
 }

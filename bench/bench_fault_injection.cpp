@@ -20,9 +20,8 @@
 // gate via scripts/check_perf.py); the human-readable summary goes to
 // stderr.
 //
-// Usage: bench_fault_injection [--quick]
+// Usage: bench_fault_injection [--quick] [--trace out.json] [--metrics]
 
-#include <chrono>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -40,11 +39,6 @@
 using namespace pml;
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// Quantized test features against the TRUE labels (fault campaigns measure
 /// end-to-end accuracy, not agreement with the software model).
@@ -104,7 +98,10 @@ std::vector<std::size_t> run_scalar(const netlist::Module& module,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = benchutil::quick_mode(argc, argv);
+  const benchutil::ObsArgs args = benchutil::parse_args(argc, argv);
+  const bool quick = args.quick;
+  benchutil::ObsSession session("fault_injection", args, /*seed=*/7,
+                                quick ? "quick" : "full");
   const auto data = benchutil::prepare(ml::UciProfile::kCardio);
   const std::size_t eval_samples = quick ? 60 : 200;
 
@@ -135,11 +132,11 @@ int main(int argc, char** argv) {
                               timed_sets_count, /*seed=*/0xFA017);
   const std::size_t timed_work = timed_sets.size() * n;
 
-  auto t0 = std::chrono::steady_clock::now();
+  benchutil::Stopwatch sw;
   const auto scalar_counts =
       run_scalar(seq.module, /*sequential=*/true, seq.cycles_per_inference,
                  wl, n, timed_sets);
-  const double scalar_s = seconds_since(t0);
+  const double scalar_s = sw.seconds();
   const double scalar_vsps = static_cast<double>(timed_work) / scalar_s;
   std::cerr << "  scalar (force_net replay): " << static_cast<long>(scalar_vsps)
             << " variant-samples/s\n";
@@ -154,12 +151,12 @@ int main(int argc, char** argv) {
   const auto timed_batch = core::run_fault_campaign(
       seq.module, seq.cycles_per_inference, wl, timed_sets, copts);
   std::size_t reps = 1;
-  t0 = std::chrono::steady_clock::now();
+  sw.restart();
   double batch_s = 0.0;
   for (;; ++reps) {
     (void)core::run_fault_campaign(seq.module, seq.cycles_per_inference, wl,
                                    timed_sets, copts);
-    batch_s = seconds_since(t0);
+    batch_s = sw.seconds();
     if (batch_s >= 0.25) break;
   }
   const double batch_vsps =
@@ -200,7 +197,7 @@ int main(int argc, char** argv) {
   const auto seq_multi = multi_sets(seq.module);
   const auto par_multi = multi_sets(par.module);
 
-  t0 = std::chrono::steady_clock::now();
+  sw.restart();
   const auto seq_single_r = core::run_fault_campaign(
       seq.module, seq.cycles_per_inference, wl, seq_singles, dense);
   const auto par_single_r =
@@ -209,7 +206,7 @@ int main(int argc, char** argv) {
       seq.module, seq.cycles_per_inference, wl, seq_multi, dense);
   const auto par_multi_r =
       core::run_fault_campaign(par.module, 1, wl, par_multi, dense);
-  const double dense_s = seconds_since(t0);
+  const double dense_s = sw.seconds();
   const std::size_t dense_variants = seq_singles.size() + par_singles.size() +
                                      seq_multi.size() + par_multi.size();
 
@@ -266,60 +263,74 @@ int main(int argc, char** argv) {
   for (const std::size_t t : thread_counts) {
     core::FaultCampaignOptions sopts = dense;
     sopts.num_threads = t;
-    t0 = std::chrono::steady_clock::now();
+    sw.restart();
     (void)core::run_fault_campaign(seq.module, seq.cycles_per_inference, wl,
                                    seq_multi, sopts);
     const double vsps =
-        static_cast<double>(seq_multi.size() * n) / seconds_since(t0);
+        static_cast<double>(seq_multi.size() * n) / sw.seconds();
     scaling.push_back({t, vsps});
     std::cerr << "  batch (" << t << " thr): " << static_cast<long>(vsps)
               << " variant-samples/s\n";
   }
 
   // --- machine-readable record ----------------------------------------------
-  std::cout << "{\n"
-            << "  \"bench\": \"fault_injection\",\n"
-            << "  \"dataset\": \"" << data.name << "\",\n"
-            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"cells\": "
-            << seq_stats.num_cells << ", \"dffs\": " << seq_stats.num_dffs
-            << ", \"nets\": " << seq_stats.num_nets
-            << ", \"classes\": " << q_ovr.num_classes
-            << ", \"cycles_per_inference\": " << seq.cycles_per_inference
-            << "},\n"
-            << "  \"timed_variants\": " << timed_sets.size() << ",\n"
-            << "  \"samples_per_variant\": " << n << ",\n"
-            << "  \"scalar\": {\"seconds\": " << scalar_s
-            << ", \"variant_samples_per_sec\": " << scalar_vsps << "},\n"
-            << "  \"batch\": {\"seconds\": " << batch_s
-            << ", \"variant_samples_per_sec\": " << batch_vsps
-            << ", \"speedup_vs_scalar\": " << speedup << "},\n"
-            << "  \"campaign\": {\"variants\": " << dense_variants
-            << ", \"seconds\": " << dense_s
-            << ", \"single_fault\": {"
-            << "\"sequential\": {\"sites\": " << seq_singles.size()
-            << ", \"mean_accuracy\": " << mean_acc(seq_single_r)
-            << ", \"broken\": " << broken_count(seq_single_r) << "}, "
-            << "\"parallel\": {\"sites\": " << par_singles.size()
-            << ", \"mean_accuracy\": " << mean_acc(par_single_r)
-            << ", \"broken\": " << broken_count(par_single_r) << "}},\n"
-            << "    \"curve\": [";
+  obs::Json rec = session.record();
+  rec.set("dataset", data.name);
+  rec.set("circuit",
+          obs::Json::object()
+              .set("arch", "sequential_svm")
+              .set("cells", seq_stats.num_cells)
+              .set("dffs", seq_stats.num_dffs)
+              .set("nets", seq_stats.num_nets)
+              .set("classes", q_ovr.num_classes)
+              .set("cycles_per_inference", seq.cycles_per_inference));
+  rec.set("timed_variants", timed_sets.size());
+  rec.set("samples_per_variant", n);
+  rec.set("scalar", obs::Json::object()
+                        .set("seconds", scalar_s)
+                        .set("variant_samples_per_sec", scalar_vsps));
+  rec.set("batch", obs::Json::object()
+                       .set("seconds", batch_s)
+                       .set("variant_samples_per_sec", batch_vsps)
+                       .set("speedup_vs_scalar", speedup));
+  obs::Json campaign =
+      obs::Json::object()
+          .set("variants", dense_variants)
+          .set("seconds", dense_s)
+          .set("single_fault",
+               obs::Json::object()
+                   .set("sequential",
+                        obs::Json::object()
+                            .set("sites", seq_singles.size())
+                            .set("mean_accuracy", mean_acc(seq_single_r))
+                            .set("broken", broken_count(seq_single_r)))
+                   .set("parallel",
+                        obs::Json::object()
+                            .set("sites", par_singles.size())
+                            .set("mean_accuracy", mean_acc(par_single_r))
+                            .set("broken", broken_count(par_single_r))));
+  obs::Json curve = obs::Json::array();
   for (std::size_t k = 0; k < seq_curve.size(); ++k) {
-    std::cout << (k == 0 ? "" : ", ") << "{\"faults\": "
-              << seq_curve[k].num_faults
-              << ", \"seq_accuracy\": " << seq_curve[k].mean_accuracy
-              << ", \"par_accuracy\": " << par_curve[k].mean_accuracy
-              << ", \"seq_broken\": " << seq_curve[k].broken
-              << ", \"par_broken\": " << par_curve[k].broken << "}";
+    curve.push(obs::Json::object()
+                   .set("faults", seq_curve[k].num_faults)
+                   .set("seq_accuracy", seq_curve[k].mean_accuracy)
+                   .set("par_accuracy", par_curve[k].mean_accuracy)
+                   .set("seq_broken", seq_curve[k].broken)
+                   .set("par_broken", par_curve[k].broken));
   }
-  std::cout << "]},\n"
-            << "  \"thread_scaling\": [";
-  for (std::size_t i = 0; i < scaling.size(); ++i) {
-    std::cout << (i == 0 ? "" : ", ") << "{\"threads\": " << scaling[i].threads
-              << ", \"variant_samples_per_sec\": " << scaling[i].vsps
-              << ", \"speedup_vs_scalar\": " << scaling[i].vsps / scalar_vsps
-              << "}";
+  campaign.set("curve", std::move(curve));
+  rec.set("campaign", std::move(campaign));
+  obs::Json points = obs::Json::array();
+  for (const ThreadPoint& p : scaling) {
+    points.push(obs::Json::object()
+                    .set("threads", p.threads)
+                    .set("variant_samples_per_sec", p.vsps)
+                    .set("speedup_vs_scalar", p.vsps / scalar_vsps));
   }
-  std::cout << "]\n}\n";
+  rec.set("thread_scaling", std::move(points));
+  rec.write(std::cout);
+  std::cout << "\n";
+  session.finish();
 
   if (!counts_match) {
     std::cerr << "bench_fault_injection: scalar/batch mismatch — failing\n";

@@ -11,10 +11,9 @@
 // Emits a machine-readable JSON record on stdout (gated in CI against
 // bench/baselines/opt_baseline.json); human-readable summary on stderr.
 //
-// Usage: bench_opt [--quick]
+// Usage: bench_opt [--quick] [--trace out.json] [--metrics]
 
 #include <algorithm>
-#include <chrono>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -28,17 +27,11 @@
 
 using namespace pml;
 
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const bool quick = benchutil::quick_mode(argc, argv);
+  const benchutil::ObsArgs args = benchutil::parse_args(argc, argv);
+  const bool quick = args.quick;
+  benchutil::ObsSession session("opt", args, /*seed=*/7,
+                                quick ? "quick" : "full");
 
   // The Table I circuit of bench_batch_sim: Cardio OvR sequential SVM.
   const auto data = benchutil::prepare(ml::UciProfile::kCardio);
@@ -52,9 +45,9 @@ int main(int argc, char** argv) {
 
   // --- the optimization itself, timed in isolation --------------------------
   netlist::Module optimized = raw.module;
-  auto t0 = std::chrono::steady_clock::now();
+  benchutil::Stopwatch sw;
   const opt::OptReport report = opt::optimize(optimized);
-  const double optimize_s = seconds_since(t0);
+  const double optimize_s = sw.seconds();
 
   std::cerr << "bench_opt: " << data.name << " sequential SVM, "
             << report.before.num_cells << " -> " << report.after.num_cells
@@ -96,10 +89,10 @@ int main(int argc, char** argv) {
                      core::HardwareReport& rep) {
     double best = 1e300;  // min over reps: the least-disturbed run
     for (int r = 0; r < reps; ++r) {
-      const auto t = std::chrono::steady_clock::now();
+      benchutil::Stopwatch t;
       rep = core::evaluate_circuit(raw.module, raw.cycles_per_inference, lib,
                                    wl, opts);
-      best = std::min(best, seconds_since(t));
+      best = std::min(best, t.seconds());
     }
     return best;
   };
@@ -123,9 +116,9 @@ int main(int argc, char** argv) {
     vo.levelization = sim::levelize_shared(m);
     double best = 1e300;
     for (int r = 0; r < reps; ++r) {
-      const auto t = std::chrono::steady_clock::now();
+      benchutil::Stopwatch t;
       const auto vr = core::verify_workload(m, raw.cycles_per_inference, wl, vo);
-      best = std::min(best, seconds_since(t));
+      best = std::min(best, t.seconds());
       if (!vr.ok()) return -1.0;
     }
     return best;
@@ -148,37 +141,58 @@ int main(int argc, char** argv) {
   }
 
   // --- machine-readable record ----------------------------------------------
-  std::cout << "{\n"
-            << "  \"bench\": \"opt\",\n"
-            << "  \"dataset\": \"" << data.name << "\",\n"
-            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"classes\": "
-            << q.num_classes << ", \"cycles_per_inference\": "
-            << raw.cycles_per_inference << "},\n"
-            << "  \"opt\": {\"cells_before\": " << report.before.num_cells
-            << ", \"cells_after\": " << report.after.num_cells
-            << ", \"cells_removed_fraction\": " << report.cell_reduction()
-            << ", \"nets_before\": " << report.before.num_nets
-            << ", \"nets_after\": " << report.after.num_nets
-            << ", \"dffs_removed\": " << report.dffs_removed()
-            << ", \"iterations\": " << report.iterations
-            << ", \"optimize_seconds\": " << optimize_s << ", \"passes\": [";
+  obs::Json rec = session.record();
+  rec.set("dataset", data.name);
+  rec.set("circuit",
+          obs::Json::object()
+              .set("arch", "sequential_svm")
+              .set("classes", q.num_classes)
+              .set("cycles_per_inference", raw.cycles_per_inference));
+  obs::Json opt_rec =
+      obs::Json::object()
+          .set("cells_before", report.before.num_cells)
+          .set("cells_after", report.after.num_cells)
+          .set("cells_removed_fraction", report.cell_reduction())
+          .set("nets_before", report.before.num_nets)
+          .set("nets_after", report.after.num_nets)
+          .set("dffs_removed", report.dffs_removed())
+          .set("iterations", report.iterations)
+          .set("optimize_seconds", optimize_s);
+  obs::Json passes = obs::Json::array();
   const auto totals = report.totals_by_pass();
-  for (std::size_t i = 0; i < totals.size(); ++i) {
-    std::cout << (i == 0 ? "" : ", ") << "{\"pass\": \"" << totals[i].pass
-              << "\", \"cells_removed\": " << totals[i].cells_removed
-              << ", \"nets_removed\": " << totals[i].nets_removed
-              << ", \"cells_retyped\": " << totals[i].cells_retyped << "}";
+  for (const auto& t : totals) {
+    passes.push(obs::Json::object()
+                    .set("pass", t.pass)
+                    .set("cells_removed", t.cells_removed)
+                    .set("nets_removed", t.nets_removed)
+                    .set("cells_retyped", t.cells_retyped));
   }
-  std::cout << "]},\n"
-            << "  \"evaluate\": {\"unoptimized_seconds\": " << eval_off_s
-            << ", \"optimized_seconds\": " << eval_on_s
-            << ", \"speedup_vs_unoptimized\": " << speedup
-            << ", \"verified\": "
-            << ((rep_off.verified && rep_on.verified) ? "true" : "false")
-            << "},\n"
-            << "  \"verify\": {\"unoptimized_seconds\": " << verify_raw_s
-            << ", \"optimized_seconds\": " << verify_opt_s
-            << ", \"speedup_vs_unoptimized\": " << verify_speedup << "}\n}\n";
+  opt_rec.set("passes", std::move(passes));
+  obs::Json timings = obs::Json::array();
+  for (const opt::PassTiming& t : report.pass_times) {
+    timings.push(obs::Json::object()
+                     .set("pass", t.pass)
+                     .set("applications", t.applications)
+                     .set("accepted", t.accepted)
+                     .set("rejected", t.rejected)
+                     .set("seconds", t.seconds)
+                     .set("cost_probes", t.cost_probes));
+  }
+  opt_rec.set("pass_times", std::move(timings));
+  rec.set("opt", std::move(opt_rec));
+  rec.set("evaluate",
+          obs::Json::object()
+              .set("unoptimized_seconds", eval_off_s)
+              .set("optimized_seconds", eval_on_s)
+              .set("speedup_vs_unoptimized", speedup)
+              .set("verified", rep_off.verified && rep_on.verified));
+  rec.set("verify", obs::Json::object()
+                        .set("unoptimized_seconds", verify_raw_s)
+                        .set("optimized_seconds", verify_opt_s)
+                        .set("speedup_vs_unoptimized", verify_speedup));
+  rec.write(std::cout);
+  std::cout << "\n";
+  session.finish();
 
   // Floor mirrors the acceptance bar: >= 10% of the Table I circuit melts.
   return report.cell_reduction() >= 0.10 ? 0 : 2;

@@ -18,7 +18,7 @@
 // All gated metrics are ratios of deterministic transition counts, so
 // they are machine-independent (unlike the timing benches).
 //
-// Usage: bench_opt_flows [--quick]
+// Usage: bench_opt_flows [--quick] [--trace out.json] [--metrics]
 
 #include <iostream>
 #include <string>
@@ -65,7 +65,10 @@ FlowMetrics metrics_of(const core::FlowSweepRow& row) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = benchutil::quick_mode(argc, argv);
+  const benchutil::ObsArgs args = benchutil::parse_args(argc, argv);
+  const bool quick = args.quick;
+  benchutil::ObsSession session("opt_flows", args, /*seed=*/7,
+                                quick ? "quick" : "full");
 
   // The Table I circuit of bench_opt: Cardio OvR sequential SVM.
   const auto data = benchutil::prepare(ml::UciProfile::kCardio);
@@ -138,29 +141,33 @@ int main(int argc, char** argv) {
   }
 
   // --- machine-readable record ----------------------------------------------
-  std::cout << "{\n"
-            << "  \"bench\": \"opt_flows\",\n"
-            << "  \"dataset\": \"" << data.name << "\",\n"
-            << "  \"circuit\": {\"arch\": \"sequential_svm\", \"classes\": "
-            << q.num_classes << ", \"cycles_per_inference\": "
-            << raw.cycles_per_inference << ", \"raw_cells\": "
-            << raw.module.cells().size() << "},\n"
-            << "  \"flows\": {";
-  for (std::size_t i = 0; i < mx.size(); ++i) {
-    const auto& m = mx[i];
-    std::cout << (i == 0 ? "" : ", ") << "\n    \"" << m.flow
-              << "\": {\"cells\": " << m.cells << ", \"area_cm2\": "
-              << m.area_cm2 << ", \"switching_uj_per_inference\": "
-              << m.switching_uj << ", \"glitch_uj_per_inference\": "
-              << m.glitch_uj << ", \"functional_transitions\": "
-              << m.functional_transitions << ", \"glitch_transitions\": "
-              << m.glitch_transitions << ", \"verified\": "
-              << (m.verified ? "true" : "false") << "}";
+  obs::Json rec = session.record();
+  rec.set("dataset", data.name);
+  rec.set("circuit", obs::Json::object()
+                         .set("arch", "sequential_svm")
+                         .set("classes", q.num_classes)
+                         .set("cycles_per_inference", raw.cycles_per_inference)
+                         .set("raw_cells", raw.module.cells().size()));
+  obs::Json flows_rec = obs::Json::object();
+  for (const auto& m : mx) {
+    flows_rec.set(m.flow,
+                  obs::Json::object()
+                      .set("cells", m.cells)
+                      .set("area_cm2", m.area_cm2)
+                      .set("switching_uj_per_inference", m.switching_uj)
+                      .set("glitch_uj_per_inference", m.glitch_uj)
+                      .set("functional_transitions", m.functional_transitions)
+                      .set("glitch_transitions", m.glitch_transitions)
+                      .set("verified", m.verified));
   }
-  std::cout << "\n  },\n"
-            << "  \"compare\": {\"energy_vs_none_switching_reduction\": "
-            << e_vs_none << ", \"energy_vs_area_switching_reduction\": "
-            << e_vs_area << ", \"energy_vs_area_glitch_energy_reduction\": "
-            << g_vs_area << "}\n}\n";
+  rec.set("flows", std::move(flows_rec));
+  rec.set("compare",
+          obs::Json::object()
+              .set("energy_vs_none_switching_reduction", e_vs_none)
+              .set("energy_vs_area_switching_reduction", e_vs_area)
+              .set("energy_vs_area_glitch_energy_reduction", g_vs_area));
+  rec.write(std::cout);
+  std::cout << "\n";
+  session.finish();
   return 0;
 }

@@ -3,9 +3,12 @@
 // sequential SVM, over all five datasets, plus every aggregate claim of
 // Section III.  Paper values are printed next to measured ones.
 //
-// Usage: bench_table1 [--quick]   (--quick: fewer power samples)
+// Usage: bench_table1 [--quick] [--smoke] [--trace out.json] [--metrics]
+//   --quick: fewer power samples; --smoke: Cardio only (CI trace fixture)
 
+#include <algorithm>
 #include <iostream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "pml/arch/battery.hpp"
@@ -27,14 +30,27 @@ std::string cell(double measured, double paper, int precision) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = benchutil::quick_mode(argc, argv);
+  const benchutil::ObsArgs args = benchutil::parse_args(argc, argv);
+  const bool quick = args.quick;
+
+  core::Table1Options options;
+  options.power_samples = quick ? 24 : 48;
+  if (args.smoke) options.profiles = {ml::UciProfile::kCardio};
+  if (!args.trace_file.empty()) {
+    // A useful trace needs at least two worker tracks even on single-core
+    // CI runners; the workers are deterministic, so this only affects the
+    // fan-out shape, not the numbers.
+    options.num_threads = std::max<std::size_t>(
+        2, std::thread::hardware_concurrency());
+  }
+  benchutil::ObsSession session("table1", args, options.train_seed,
+                                quick ? "quick" : "full");
+
   std::cout << "=== Table I: hardware evaluation of sequential SVMs vs "
                "state of the art ===\n"
             << "(each cell: measured / paper; '-' = not reported in the "
                "paper)\n\n";
 
-  core::Table1Options options;
-  options.power_samples = quick ? 24 : 48;
   const cells::CellLibrary lib = cells::CellLibrary::egfet();
   const core::Table1Result result = core::run_table1(lib, options);
 
@@ -68,7 +84,8 @@ int main(int argc, char** argv) {
                "===\n";
   report::Table opt_table({"Dataset", "Model", "Flow", "Cells pre>post",
                            "Cells (%)", "Area pre>post (cm2)",
-                           "Static pre>post (mW)", "Glitch share (%)"});
+                           "Static pre>post (mW)", "Glitch share (%)",
+                           "Opt (ms)", "Cost probes"});
   std::string last_opt_dataset;
   double pre_cells_total = 0.0, post_cells_total = 0.0;
   for (const auto& row : result.rows) {
@@ -88,7 +105,9 @@ int main(int argc, char** argv) {
          report::fmt(power::static_power_mw(row.pre_opt_stats, lib), 2) +
              " > " +
              report::fmt(power::static_power_mw(row.post_opt_stats, lib), 2),
-         report::fmt_pct(row.glitch_fraction())});
+         report::fmt_pct(row.glitch_fraction()),
+         report::fmt(row.opt_seconds * 1e3, 1),
+         std::to_string(row.opt_cost_probes)});
   }
   opt_table.print(std::cout);
   if (pre_cells_total > 0.0) {
@@ -134,5 +153,6 @@ int main(int argc, char** argv) {
 
   std::cout << "\nAll circuits verified bit-exact against their integer "
                "models over the full test sets.\n";
-  return 0;
+  session.finish();
+  return session.ok() ? 0 : 4;
 }

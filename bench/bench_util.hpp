@@ -1,12 +1,25 @@
 #pragma once
-// Shared helpers for the benchmark harnesses.
+// Shared helpers for the benchmark harnesses: dataset preparation, flag
+// parsing, wall-clock timing, and the per-bench observability session
+// (trace file, metrics delta, manifest-stamped perf record) — all the
+// boilerplate the benches used to hand-roll per binary.
 
+#include <chrono>
+#include <cstdint>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "pml/ml/dataset.hpp"
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
+#include "pml/obs/json.hpp"
+#include "pml/obs/manifest.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 
 namespace pml::benchutil {
 
@@ -28,13 +41,141 @@ inline PreparedData prepare(ml::UciProfile profile,
           ml::profile_info(profile).name};
 }
 
-/// True when `--quick` was passed (reduced sample counts / dataset sets,
-/// used by CI-style smoke runs).
+/// The flags every bench/example understands:
+///   --quick          reduced sample counts / dataset sets (CI smoke)
+///   --smoke          smallest meaningful workload (single dataset)
+///   --trace <file>   write a Chrome trace-event JSON of the run
+///   --metrics        print the metrics-registry delta to stderr at exit
+struct ObsArgs {
+  bool quick = false;
+  bool smoke = false;
+  bool metrics = false;
+  std::string trace_file;  ///< empty = tracing off
+};
+
+inline ObsArgs parse_args(int argc, char** argv) {
+  ObsArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      args.smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      args.metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      args.trace_file = argv[++i];
+    }
+  }
+  return args;
+}
+
+/// True when `--quick` was passed (kept for benches that take no other
+/// flags).
 inline bool quick_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) return true;
   }
   return false;
 }
+
+/// Wall-clock stopwatch — replaces the per-bench seconds_since() copies.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-bench observability session.  Construct before the workload:
+/// installs a tracer when --trace was given and snapshots the metrics
+/// registry.  Call finish() after the workload (the destructor does it as
+/// a fallback): writes the trace file and, with --metrics, the counter
+/// deltas to stderr.  record() is the manifest-stamped root object for
+/// the machine-readable perf JSON.
+class ObsSession {
+ public:
+  ObsSession(std::string bench, ObsArgs args, std::uint64_t seed = 0,
+             const std::string& options_desc = {})
+      : name_(std::move(bench)), args_(std::move(args)) {
+    manifest_ = obs::RunManifest::collect();
+    manifest_.seed = seed;
+    if (!options_desc.empty()) manifest_.digest_options(options_desc);
+    if (!args_.trace_file.empty()) {
+      tracer_ = std::make_unique<obs::ScopedTracer>();
+      obs::set_thread_name("main");
+    }
+    before_ = obs::snapshot_metrics();
+  }
+  ~ObsSession() { finish(); }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  [[nodiscard]] const obs::RunManifest& manifest() const { return manifest_; }
+  [[nodiscard]] const ObsArgs& args() const { return args_; }
+
+  /// Root record for the perf JSON, pre-stamped with bench name and
+  /// manifest (check_perf.py gates dotted paths the bench adds on top).
+  [[nodiscard]] obs::Json record() const {
+    auto j = obs::Json::object();
+    j.set("bench", name_);
+    j.set("manifest", manifest_.to_json());
+    return j;
+  }
+
+  /// Counter/histogram deltas since the session started.
+  [[nodiscard]] obs::MetricsSnapshot metrics_delta() const {
+    return obs::diff_metrics(before_, obs::snapshot_metrics());
+  }
+
+  /// False when the requested trace file could not be written.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (args_.metrics) {
+      const obs::MetricsSnapshot delta = metrics_delta();
+      std::cerr << name_ << ": metrics since start\n";
+      for (const auto& [metric, value] : delta.counters) {
+        std::cerr << "  " << metric << " = " << value << "\n";
+      }
+      for (const auto& h : delta.durations) {
+        std::cerr << "  " << h.name << " = " << h.count << " samples, "
+                  << static_cast<double>(h.total_ns) * 1e-6 << " ms\n";
+      }
+    }
+    if (tracer_ != nullptr) {
+      auto other = obs::Json::object();
+      other.set("manifest", manifest_.to_json());
+      std::ofstream out(args_.trace_file);
+      if (out) {
+        tracer_->tracer().write(out, std::move(other));
+        std::cerr << name_ << ": trace written to " << args_.trace_file
+                  << "\n";
+      } else {
+        std::cerr << name_ << ": cannot open trace file " << args_.trace_file
+                  << "\n";
+        ok_ = false;
+      }
+      tracer_.reset();  // uninstall before the process tears down
+    }
+  }
+
+ private:
+  std::string name_;
+  ObsArgs args_;
+  obs::RunManifest manifest_;
+  obs::MetricsSnapshot before_;
+  std::unique_ptr<obs::ScopedTracer> tracer_;
+  bool finished_ = false;
+  bool ok_ = true;
+};
 
 }  // namespace pml::benchutil

@@ -2,13 +2,17 @@
 // a VCD waveform of one classification for GTKWave.
 //
 //   $ ./export_design [out_dir] [--flow <area|energy|balanced|none|best>]
+//                     [--trace trace.json] [--metrics]
 //
 // Writes <out>/seq_svm.v and <out>/classify.vcd (the netlist optimized by
 // the selected flow recipe), and prints the per-recipe area/energy
-// trade-off table for the design.
+// trade-off table plus the optimizer's per-pass cost profile for the
+// design.  --trace dumps a Chrome trace-event JSON of the whole flow;
+// --metrics prints the pml::obs counter deltas on exit.
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "pml/arch/sequential_svm.hpp"
@@ -17,6 +21,9 @@
 #include "pml/ml/scaler.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
 #include "pml/netlist/verilog.hpp"
+#include "pml/obs/json.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/power/power.hpp"
 #include "pml/report/table.hpp"
 #include "pml/sim/cycle_sim.hpp"
@@ -26,14 +33,27 @@ int main(int argc, char** argv) {
   using namespace pml;
   std::string out_dir = ".";
   std::string flow = "area";
+  std::string trace_file;
+  bool show_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--flow" && i + 1 < argc) {
       flow = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (arg == "--metrics") {
+      show_metrics = true;
     } else {
       out_dir = arg;
     }
   }
+
+  std::unique_ptr<obs::ScopedTracer> tracer;
+  if (!trace_file.empty()) {
+    tracer = std::make_unique<obs::ScopedTracer>();
+    obs::set_thread_name("main");
+  }
+  const obs::MetricsSnapshot metrics_before = obs::snapshot_metrics();
 
   // Design a small sequential SVM (RedWine profile keeps it quick).
   const ml::Dataset raw = ml::make_uci_like(ml::UciProfile::kRedWine);
@@ -69,6 +89,25 @@ int main(int argc, char** argv) {
               << " cells (-" << d.dffs_removed << " DFFs), -"
               << d.nets_removed << " nets, " << d.cells_retyped
               << " retyped, +" << d.cells_added << " added\n";
+  }
+
+  // Where the optimizer's time went: per-pass wall time, accept/reject
+  // tallies, and cost-model probes (populated by the pml::obs-instrumented
+  // PassManager).
+  if (!design.hw.opt_pass_times.empty()) {
+    std::cout << "\noptimizer cost profile ("
+              << report::fmt(design.hw.opt_seconds * 1e3, 1) << " ms, "
+              << design.hw.opt_cost_probes << " cost probes):\n";
+    report::Table pass_table({"Pass", "Applications", "Accepted", "Rejected",
+                              "Time (ms)", "Cost probes"});
+    for (const auto& pt : design.hw.opt_pass_times) {
+      pass_table.add_row({pt.pass, std::to_string(pt.applications),
+                          std::to_string(pt.accepted),
+                          std::to_string(pt.rejected),
+                          report::fmt(pt.seconds * 1e3, 2),
+                          std::to_string(pt.cost_probes)});
+    }
+    pass_table.print(std::cout);
   }
 
   // Per-recipe area/energy trade-off on this design's raw netlist: what
@@ -133,6 +172,25 @@ int main(int argc, char** argv) {
               << design.circuit.cycles_per_inference
               << " cycles; predicted class "
               << sim.port_unsigned("class") << ")\n";
+  }
+
+  if (show_metrics) {
+    const obs::MetricsSnapshot delta =
+        obs::diff_metrics(metrics_before, obs::snapshot_metrics());
+    std::cout << "\nmetrics:\n";
+    for (const auto& [metric, value] : delta.counters) {
+      std::cout << "  " << metric << " = " << value << "\n";
+    }
+  }
+  if (tracer != nullptr) {
+    std::ofstream os(trace_file);
+    if (!os) {
+      std::cerr << "cannot write " << trace_file << '\n';
+      return 1;
+    }
+    tracer->tracer().write(os);
+    std::cout << "wrote " << trace_file << "\n";
+    tracer.reset();
   }
   return 0;
 }

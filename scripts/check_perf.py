@@ -20,12 +20,19 @@ ratios (speedup vs the in-process scalar reference), so the check is
 robust to absolute machine speed; `info` entries are absolute numbers
 from the baseline's recorded run, printed for context but never gated.
 
+A gated metric missing from the current record, or declared with a
+non-numeric value in the baseline, is an error — a silently vanished
+metric must never read as a pass.  Every CURRENT/BASELINE pair is
+processed even when an earlier pair is unreadable or regressed, so one
+run reports the complete regression list.
+
 To refresh a baseline after an intentional perf change, follow the
 `refresh` note inside the baseline file (re-run the bench on a quiet
 machine and update gate.metrics / info).
 
-Prints a compact old-vs-new table and exits 1 on any regression or
-malformed record, 0 otherwise.  Stdlib only.
+Prints an old-vs-new table with the percentage change per metric, then a
+summary of every failure, and exits 1 on any regression or malformed
+record, 0 otherwise.  Stdlib only.
 """
 
 import json
@@ -33,16 +40,25 @@ import sys
 
 
 def lookup(record, dotted):
-    """Resolve 'a.b.c' in nested dicts; None when absent."""
+    """Resolve 'a.b.c' in nested dicts; None when absent or non-numeric."""
     node = record
     for key in dotted.split("."):
         if not isinstance(node, dict) or key not in node:
             return None
         node = node[key]
-    return node if isinstance(node, (int, float)) else None
+    # bool is an int subclass but never a metric value.
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return node
 
 
-def check_pair(current_path, baseline_path, rows):
+def percent(cur, base):
+    if base:
+        return f"{(cur - base) / base * 100.0:+.1f}%"
+    return "-"
+
+
+def check_pair(current_path, baseline_path, rows, failures):
     with open(current_path) as f:
         current = json.load(f)
     with open(baseline_path) as f:
@@ -52,32 +68,43 @@ def check_pair(current_path, baseline_path, rows):
     if current.get("bench") != bench:
         rows.append((bench, "bench-name", "-", str(current.get("bench")), "-",
                      "MISMATCH"))
-        return False
+        failures.append(f"{bench}: record names bench "
+                        f"{current.get('bench')!r}, baseline expects "
+                        f"{bench!r} ({current_path} vs {baseline_path})")
+        return
 
-    ok = True
     gate = baseline.get("gate", {})
     tolerance = float(gate.get("tolerance", 0.25))
     for metric, base_value in sorted(gate.get("metrics", {}).items()):
+        if isinstance(base_value, bool) or not isinstance(base_value,
+                                                          (int, float)):
+            rows.append((bench, metric, "missing", "-", "-", "NO-BASELINE"))
+            failures.append(f"{bench}: gated metric '{metric}' has no numeric "
+                            f"baseline value in {baseline_path} "
+                            f"(got {base_value!r})")
+            continue
         cur_value = lookup(current, metric)
         if cur_value is None:
             rows.append((bench, metric, f"{base_value:.6g}", "missing", "-",
-                         "MISSING"))
-            ok = False
+                         "NO-CURRENT"))
+            failures.append(f"{bench}: gated metric '{metric}' is missing "
+                            f"from (or non-numeric in) {current_path}; "
+                            f"baseline was {base_value:.6g}")
             continue
-        ratio = cur_value / base_value if base_value else float("inf")
+        pct = percent(cur_value, base_value)
         regressed = cur_value < base_value * (1.0 - tolerance)
         rows.append((bench, metric, f"{base_value:.6g}", f"{cur_value:.6g}",
-                     f"{ratio:.2f}x",
-                     "REGRESSION" if regressed else "ok"))
+                     pct, "REGRESSION" if regressed else "ok"))
         if regressed:
-            ok = False
+            failures.append(f"{bench}: '{metric}' regressed: baseline "
+                            f"{base_value:.6g} -> current {cur_value:.6g} "
+                            f"({pct}, allowed -{tolerance * 100:.0f}%)")
     for metric, base_value in sorted(baseline.get("info", {}).items()):
         cur_value = lookup(current, metric)
         shown = f"{cur_value:.6g}" if cur_value is not None else "missing"
-        ratio = (f"{cur_value / base_value:.2f}x"
-                 if cur_value is not None and base_value else "-")
-        rows.append((bench, metric, f"{base_value:.6g}", shown, ratio, "info"))
-    return ok
+        pct = (percent(cur_value, base_value)
+               if cur_value is not None else "-")
+        rows.append((bench, metric, f"{base_value:.6g}", shown, pct, "info"))
 
 
 def main(argv):
@@ -85,24 +112,22 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     rows = []
-    ok = True
+    failures = []
     for i in range(1, len(argv), 2):
         try:
-            ok &= check_pair(argv[i], argv[i + 1], rows)
+            check_pair(argv[i], argv[i + 1], rows, failures)
         except (OSError, json.JSONDecodeError) as e:
-            print(f"check_perf: cannot read {argv[i]} / {argv[i + 1]}: {e}",
-                  file=sys.stderr)
-            return 1
+            failures.append(f"cannot read {argv[i]} / {argv[i + 1]}: {e}")
 
-    header = ("bench", "metric", "baseline", "current", "ratio", "status")
+    header = ("bench", "metric", "baseline", "current", "change", "status")
     widths = [max(len(str(row[c])) for row in rows + [header])
               for c in range(len(header))]
     for row in [header] + rows:
         print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)).rstrip())
-    if not ok:
-        print("\ncheck_perf: PERF REGRESSION (see rows marked REGRESSION; "
-              "tolerance is relative to the committed baseline)",
-              file=sys.stderr)
+    if failures:
+        print(f"\ncheck_perf: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
         return 1
     print("\ncheck_perf: all gated metrics within tolerance")
     return 0

@@ -2,10 +2,12 @@
 // The per-design result record — one row of the paper's Table I, plus the
 // structural detail behind it.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "pml/netlist/module.hpp"
+#include "pml/opt/optimizer.hpp"
 #include "pml/power/power.hpp"
 
 namespace pml::core {
@@ -54,6 +56,14 @@ struct HardwareReport {
   [[nodiscard]] double opt_cell_reduction() const {
     return netlist::cell_reduction(pre_opt_stats, post_opt_stats);
   }
+  /// Where the optimization time went: per-pass wall time and accept/
+  /// reject/probe counts from the flow that produced this design (for
+  /// flow "best", the winning recipe's profile; the totals below carry
+  /// the whole selection bill).  Wall-clock fields are observability
+  /// only — never part of a determinism contract.
+  std::vector<opt::PassTiming> opt_pass_times;
+  double opt_seconds = 0.0;           ///< total opt wall time (seconds)
+  std::uint64_t opt_cost_probes = 0;  ///< total cost-model queries
 
   /// Set when the gate-level predictions matched the integer software
   /// model on every verification sample (the flow requires this).

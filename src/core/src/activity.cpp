@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/sim/batch_event_sim.hpp"
 #include "pml/util/parallel.hpp"
 
@@ -121,11 +123,13 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
   std::vector<sim::ActivityStats> partials(num_threads);
 
   auto worker = [&](std::size_t slot) {
+    PML_OBS_SPAN("activity.worker");
     sim::ActivityStats& local = partials[slot];
     sim::BatchEventSimulator bsim(module, lib, options.time_quantum_ms, lv);
     for (;;) {
       const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_batches) return;
+      PML_OBS_COUNT("sim.batch_event.batches", 1);
       run_batch(bsim, b, num_chunks, chunk, n, sequential,
                 cycles_per_inference, workload.feature_codes, ports, local);
     }

@@ -7,6 +7,8 @@
 #include <string>
 
 #include "pml/core/activity.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/opt/cost_model.hpp"
 #include "pml/opt/pass_manager.hpp"
 #include "pml/power/power.hpp"
@@ -65,6 +67,8 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
     throw std::runtime_error("evaluate_circuit: invalid module: " + *err);
   }
 
+  PML_OBS_SPAN("evaluate");
+  PML_OBS_COUNT("core.evaluations", 1);
   HardwareReport rep;
   rep.cycles_per_inference = cycles_per_inference;
 
@@ -79,6 +83,7 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   netlist::Module optimized;
   const netlist::Module* mp = &module;
   if (options.optimize.enabled) {
+    PML_OBS_SPAN("evaluate.optimize");
     optimized = module;
     const bool wants_cost =
         options.optimize.flow == opt::kBestFlow ||
@@ -93,9 +98,12 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
             lib, std::move(probe), options.time_quantum_ms);
       }
     }
-    const opt::OptReport opt_rep =
+    opt::OptReport opt_rep =
         opt::optimize(optimized, options.optimize, cost.get());
     rep.opt_flow = opt_rep.recipe;
+    rep.opt_pass_times = std::move(opt_rep.pass_times);
+    rep.opt_seconds = opt_rep.opt_seconds;
+    rep.opt_cost_probes = opt_rep.cost_probes;
     mp = &optimized;
   } else {
     rep.opt_flow = "none";
@@ -107,7 +115,10 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
 
   // One levelization per circuit, shared by the batch-verification workers
   // and the event simulator below instead of re-derived per simulator.
-  const auto lv = sim::levelize_shared(mod);
+  const auto lv = [&] {
+    PML_OBS_SPAN("evaluate.levelize");
+    return sim::levelize_shared(mod);
+  }();
 
   // --- 1. functional verification (full workload, zero-delay) -------------
   // Batched 64-way bit-parallel simulation sharded across threads; the
@@ -121,8 +132,10 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
       vopts.max_mismatches == std::numeric_limits<std::size_t>::max()) {
     vopts.max_mismatches = 1;
   }
-  const VerifyResult vr =
-      verify_workload(mod, cycles_per_inference, workload, vopts);
+  const VerifyResult vr = [&] {
+    PML_OBS_SPAN("evaluate.verify");
+    return verify_workload(mod, cycles_per_inference, workload, vopts);
+  }();
   if (!vr.ok() && options.require_bit_exact) {
     const VerifyMismatch& m = *vr.first;
     throw std::runtime_error(
@@ -137,7 +150,10 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.verified_mismatches = vr.mismatches;
 
   // --- 2. timing (shared levelization) --------------------------------------
-  const sta::TimingReport timing = sta::analyze(mod, lib, lv);
+  const sta::TimingReport timing = [&] {
+    PML_OBS_SPAN("evaluate.sta");
+    return sta::analyze(mod, lib, lv);
+  }();
   rep.logic_depth = timing.logic_depth;
   const double period_ms = timing.critical_path_ms;
 
@@ -152,12 +168,17 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   aopts.chunk_samples = options.power_chunk_samples;
   aopts.time_quantum_ms = options.time_quantum_ms;
   aopts.levelization = lv;
-  const sim::ActivityStats activity = collect_activity(
-      mod, lib, cycles_per_inference, workload, n_power, aopts);
-  const power::PowerReport pr =
-      power::estimate(mod, lib, activity, n_power,
-                      static_cast<std::size_t>(cycles_per_inference),
-                      period_ms, lv);
+  const sim::ActivityStats activity = [&] {
+    PML_OBS_SPAN("evaluate.activity");
+    return collect_activity(mod, lib, cycles_per_inference, workload, n_power,
+                            aopts);
+  }();
+  const power::PowerReport pr = [&] {
+    PML_OBS_SPAN("evaluate.power");
+    return power::estimate(mod, lib, activity, n_power,
+                           static_cast<std::size_t>(cycles_per_inference),
+                           period_ms, lv);
+  }();
 
   rep.area_cm2 = pr.area_cm2;
   rep.static_mw = pr.static_mw;

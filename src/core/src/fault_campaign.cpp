@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "pml/ml/rng.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/sim/batch_fault_sim.hpp"
 #include "pml/util/parallel.hpp"
 
@@ -98,6 +100,7 @@ FaultCampaignResult run_fault_campaign(const netlist::Module& module,
   // Each batch writes disjoint result slots (its own 63 variants, plus
   // golden for batch 0 only), so workers need no locking on results.
   auto worker = [&](std::size_t /*thread_index*/) {
+    PML_OBS_SPAN("fault.worker");
     sim::BatchFaultSimulator bsim(module, lv);
     std::size_t miscount[sim::BatchFaultSimulator::kLanes];
     for (;;) {
@@ -105,6 +108,8 @@ FaultCampaignResult run_fault_campaign(const netlist::Module& module,
       if (b >= num_batches) return;
       const std::size_t begin = b * kVariantLanes;
       const std::size_t count = std::min(kVariantLanes, num_sets - begin);
+      PML_OBS_COUNT("fault.batches", 1);
+      PML_OBS_COUNT("fault.variants", count);
 
       bsim.clear_faults();
       for (std::size_t v = 0; v < count; ++v) {

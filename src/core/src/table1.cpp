@@ -71,6 +71,9 @@ Table1Result run_table1(const cells::CellLibrary& lib,
     SequentialSvmFlowOptions fopts;
     fopts.seed = options.train_seed;
     fopts.evaluate.power_samples = options.power_samples;
+    fopts.evaluate.power_threads = options.num_threads;
+    fopts.evaluate.verify.num_threads = options.num_threads;
+    fopts.precision.num_threads = options.num_threads;
     fopts.flow = options.flow;
     SequentialSvmDesign ours = design_sequential_svm(train, test, lib, fopts);
     ours.hw.dataset = ds_name;
@@ -88,6 +91,8 @@ Table1Result run_table1(const cells::CellLibrary& lib,
       ParallelSvmBaselineOptions p2;
       p2.seed = options.train_seed;
       p2.evaluate.power_samples = options.power_samples;
+      p2.evaluate.power_threads = options.num_threads;
+      p2.evaluate.verify.num_threads = options.num_threads;
       ParallelSvmBaseline b2 =
           build_parallel_svm_baseline(train, test, lib, p2);
       b2.hw.dataset = ds_name;
@@ -111,6 +116,8 @@ Table1Result run_table1(const cells::CellLibrary& lib,
       MlpBaselineOptions p4 = mlp_baseline_options_for(profile);
       p4.seed = options.train_seed;
       p4.evaluate.power_samples = options.power_samples;
+      p4.evaluate.power_threads = options.num_threads;
+      p4.evaluate.verify.num_threads = options.num_threads;
       MlpBaseline b4 = build_mlp_baseline(train, test, lib, p4);
       b4.hw.dataset = ds_name;
       pd.e4 = b4.hw.energy_mj;

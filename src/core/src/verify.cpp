@@ -7,6 +7,8 @@
 #include <string>
 #include <thread>
 
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/sim/batch_sim.hpp"
 #include "pml/util/parallel.hpp"
 
@@ -67,6 +69,7 @@ VerifyResult verify_workload(const netlist::Module& module,
   std::mutex mu;  // guards result.first (mismatches are the rare path)
 
   auto worker = [&](std::size_t /*thread_index*/) {
+    PML_OBS_SPAN("verify.worker");
     sim::BatchSimulator bsim(module, lv);
     std::uint64_t lane_values[kLanes];
     for (;;) {
@@ -77,6 +80,7 @@ VerifyResult verify_workload(const netlist::Module& module,
       const std::size_t b =
           next_batch.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_batches) return;
+      PML_OBS_COUNT("sim.batch.batches", 1);
       const std::size_t begin = b * kLanes;
       const std::size_t count = std::min(kLanes, num_samples - begin);
       bsim.set_active_lanes(count);

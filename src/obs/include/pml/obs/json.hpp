@@ -1,0 +1,93 @@
+#pragma once
+// One JSON writer for the whole repo: trace files, metrics snapshots, run
+// manifests, and the bench perf records all serialize through this value
+// builder instead of hand-rolled operator<< chains (which never escaped
+// strings and re-implemented number formatting per bench).
+//
+// Deliberately a *writer*, not a DOM library: insertion-ordered objects
+// (perf baselines and humans both read the records top-to-bottom), 64-bit
+// integer fidelity for the metrics counters, and round-trip-safe doubles.
+// Parsing lives where it is needed — the trace-validation tests carry a
+// tiny reference parser (tests/json_test_util.hpp) so well-formedness is
+// checked by an independent implementation.
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pml::obs {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+/// Objects preserve insertion order; `set` on an existing key overwrites
+/// in place.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(std::nullptr_t) : kind_(Kind::kNull) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(int v) : kind_(Kind::kInt), int_(v) {}
+  Json(long v) : kind_(Kind::kInt), int_(v) {}
+  Json(long long v) : kind_(Kind::kInt), int_(v) {}
+  Json(unsigned v) : kind_(Kind::kUint), uint_(v) {}
+  Json(unsigned long v) : kind_(Kind::kUint), uint_(v) {}
+  Json(unsigned long long v) : kind_(Kind::kUint), uint_(v) {}
+  Json(double v) : kind_(Kind::kDouble), double_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Object member set/overwrite (keeps first-insertion position on
+  /// overwrite).  Must be an object.
+  Json& set(const std::string& key, Json value);
+  /// Array append.  Must be an array.
+  Json& push(Json value);
+
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return members_;
+  }
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+
+  /// Serialize.  `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits the compact single-line form.
+  void write(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// Escape `s` into a quoted JSON string literal (shared by write and
+  /// anything emitting JSON fragments directly).
+  static std::string escape(const std::string& s);
+
+ private:
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                              // kArray
+  std::vector<std::pair<std::string, Json>> members_;    // kObject
+};
+
+}  // namespace pml::obs

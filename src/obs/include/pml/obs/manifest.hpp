@@ -1,0 +1,51 @@
+#pragma once
+// RunManifest: the provenance block stamped into every machine-readable
+// artifact (bench perf records, metrics snapshots, trace files).
+//
+// When a perf number regresses, the first questions are "what code, what
+// compiler, what machine shape, what seed, what options" — the manifest
+// answers them from the artifact itself instead of from CI-log
+// archaeology.  collect() fills the environment-derived fields; callers
+// add the run-specific ones (seed, options digest, extras).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pml/obs/json.hpp"
+
+namespace pml::obs {
+
+struct RunManifest {
+  std::string tool = "pml";
+  /// `git describe --always --dirty` at configure time ("unknown" when
+  /// built outside a work tree).
+  std::string version;
+  std::string compiler;    ///< e.g. "gcc 13.2.0"
+  std::string build_type;  ///< "release" / "debug" (from NDEBUG)
+  unsigned hardware_threads = 0;
+  std::string timestamp_utc;  ///< ISO-8601, collection time
+  /// Run-specific provenance; 0 / empty when not applicable.
+  std::uint64_t seed = 0;
+  /// FNV-1a digest of a caller-assembled option description string, so
+  /// two artifacts are comparable iff their digests match.
+  std::string options_digest;
+  std::vector<std::pair<std::string, std::string>> extra;
+
+  /// Fill version/compiler/build_type/hardware_threads/timestamp.
+  [[nodiscard]] static RunManifest collect();
+
+  /// Set options_digest from a human-readable option description (the
+  /// description itself is also kept under extra["options"]).
+  void digest_options(std::string_view description);
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// 64-bit FNV-1a (the digest primitive behind digest_options; exposed for
+/// content-hash keys elsewhere).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+}  // namespace pml::obs

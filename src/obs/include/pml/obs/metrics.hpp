@@ -1,0 +1,161 @@
+#pragma once
+// Process-wide metrics registry: named monotonic counters and duration
+// histograms for the simulation/optimization hot paths.
+//
+// Design constraints (the sweep-service layer will hammer these):
+//   * Hot path is one relaxed fetch_add on a cached Counter reference —
+//     no locks, no lookups.  Call sites use the PML_OBS_COUNT macro, which
+//     caches the registry lookup in a function-local static.
+//   * Registered metrics live forever at stable addresses (deque-backed
+//     registry); snapshot() walks them under the registry lock.
+//   * Counter totals for a fixed workload are deterministic — they count
+//     work items (lane-words evaluated, batches dispatched, passes
+//     applied), never time — so tests can assert exact values via
+//     snapshot diffs.  Wall time lives in DurationHistogram, which is
+//     never part of determinism contracts.
+//   * Compiling with -DPML_OBS_DISABLED turns every macro into `(void)0`
+//     (for embedded builds; see trace.hpp for the span macros).  The
+//     classes themselves are unchanged, so there is no ODR hazard when
+//     only some translation units disable instrumentation.
+//
+// Naming convention (enforced by review, not code): dotted lowercase
+// `subsystem.noun[.detail]`, e.g. "sim.batch.lane_words",
+// "opt.pass.accepted", "fault.campaign.batches".  Counters count events;
+// `.lane_words` counts 64-lane SWAR words evaluated (multiply by 64 for
+// per-sample cell evaluations).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pml/obs/json.hpp"
+
+namespace pml::obs {
+
+/// Monotonic counter.  add() is lock-free and safe from any thread.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend void reset_metrics();
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of durations, plus exact count/total.
+/// Bucket b counts samples with floor(log2(us)) == b (bucket 0 also takes
+/// sub-microsecond samples); the last bucket is the overflow tail.
+class DurationHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  explicit DurationHistogram(std::string name) : name_(std::move(name)) {}
+  DurationHistogram(const DurationHistogram&) = delete;
+  DurationHistogram& operator=(const DurationHistogram&) = delete;
+
+  void record_ns(std::uint64_t ns) noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  friend void reset_metrics();
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Find-or-create a counter / histogram by name.  The returned reference
+/// is valid for the life of the process.  Linear scan under a mutex —
+/// cache it (see PML_OBS_COUNT / PML_OBS_TIMED).
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] DurationHistogram& duration(std::string_view name);
+
+/// RAII wall-clock sample into a DurationHistogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(DurationHistogram& h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  DurationHistogram& hist_;
+  std::uint64_t start_ns_;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistEntry {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistEntry> durations;
+
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] Json to_json() const;
+};
+
+[[nodiscard]] MetricsSnapshot snapshot_metrics();
+
+/// after - before, per metric (clamped at 0; metrics registered only in
+/// `after` keep their absolute value).  The deterministic-workload tests
+/// are written against diffs so they hold regardless of what earlier
+/// tests in the same process counted.
+[[nodiscard]] MetricsSnapshot diff_metrics(const MetricsSnapshot& before,
+                                           const MetricsSnapshot& after);
+
+/// Zero every registered metric (tests and long-lived services between
+/// reporting periods; registered names persist).
+void reset_metrics();
+
+}  // namespace pml::obs
+
+// --- instrumentation macros --------------------------------------------------
+// The only sanctioned call sites: with PML_OBS_DISABLED every macro
+// vanishes, taking the (already tiny) hot-path cost to exactly zero and
+// guaranteeing all registry counters stay at zero (tested in
+// tests/test_obs_disabled.cpp).
+
+#ifdef PML_OBS_DISABLED
+#define PML_OBS_COUNT(name, n) ((void)0)
+#define PML_OBS_TIMED(name) ((void)0)
+#else
+/// Bump the named counter by n.  Registry lookup happens once per call
+/// site (function-local static), the steady-state cost is one relaxed
+/// fetch_add.
+#define PML_OBS_COUNT(name, n)                                    \
+  do {                                                            \
+    static ::pml::obs::Counter& pml_obs_counter_ =                \
+        ::pml::obs::counter(name);                                \
+    pml_obs_counter_.add(static_cast<std::uint64_t>(n));          \
+  } while (0)
+/// Time the rest of the enclosing scope into the named histogram.
+#define PML_OBS_TIMED(name)                                       \
+  static ::pml::obs::DurationHistogram& pml_obs_hist_ =           \
+      ::pml::obs::duration(name);                                 \
+  ::pml::obs::ScopedTimer pml_obs_timer_(pml_obs_hist_)
+#endif

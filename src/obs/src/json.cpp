@@ -1,0 +1,138 @@
+#include "pml/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pml::obs {
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("Json::set on a non-object");
+  }
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("Json::push on a non-array");
+  }
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void write_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    os << "null";
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[32];
+  for (const int prec : {6, 9, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  os << buf;
+}
+
+void write_newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kInt: os << int_; break;
+    case Kind::kUint: os << uint_; break;
+    case Kind::kDouble: write_double(os, double_); break;
+    case Kind::kString: os << escape(string_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_newline_indent(os, indent, depth + 1);
+        items_[i].write_impl(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) os << ',';
+        write_newline_indent(os, indent, depth + 1);
+        os << escape(members_[i].first) << (indent > 0 ? ": " : ":");
+        members_[i].second.write_impl(os, indent, depth + 1);
+      }
+      write_newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+}  // namespace pml::obs

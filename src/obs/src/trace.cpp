@@ -1,0 +1,151 @@
+#include "pml/obs/trace.hpp"
+
+#include <chrono>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace pml::obs {
+
+namespace {
+
+/// Global thread-name table (tid -> name).  Touched at thread naming and
+/// trace writing only, never on the span hot path.
+struct ThreadNames {
+  std::mutex mu;
+  std::map<std::uint32_t, std::string> names;
+};
+
+ThreadNames& thread_names() {
+  static ThreadNames* t = new ThreadNames();  // leaked: outlives exit paths
+  return *t;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void set_thread_name(const std::string& name) {
+  const std::uint32_t tid = current_thread_id();
+  ThreadNames& t = thread_names();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  t.names[tid] = name;
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+std::atomic<bool> Tracer::g_enabled{false};
+std::atomic<Tracer*> Tracer::g_current{nullptr};
+
+void Tracer::install(Tracer* t) {
+  if (t == nullptr) throw std::invalid_argument("Tracer::install(nullptr)");
+  Tracer* expected = nullptr;
+  if (!g_current.compare_exchange_strong(expected, t,
+                                         std::memory_order_release)) {
+    throw std::logic_error("Tracer::install: a tracer is already installed");
+  }
+  trace_epoch();  // pin the epoch no later than the first trace
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::uninstall() {
+  g_enabled.store(false, std::memory_order_release);
+  g_current.store(nullptr, std::memory_order_release);
+}
+
+void Tracer::record(std::string name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns, std::uint32_t tid) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{std::move(name), start_ns, dur_ns, tid});
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+Json Tracer::trace_json(Json other_data) const {
+  const std::vector<TraceEvent> evs = events();
+
+  Json trace_events = Json::array();
+  // Thread-name metadata events first: one per tid that appears.
+  {
+    ThreadNames& t = thread_names();
+    const std::lock_guard<std::mutex> lock(t.mu);
+    std::map<std::uint32_t, std::string> seen;
+    for (const TraceEvent& e : evs) {
+      if (seen.count(e.tid)) continue;
+      const auto it = t.names.find(e.tid);
+      seen[e.tid] = it != t.names.end()
+                        ? it->second
+                        : "thread-" + std::to_string(e.tid);
+    }
+    for (const auto& [tid, name] : seen) {
+      Json args = Json::object();
+      args.set("name", name);
+      Json meta = Json::object();
+      meta.set("ph", "M");
+      meta.set("name", "thread_name");
+      meta.set("pid", 1);
+      meta.set("tid", tid);
+      meta.set("args", std::move(args));
+      trace_events.push(std::move(meta));
+    }
+  }
+  for (const TraceEvent& e : evs) {
+    Json ev = Json::object();
+    ev.set("ph", "X");
+    ev.set("name", e.name);
+    ev.set("cat", "pml");
+    ev.set("pid", 1);
+    ev.set("tid", e.tid);
+    // Chrome trace timestamps are microseconds; keep sub-us precision.
+    ev.set("ts", static_cast<double>(e.start_ns) / 1000.0);
+    ev.set("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    trace_events.push(std::move(ev));
+  }
+
+  Json doc = Json::object();
+  doc.set("traceEvents", std::move(trace_events));
+  doc.set("displayTimeUnit", "ms");
+  if (other_data.is_object()) doc.set("otherData", std::move(other_data));
+  return doc;
+}
+
+void Tracer::write(std::ostream& os, Json other_data) const {
+  trace_json(std::move(other_data)).write(os);
+  os << '\n';
+}
+
+void ScopedSpan::begin(const char* name) {
+  name_ = name;
+  start_ns_ = trace_now_ns();
+  active_ = true;
+}
+
+void ScopedSpan::end() {
+  Tracer* t = Tracer::current();
+  if (t != nullptr) {
+    t->record(std::move(name_), start_ns_, trace_now_ns() - start_ns_,
+              current_thread_id());
+  }
+}
+
+}  // namespace pml::obs

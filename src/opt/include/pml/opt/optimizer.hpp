@@ -45,6 +45,7 @@
 // rejects pass applications by a measured opt::CostModel.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,22 @@ struct OptOptions {
   double cost_tolerance = 0.0;
 };
 
+/// Observability record for one pass across a whole PassManager run:
+/// where the optimization wall time and cost-model probes went.  The
+/// timing fields are wall-clock (not part of any determinism contract);
+/// the counts are deterministic in the module and cost model alone.
+struct PassTiming {
+  std::string pass;
+  int applications = 0;  ///< times the pass ran (accepted + rejected)
+  int accepted = 0;      ///< applications that changed the module and stuck
+  int rejected = 0;      ///< applications reverted by the cost gate
+  /// Wall time attributed to this pass, including the scratch-copy and
+  /// cost-model probe of cost-gated applications (the real price of
+  /// running the pass under that recipe).
+  double seconds = 0.0;
+  std::uint64_t cost_probes = 0;  ///< cost-model queries this pass caused
+};
+
 struct OptReport {
   netlist::ModuleStats before;
   netlist::ModuleStats after;
@@ -119,6 +136,15 @@ struct OptReport {
   /// Pass applications a cost-driven recipe rejected (and reverted), in
   /// application order.
   std::vector<std::string> rejected;
+  /// Per-pass wall time / application / accept / reject / probe counts in
+  /// recipe order (every resolved pass appears, even if it never fired) —
+  /// the profile behind "which pass is this recipe paying for".
+  std::vector<PassTiming> pass_times;
+  /// Total wall time of the PassManager run (seconds).
+  double opt_seconds = 0.0;
+  /// Total cost-model queries, including the initial/final module probes
+  /// not attributable to one pass.
+  std::uint64_t cost_probes = 0;
 
   /// Net cells removed, clamped at zero when the pipeline *grew* the
   /// module (restructuring passes can add cells); see cell_delta() for

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/opt/cost_model.hpp"
 
 namespace pml::opt {
@@ -120,18 +123,40 @@ PassManager::PassManager(std::string name, std::vector<Pass> passes,
   passes_ = std::move(passes);
 }
 
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
 OptReport PassManager::run(netlist::Module& m) const {
+  PML_OBS_SPAN("opt.run");
+  const auto run_start = std::chrono::steady_clock::now();
   OptReport report;
   report.recipe = recipe_.name;
   report.before = m.stats();
   report.after = report.before;
+  // Every resolved pass gets a timing slot up front, in recipe order, so
+  // the profile reads as the recipe even for passes that never fire.
+  report.pass_times.reserve(passes_.size());
+  for (const Pass& pass : passes_) {
+    report.pass_times.push_back(PassTiming{.pass = pass.name});
+  }
   if (!options_.enabled) return report;
 
   // Cost gating needs a model; without one a cost-driven recipe runs
   // ungated (the caller opted out of measurement).
   const bool cost_gate = recipe_.cost_driven && cost_model_ != nullptr;
-  double current_cost =
-      cost_model_ != nullptr ? cost_model_->cost(m) : -1.0;
+  double current_cost = -1.0;
+  if (cost_model_ != nullptr) {
+    PML_OBS_SPAN("opt.cost_probe");
+    current_cost = cost_model_->cost(m);
+    ++report.cost_probes;
+    PML_OBS_COUNT("opt.cost_probes", 1);
+  }
   report.cost_before = current_cost;
 
   // A pass rejected by the cost gate would produce the identical (and
@@ -144,16 +169,28 @@ OptReport PassManager::run(netlist::Module& m) const {
     bool changed = false;
     for (std::size_t pi = 0; pi < passes_.size(); ++pi) {
       const Pass& pass = passes_[pi];
+      PassTiming& timing = report.pass_times[pi];
       if (cost_gate) {
         if (vetoed[pi]) continue;
+        PML_OBS_SPAN("opt.pass." + pass.name);
+        const auto pass_start = std::chrono::steady_clock::now();
+        ++timing.applications;
+        PML_OBS_COUNT("opt.pass.applications", 1);
         // Measure-then-commit: run the pass on a scratch copy, price the
         // result with the model, and keep it only when it does not
         // worsen the measured cost.
         netlist::Module candidate = m;
         PassDelta delta = pass.run(candidate);
         if (options_.check_invariants) debug_validate(candidate, pass.name);
-        if (!delta.changed()) continue;
+        if (!delta.changed()) {
+          timing.seconds += seconds_between(pass_start,
+                                            std::chrono::steady_clock::now());
+          continue;
+        }
         const double candidate_cost = cost_model_->cost(candidate);
+        ++timing.cost_probes;
+        ++report.cost_probes;
+        PML_OBS_COUNT("opt.cost_probes", 1);
         if (candidate_cost <=
             current_cost * (1.0 + options_.cost_tolerance)) {
           m = std::move(candidate);
@@ -161,17 +198,31 @@ OptReport PassManager::run(netlist::Module& m) const {
           changed = true;
           report.deltas.push_back(std::move(delta));
           std::fill(vetoed.begin(), vetoed.end(), false);
+          ++timing.accepted;
+          PML_OBS_COUNT("opt.pass.accepted", 1);
         } else {
           vetoed[pi] = true;
           report.rejected.push_back(pass.name);
+          ++timing.rejected;
+          PML_OBS_COUNT("opt.pass.rejected", 1);
         }
+        timing.seconds += seconds_between(pass_start,
+                                          std::chrono::steady_clock::now());
       } else {
+        PML_OBS_SPAN("opt.pass." + pass.name);
+        const auto pass_start = std::chrono::steady_clock::now();
+        ++timing.applications;
+        PML_OBS_COUNT("opt.pass.applications", 1);
         PassDelta delta = pass.run(m);
         if (options_.check_invariants) debug_validate(m, pass.name);
         if (delta.changed()) {
           changed = true;
           report.deltas.push_back(std::move(delta));
+          ++timing.accepted;
+          PML_OBS_COUNT("opt.pass.accepted", 1);
         }
+        timing.seconds += seconds_between(pass_start,
+                                          std::chrono::steady_clock::now());
       }
     }
     if (!changed) break;
@@ -184,9 +235,18 @@ OptReport PassManager::run(netlist::Module& m) const {
     }
   }
   report.after = m.stats();
-  report.cost_after =
-      cost_gate ? current_cost
-                : (cost_model_ != nullptr ? cost_model_->cost(m) : -1.0);
+  if (cost_gate) {
+    report.cost_after = current_cost;
+  } else if (cost_model_ != nullptr) {
+    PML_OBS_SPAN("opt.cost_probe");
+    report.cost_after = cost_model_->cost(m);
+    ++report.cost_probes;
+    PML_OBS_COUNT("opt.cost_probes", 1);
+  } else {
+    report.cost_after = -1.0;
+  }
+  report.opt_seconds =
+      seconds_between(run_start, std::chrono::steady_clock::now());
   return report;
 }
 
@@ -197,14 +257,21 @@ OptReport PassManager::run_best(netlist::Module& m,
   if (flows.empty()) {
     throw std::invalid_argument("PassManager::run_best: no flows");
   }
+  PML_OBS_SPAN("opt.run_best");
   bool have_best = false;
   double best_cost = 0.0;
   netlist::Module best_module;
   OptReport best_report;
+  // "best" pays for every recipe it tries; the winner's report carries
+  // the whole bill so callers see the true selection cost.
+  double total_seconds = 0.0;
+  std::uint64_t total_probes = 0;
   for (const FlowRecipe& flow : flows) {
     netlist::Module candidate = m;
     OptReport report =
         PassManager(flow, options, &cost_model).run(candidate);
+    total_seconds += report.opt_seconds;
+    total_probes += report.cost_probes;
     const double cost = report.cost_after;
     if (!have_best || cost < best_cost) {
       have_best = true;
@@ -214,6 +281,8 @@ OptReport PassManager::run_best(netlist::Module& m,
     }
   }
   m = std::move(best_module);
+  best_report.opt_seconds = total_seconds;
+  best_report.cost_probes = total_probes;
   return best_report;
 }
 

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "pml/ml/metrics.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
 #include "pml/util/parallel.hpp"
 
 namespace pml::quant {
@@ -58,9 +60,11 @@ PrecisionSearchResult search_min_precision(
     const std::size_t end = std::min(cands.size(), begin + num_threads);
     std::atomic<std::size_t> next{begin};
     util::run_workers(end - begin, next, end, [&](std::size_t /*thread*/) {
+      PML_OBS_SPAN("quant.search.worker");
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= end) return;
+        PML_OBS_COUNT("quant.candidates", 1);
         const QuantizedSvm q = quantize_svm(model, cands[i].bx, cands[i].bw);
         accs[i] = ml::accuracy(q.predict_all(holdout.X), holdout.y);
       }

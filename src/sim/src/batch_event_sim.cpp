@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "pml/obs/metrics.hpp"
 #include "pml/sim/swar.hpp"
 
 namespace pml::sim {
@@ -138,6 +139,7 @@ void BatchEventSimulator::schedule(std::size_t delay_ticks, NetId net,
 void BatchEventSimulator::run_wheel(bool count) {
   const auto& cells = module_.cells();
   std::uint64_t guard = 0;
+  std::uint64_t evals = 0;  // 64-lane cell evaluations this wheel run
   const std::uint64_t kMaxEvents =
       std::max<std::uint64_t>(1000, cells.size()) * 4096;
 
@@ -183,6 +185,7 @@ void BatchEventSimulator::run_wheel(bool count) {
       bucket.clear();
       // Phase 2: re-evaluate each affected gate once (all 64 lanes in one
       // pass); schedule its response after the gate delay.
+      evals += touched_cells_.size();
       for (const std::uint32_t ci : touched_cells_) {
         const SwarOp& op = cell_ops_[ci];
         const std::uint64_t out = eval_cell_lanes(op.type, values_[op.a],
@@ -201,6 +204,7 @@ void BatchEventSimulator::run_wheel(bool count) {
           std::popcount((values_[net] ^ window_start_[net]) & count_mask_));
     }
   }
+  PML_OBS_COUNT("sim.batch_event.lane_words", evals);
 }
 
 void BatchEventSimulator::settle() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pml/obs/metrics.hpp"
 #include "pml/sim/swar.hpp"
 
 namespace pml::sim {
@@ -118,6 +119,7 @@ void BatchFaultSimulator::propagate() {
     values_[op.out] = (out & ~f0[op.out]) | f1[op.out];
   }
   inputs_dirty_ = false;
+  PML_OBS_COUNT("sim.batch_fault.lane_words", ops_.size());
 }
 
 void BatchFaultSimulator::step() {

@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "pml/obs/metrics.hpp"
 #include "pml/sim/swar.hpp"
 
 namespace pml::sim {
@@ -109,6 +110,9 @@ void BatchSimulator::propagate() {
     values_[op.out] = out;
   }
   inputs_dirty_ = false;
+  // One 64-lane SWAR word evaluated per cell per sweep; a single relaxed
+  // add per sweep keeps the hot loop untouched.
+  PML_OBS_COUNT("sim.batch.lane_words", ops_.size());
 }
 
 void BatchSimulator::step() {
