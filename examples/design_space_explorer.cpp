@@ -3,13 +3,15 @@
 //
 // Sweeps architecture (sequential vs parallel) x multiclass reduction
 // (OvR vs OvO) x precision for one dataset, evaluates every generated
-// circuit, and prints the accuracy/energy Pareto frontier plus the best
-// battery-feasible design — the kind of exploration the paper's co-design
-// flow automates.
+// circuit through the cached svc::SweepService, and prints the
+// accuracy/energy Pareto frontier plus the best battery-feasible design —
+// the kind of exploration the paper's co-design flow automates.
+// --metrics prints the sweep-service cache statistics on exit.
 
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "pml/arch/battery.hpp"
@@ -24,6 +26,7 @@
 #include "pml/ml/synthetic_datasets.hpp"
 #include "pml/opt/pass_manager.hpp"
 #include "pml/report/table.hpp"
+#include "pml/svc/sweep_service.hpp"
 
 using namespace pml;
 
@@ -42,11 +45,17 @@ struct Candidate {
 
 int main(int argc, char** argv) {
   // --flow <name> selects the optimization recipe every candidate is
-  // evaluated under ("area", "energy", "balanced", "none", "best").
+  // evaluated under ("area", "energy", "balanced", "none", "best");
+  // --metrics prints the sweep-service cache statistics on exit.
   std::string flow = "area";
+  bool show_metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--flow" && i + 1 < argc) flow = argv[++i];
+    if (arg == "--flow" && i + 1 < argc) {
+      flow = argv[++i];
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    }
   }
 
   const auto profile = ml::UciProfile::kCardio;
@@ -82,6 +91,11 @@ int main(int argc, char** argv) {
   // Every candidate's bit-exactness gate runs on the 64-way bit-parallel
   // batch simulator, sharded across all hardware threads (0 = auto).
   eopts.verify.num_threads = 0;
+  // One cached sweep service runs every evaluation of this exploration:
+  // repeated design points (and the flow trade-off table below, which
+  // revisits the selected design) are answered from its content-hashed
+  // result cache.
+  svc::SweepService service(lib);
   const auto sweep_start = std::chrono::steady_clock::now();
   for (const auto& [reduction, model] :
        {std::pair{std::string("OvR"), &ovr}, {std::string("OvO"), &ovo}}) {
@@ -89,7 +103,8 @@ int main(int argc, char** argv) {
       for (const int bw : {4, 5, 6}) {
         const auto q = quant::quantize_svm(*model, bx, bw);
         const double acc = ml::accuracy(q.predict_all(test.X), test.y);
-        const core::CircuitWorkload wl = core::make_svm_workload(q, test);
+        const auto wl = std::make_shared<const core::CircuitWorkload>(
+            core::make_svm_workload(q, test));
         // Parallel works for both reductions; sequential is OvR-only
         // (the paper's architecture).  The generators run the same flow
         // recipe the evaluation uses (raw for cost-driven flows, above).
@@ -97,16 +112,24 @@ int main(int argc, char** argv) {
         popts.opt = eopts.optimize;
         popts.opt.enabled = !cost_driven_flow;
         auto par = arch::build_parallel_svm(q, popts);
+        svc::SweepRequest preq;
+        preq.module =
+            std::make_shared<const netlist::Module>(std::move(par.module));
+        preq.cycles_per_inference = par.cycles_per_inference;
+        preq.workload = wl;
+        preq.options = eopts;
         candidates.push_back(
-            {"parallel", reduction, bx, bw, acc,
-             core::evaluate_circuit(par.module, par.cycles_per_inference,
-                                    lib, wl, eopts)});
+            {"parallel", reduction, bx, bw, acc, service.evaluate(preq)});
         if (reduction == "OvR") {
           auto seq = arch::build_sequential_svm(q, popts.opt);
+          svc::SweepRequest sreq;
+          sreq.module =
+              std::make_shared<const netlist::Module>(std::move(seq.module));
+          sreq.cycles_per_inference = seq.cycles_per_inference;
+          sreq.workload = wl;
+          sreq.options = eopts;
           candidates.push_back(
-              {"sequential", reduction, bx, bw, acc,
-               core::evaluate_circuit(seq.module, seq.cycles_per_inference,
-                                      lib, wl, eopts)});
+              {"sequential", reduction, bx, bw, acc, service.evaluate(sreq)});
         }
       }
     }
@@ -175,21 +198,24 @@ int main(int argc, char** argv) {
     const auto& model = best->reduction == "OvR" ? ovr : ovo;
     const auto q =
         quant::quantize_svm(model, best->input_bits, best->weight_bits);
-    const core::CircuitWorkload wl = core::make_svm_workload(q, test);
-    netlist::Module raw_module;
+    const auto wl = std::make_shared<const core::CircuitWorkload>(
+        core::make_svm_workload(q, test));
+    std::shared_ptr<const netlist::Module> raw_module;
     int cycles = 1;
     if (best->arch == "sequential") {
       auto c = arch::build_sequential_svm(q, opt::OptOptions{.enabled = false});
-      raw_module = std::move(c.module);
+      raw_module =
+          std::make_shared<const netlist::Module>(std::move(c.module));
       cycles = c.cycles_per_inference;
     } else {
       arch::ParallelSvmOptions popts;
       popts.opt.enabled = false;
       auto c = arch::build_parallel_svm(q, popts);
-      raw_module = std::move(c.module);
+      raw_module =
+          std::make_shared<const netlist::Module>(std::move(c.module));
       cycles = c.cycles_per_inference;
     }
-    const auto rows = core::sweep_flows(raw_module, cycles, lib, wl, eopts);
+    const auto rows = service.sweep_flows(raw_module, cycles, wl, eopts);
     report::Table flows_table({"Flow", "Cells", "Area (cm2)", "Power (mW)",
                                "Energy (mJ)", "Glitch share (%)"});
     for (const auto& row : rows) {
@@ -201,6 +227,18 @@ int main(int argc, char** argv) {
     }
     std::cout << "\nflow trade-offs for the selected design:\n";
     flows_table.print(std::cout);
+  }
+
+  if (show_metrics) {
+    const svc::SweepStats stats = service.stats();
+    std::cout << "\nsweep-service cache:\n"
+              << "  submitted          " << stats.submitted << "\n"
+              << "  evaluated          " << stats.evaluated << "\n"
+              << "  cache hits         " << stats.cache_hits << "\n"
+              << "  in-flight deduped  " << stats.inflight_deduped << "\n"
+              << "  cache entries      " << stats.cache_entries << "\n"
+              << "  hit rate           " << report::fmt_pct(stats.hit_rate())
+              << "%\n";
   }
   return 0;
 }

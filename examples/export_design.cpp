@@ -6,9 +6,10 @@
 //
 // Writes <out>/seq_svm.v and <out>/classify.vcd (the netlist optimized by
 // the selected flow recipe), and prints the per-recipe area/energy
-// trade-off table plus the optimizer's per-pass cost profile for the
-// design.  --trace dumps a Chrome trace-event JSON of the whole flow;
-// --metrics prints the pml::obs counter deltas on exit.
+// trade-off table (evaluated through the cached svc::SweepService) plus
+// the optimizer's per-pass cost profile for the design.  --trace dumps a
+// Chrome trace-event JSON of the whole flow; --metrics prints the
+// sweep-service cache statistics and the pml::obs counter deltas on exit.
 
 #include <fstream>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include "pml/report/table.hpp"
 #include "pml/sim/cycle_sim.hpp"
 #include "pml/sim/vcd.hpp"
+#include "pml/svc/sweep_service.hpp"
 
 int main(int argc, char** argv) {
   using namespace pml;
@@ -111,17 +113,21 @@ int main(int argc, char** argv) {
   }
 
   // Per-recipe area/energy trade-off on this design's raw netlist: what
-  // each flow would have produced.
+  // each flow would have produced.  The sweep runs through the cached
+  // sweep service — a re-run of this example's sweep (or any repeated
+  // recipe) is answered from its content-hashed result cache.
+  svc::SweepService service(lib);
   {
-    const auto raw_circuit = arch::build_sequential_svm(
+    auto raw_circuit = arch::build_sequential_svm(
         design.quantized, opt::OptOptions{.enabled = false});
-    const core::CircuitWorkload wl =
-        core::make_svm_workload(design.quantized, test);
+    const auto raw_module = std::make_shared<const netlist::Module>(
+        std::move(raw_circuit.module));
+    const auto wl = std::make_shared<const core::CircuitWorkload>(
+        core::make_svm_workload(design.quantized, test));
     core::EvaluateOptions eopts;
     eopts.power_samples = 24;
-    const auto rows =
-        core::sweep_flows(raw_circuit.module, raw_circuit.cycles_per_inference,
-                          cells::CellLibrary::egfet(), wl, eopts);
+    const auto rows = service.sweep_flows(
+        raw_module, raw_circuit.cycles_per_inference, wl, eopts);
     report::Table table({"Flow", "Cells", "Area (cm2)", "Energy (mJ/inf)",
                          "Glitch share (%)"});
     for (const auto& row : rows) {
@@ -175,6 +181,13 @@ int main(int argc, char** argv) {
   }
 
   if (show_metrics) {
+    const svc::SweepStats stats = service.stats();
+    std::cout << "\nsweep-service cache:\n"
+              << "  submitted          " << stats.submitted << "\n"
+              << "  evaluated          " << stats.evaluated << "\n"
+              << "  cache hits         " << stats.cache_hits << "\n"
+              << "  in-flight deduped  " << stats.inflight_deduped << "\n"
+              << "  cache entries      " << stats.cache_entries << "\n";
     const obs::MetricsSnapshot delta =
         obs::diff_metrics(metrics_before, obs::snapshot_metrics());
     std::cout << "\nmetrics:\n";

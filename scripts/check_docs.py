@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Check that every relative Markdown link in the repo docs resolves.
+
+Usage: check_docs.py [FILE_OR_DIR ...]
+
+With no arguments, checks README.md and docs/*.md relative to the
+repository root (the parent of this script's directory).  For each
+Markdown file it extracts inline links ``[text](target)``, skips
+absolute URLs (any ``scheme:`` prefix) and pure in-page anchors
+(``#...``), resolves the rest against the file's own directory, and
+fails (exit 1) listing every target that does not exist on disk.
+Anchors on relative links (``page.md#section``) are checked for file
+existence only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline Markdown links: [text](target).  Targets with whitespace or a
+# closing paren are not produced by our docs, so the simple class works.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_links(md_file: Path):
+    text = md_file.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(md_file: Path) -> list[str]:
+    errors = []
+    for lineno, target in iter_links(md_file):
+        if SCHEME_RE.match(target) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md_file.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_file}:{lineno}: broken link '{target}' "
+                          f"(resolved to {resolved})")
+    return errors
+
+
+def collect_targets(args: list[str]) -> list[Path]:
+    if args:
+        roots = [Path(a) for a in args]
+    else:
+        repo = Path(__file__).resolve().parent.parent
+        roots = [repo / "README.md", repo / "docs"]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+        elif root.exists():
+            files.append(root)
+        else:
+            print(f"check_docs: no such file or directory: {root}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    files = collect_targets(argv[1:])
+    if not files:
+        print("check_docs: no Markdown files found", file=sys.stderr)
+        return 2
+    all_errors: list[str] = []
+    checked_links = 0
+    for md_file in files:
+        for lineno, target in iter_links(md_file):
+            checked_links += 1
+        all_errors.extend(check_file(md_file))
+    if all_errors:
+        for err in all_errors:
+            print(err, file=sys.stderr)
+        print(f"check_docs: {len(all_errors)} broken link(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK — {checked_links} link(s) across "
+          f"{len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -47,6 +47,12 @@ struct ActivityOptions {
   /// Optional pre-derived levelization shared with the caller's other
   /// analyses; nullptr derives one internally.
   std::shared_ptr<const sim::Levelization> levelization;
+  /// Optional pooled scratch: workers rebind the context's pooled
+  /// BatchEventSimulators and accumulate into its pooled per-slot
+  /// ActivityStats — the zero-allocation path of evaluate_circuit.  The
+  /// context must not be shared with a concurrent evaluation; nullptr
+  /// allocates per-call scratch as before.
+  EvalContext* context = nullptr;
 };
 
 /// Replay the first `num_samples` workload samples (clamped to the
@@ -61,5 +67,16 @@ struct ActivityOptions {
     const netlist::Module& module, const cells::CellLibrary& lib,
     int cycles_per_inference, const CircuitWorkload& workload,
     std::size_t num_samples, const ActivityOptions& options = {});
+
+/// As above into a reused stats record (allocation-free once `out` and the
+/// context's pools have the capacity).  `out` is overwritten, not
+/// accumulated into.
+void collect_activity_into(sim::ActivityStats& out,
+                           const netlist::Module& module,
+                           const cells::CellLibrary& lib,
+                           int cycles_per_inference,
+                           const CircuitWorkload& workload,
+                           std::size_t num_samples,
+                           const ActivityOptions& options = {});
 
 }  // namespace pml::core

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "pml/cells/library.hpp"
+#include "pml/core/eval_context.hpp"
 #include "pml/core/hardware_report.hpp"
 #include "pml/core/verify.hpp"
 #include "pml/netlist/module.hpp"
@@ -41,6 +42,12 @@ struct EvaluateOptions {
   /// Throw on any circuit-vs-model mismatch (always keep on; exposed for
   /// the failure-injection tests).
   bool require_bit_exact = true;
+  /// Run Module::validate() before evaluating.  Callers that already
+  /// validated the module (e.g. svc::SweepService validates once at job
+  /// submission) skip the re-check — validate() builds temporary
+  /// diagnostics, so skipping it is also part of the zero-allocation
+  /// steady-state contract.
+  bool validate_module = true;
   /// Batch-verification engine knobs (thread count etc.).  `levelization`
   /// is managed by evaluate_circuit itself; `max_mismatches` is honored
   /// when set, and defaults to fail-fast under require_bit_exact.
@@ -64,11 +71,36 @@ struct EvaluateOptions {
 /// workload.  `cycles_per_inference` is 1 for combinational designs, n for
 /// the sequential SVM.  Fills every field of HardwareReport except
 /// `dataset`, `model`, and `accuracy` (the caller owns those).
+///
+/// Determinism: every result field depends only on the module, workload,
+/// library, and options — never on thread counts or scheduling (the
+/// wall-clock `opt_seconds`/`opt_pass_times` fields are observability
+/// only).  This is what makes sweep-service cache hits byte-identical to
+/// fresh evaluations.
+///
+/// Thread safety: safe to call concurrently on distinct modules/contexts;
+/// the module and workload are only read.
 [[nodiscard]] HardwareReport evaluate_circuit(const netlist::Module& module,
                                               int cycles_per_inference,
                                               const cells::CellLibrary& lib,
                                               const CircuitWorkload& workload,
                                               const EvaluateOptions& options = {});
+
+/// As above, but every piece of scratch an evaluation needs comes from
+/// `ctx` and the result is written into `rep` (reusing its capacity;
+/// `dataset`/`model`/`accuracy` are left untouched).  After `ctx` and
+/// `rep` are warmed up by a first call, repeat evaluations of same-shaped
+/// modules perform zero steady-state heap allocation on the calling
+/// thread under the contract documented in eval_context.hpp.  The
+/// allocation delta of each call lands in the obs counter `eval.allocs`
+/// (counted only when the binary installs
+/// PML_INSTALL_COUNTING_ALLOC_HOOK), pool reuse in `eval.pool_reuse`.
+void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
+                           const netlist::Module& module,
+                           int cycles_per_inference,
+                           const cells::CellLibrary& lib,
+                           const CircuitWorkload& workload,
+                           const EvaluateOptions& options = {});
 
 /// Build an opt::SwitchingEnergyCost probe from the workload's leading
 /// `num_samples` samples (capped at 64), aligned with the module's

@@ -26,6 +26,8 @@
 
 namespace pml::core {
 
+class EvalContext;
+
 /// Feature codes (already quantized) and the reference prediction for each
 /// verification sample.
 struct CircuitWorkload {
@@ -43,6 +45,12 @@ struct VerifyOptions {
   /// Optional pre-derived levelization shared with the caller's other
   /// analyses; nullptr derives one internally.
   std::shared_ptr<const sim::Levelization> levelization;
+  /// Optional pooled scratch: workers rebind the context's pooled
+  /// BatchSimulators instead of constructing their own, and the feature
+  /// ports resolve into its pooled vector — the zero-allocation path of
+  /// evaluate_circuit.  The context must not be shared with a concurrent
+  /// evaluation; nullptr allocates per-call scratch as before.
+  EvalContext* context = nullptr;
 };
 
 struct VerifyMismatch {
@@ -70,6 +78,11 @@ struct VerifyResult {
 /// std::invalid_argument on a missing port.
 [[nodiscard]] std::vector<const netlist::Port*> feature_ports(
     const netlist::Module& module, std::size_t count);
+
+/// As above into a reused vector (allocation-free once `out` has the
+/// capacity; port names up to "x" + 14 digits stay within SSO).
+void feature_ports_into(std::vector<const netlist::Port*>& out,
+                        const netlist::Module& module, std::size_t count);
 
 /// Verify `module` (inputs "x0".."x{m-1}", output "class") against the
 /// workload's expected classes.  `cycles_per_inference` clock cycles per

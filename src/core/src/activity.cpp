@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "pml/core/eval_context.hpp"
 #include "pml/obs/metrics.hpp"
 #include "pml/obs/trace.hpp"
 #include "pml/sim/batch_event_sim.hpp"
@@ -88,6 +89,19 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
                                     const CircuitWorkload& workload,
                                     std::size_t num_samples,
                                     const ActivityOptions& options) {
+  sim::ActivityStats merged;
+  collect_activity_into(merged, module, lib, cycles_per_inference, workload,
+                        num_samples, options);
+  return merged;
+}
+
+void collect_activity_into(sim::ActivityStats& out,
+                           const netlist::Module& module,
+                           const cells::CellLibrary& lib,
+                           int cycles_per_inference,
+                           const CircuitWorkload& workload,
+                           std::size_t num_samples,
+                           const ActivityOptions& options) {
   if (workload.feature_codes.empty()) {
     throw std::invalid_argument("collect_activity: empty workload");
   }
@@ -101,7 +115,13 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
   if (n == 0) {
     throw std::invalid_argument("collect_activity: zero samples");
   }
-  const auto ports = feature_ports(module, num_features);
+  // Feature ports resolve into the context's pooled vector when pooling
+  // (verify_workload ran first and resolved the same ports, so the pooled
+  // refill is allocation-free).
+  std::vector<const netlist::Port*> local_ports;
+  std::vector<const netlist::Port*>& ports =
+      options.context != nullptr ? options.context->ports : local_ports;
+  feature_ports_into(ports, module, num_features);
   const std::shared_ptr<const sim::Levelization> lv =
       options.levelization != nullptr ? options.levelization
                                       : sim::levelize_shared(module);
@@ -119,13 +139,39 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
   std::atomic<std::size_t> next_batch{0};
   // One stats slot per worker; summed after the join.  Addition of
   // integer counts is commutative, so the total is independent of which
-  // worker claims which batch.
-  std::vector<sim::ActivityStats> partials(num_threads);
+  // worker claims which batch.  Pooled slots live in the context (reused
+  // capacity); otherwise a per-call vector.
+  const std::size_t nets = module.num_nets();
+  std::vector<sim::ActivityStats> local_partials;
+  if (options.context != nullptr) {
+    options.context->ensure_workers(num_threads);
+  } else {
+    local_partials.resize(num_threads);
+  }
+  auto partial = [&](std::size_t slot) -> sim::ActivityStats& {
+    return options.context != nullptr
+               ? options.context->worker(slot).activity
+               : local_partials[slot];
+  };
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    sim::ActivityStats& p = partial(t);
+    p.net_toggles.assign(nets, 0);
+    p.net_functional.assign(nets, 0);
+    p.dff_clock_events = 0;
+    p.cycles = 0;
+  }
 
   auto worker = [&](std::size_t slot) {
     PML_OBS_SPAN("activity.worker");
-    sim::ActivityStats& local = partials[slot];
-    sim::BatchEventSimulator bsim(module, lib, options.time_quantum_ms, lv);
+    sim::ActivityStats& local = partial(slot);
+    // Pooled path: rebind this slot's warmed simulator (zero allocation
+    // for same-shaped modules); otherwise bind a per-call local.
+    sim::BatchEventSimulator local_sim;
+    sim::BatchEventSimulator& bsim =
+        options.context != nullptr ? options.context->worker(slot).event
+                                   : local_sim;
+    if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
+    bsim.rebind(module, lib, options.time_quantum_ms, lv);
     for (;;) {
       const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_batches) return;
@@ -137,10 +183,11 @@ sim::ActivityStats collect_activity(const netlist::Module& module,
 
   util::run_workers(num_threads, next_batch, num_batches, worker);
 
-  sim::ActivityStats merged;
-  merged.net_toggles.assign(module.num_nets(), 0);
-  for (const auto& p : partials) merged.accumulate(p);
-  return merged;
+  out.net_toggles.assign(nets, 0);
+  out.net_functional.assign(nets, 0);
+  out.dff_clock_events = 0;
+  out.cycles = 0;
+  for (std::size_t t = 0; t < num_threads; ++t) out.accumulate(partial(t));
 }
 
 }  // namespace pml::core

@@ -1,0 +1,20 @@
+#include "pml/core/eval_context.hpp"
+
+#include "pml/obs/metrics.hpp"
+
+namespace pml::core {
+
+std::shared_ptr<const sim::Levelization> EvalContext::levelize(
+    const netlist::Module& m) {
+  arena_.reset();
+  if (lv_filled_) PML_OBS_COUNT("eval.pool_reuse", 1);
+  sim::levelize_into(m, lv_, arena_);
+  lv_filled_ = true;
+  return lv_handle_;
+}
+
+void EvalContext::ensure_workers(std::size_t n) {
+  while (workers_.size() < n) workers_.emplace_back();
+}
+
+}  // namespace pml::core

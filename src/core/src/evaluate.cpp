@@ -7,6 +7,7 @@
 #include <string>
 
 #include "pml/core/activity.hpp"
+#include "pml/core/eval_context.hpp"
 #include "pml/obs/metrics.hpp"
 #include "pml/obs/trace.hpp"
 #include "pml/opt/cost_model.hpp"
@@ -14,6 +15,7 @@
 #include "pml/power/power.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/sta/timing.hpp"
+#include "pml/util/alloc_hook.hpp"
 
 namespace pml::core {
 
@@ -59,17 +61,35 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
                                 const cells::CellLibrary& lib,
                                 const CircuitWorkload& workload,
                                 const EvaluateOptions& options) {
+  EvalContext ctx;
+  HardwareReport rep;
+  evaluate_circuit_into(ctx, rep, module, cycles_per_inference, lib, workload,
+                        options);
+  return rep;
+}
+
+void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
+                           const netlist::Module& module,
+                           int cycles_per_inference,
+                           const cells::CellLibrary& lib,
+                           const CircuitWorkload& workload,
+                           const EvaluateOptions& options) {
   if (workload.feature_codes.empty() ||
       workload.feature_codes.size() != workload.expected_class.size()) {
     throw std::invalid_argument("evaluate_circuit: bad workload");
   }
-  if (const auto err = module.validate()) {
-    throw std::runtime_error("evaluate_circuit: invalid module: " + *err);
+  if (options.validate_module) {
+    if (const auto err = module.validate()) {
+      throw std::runtime_error("evaluate_circuit: invalid module: " + *err);
+    }
   }
 
   PML_OBS_SPAN("evaluate");
   PML_OBS_COUNT("core.evaluations", 1);
-  HardwareReport rep;
+  // Allocation audit for the calling thread (the single-threaded
+  // zero-alloc contract); reads a thread-local counter that stays zero
+  // unless the binary installs PML_INSTALL_COUNTING_ALLOC_HOOK.
+  const std::uint64_t allocs_before = util::thread_alloc_count();
   rep.cycles_per_inference = cycles_per_inference;
 
   // Opt flow on a copy (the caller's module is untouched), so every
@@ -79,12 +99,11 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   // switching-energy cost model probing a slice of this very workload,
   // so accept/reject decisions track measured transitions, not cell
   // count.
-  rep.pre_opt_stats = module.stats();
-  netlist::Module optimized;
+  module.stats_into(rep.pre_opt_stats);
   const netlist::Module* mp = &module;
   if (options.optimize.enabled) {
     PML_OBS_SPAN("evaluate.optimize");
-    optimized = module;
+    ctx.module_scratch = module;
     const bool wants_cost =
         options.optimize.flow == opt::kBestFlow ||
         opt::flow_recipe(options.optimize.flow).cost_driven;
@@ -99,25 +118,29 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
       }
     }
     opt::OptReport opt_rep =
-        opt::optimize(optimized, options.optimize, cost.get());
+        opt::optimize(ctx.module_scratch, options.optimize, cost.get());
     rep.opt_flow = opt_rep.recipe;
     rep.opt_pass_times = std::move(opt_rep.pass_times);
     rep.opt_seconds = opt_rep.opt_seconds;
     rep.opt_cost_probes = opt_rep.cost_probes;
-    mp = &optimized;
+    mp = &ctx.module_scratch;
   } else {
     rep.opt_flow = "none";
+    rep.opt_pass_times.clear();
+    rep.opt_seconds = 0.0;
+    rep.opt_cost_probes = 0;
   }
   const netlist::Module& mod = *mp;
-  rep.post_opt_stats = mod.stats();
+  mod.stats_into(rep.post_opt_stats);
   rep.num_cells = rep.post_opt_stats.num_cells;
   rep.num_dffs = rep.post_opt_stats.num_dffs;
 
   // One levelization per circuit, shared by the batch-verification workers
-  // and the event simulator below instead of re-derived per simulator.
+  // and the event simulator below instead of re-derived per simulator —
+  // pooled in the context (arena-backed scratch, reused storage).
   const auto lv = [&] {
     PML_OBS_SPAN("evaluate.levelize");
-    return sim::levelize_shared(mod);
+    return ctx.levelize(mod);
   }();
 
   // --- 1. functional verification (full workload, zero-delay) -------------
@@ -126,6 +149,7 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   // injection, but the hot verification gate runs on sim::BatchSimulator.
   VerifyOptions vopts = options.verify;
   vopts.levelization = lv;
+  vopts.context = &ctx;
   // Fail fast only when the caller left max_mismatches at its default; a
   // caller-tuned cap (e.g. "count up to 100 mismatches") is honored.
   if (options.require_bit_exact &&
@@ -149,13 +173,13 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.verified_samples = vr.samples;
   rep.verified_mismatches = vr.mismatches;
 
-  // --- 2. timing (shared levelization) --------------------------------------
-  const sta::TimingReport timing = [&] {
+  // --- 2. timing (shared levelization, arena scratch) -----------------------
+  {
     PML_OBS_SPAN("evaluate.sta");
-    return sta::analyze(mod, lib, lv);
-  }();
-  rep.logic_depth = timing.logic_depth;
-  const double period_ms = timing.critical_path_ms;
+    sta::analyze_into(ctx.timing, mod, lib, *lv, ctx.arena());
+  }
+  rep.logic_depth = ctx.timing.logic_depth;
+  const double period_ms = ctx.timing.critical_path_ms;
 
   // --- 3. power (batched event-driven subset replay) -----------------------
   // Sharded 64-way bit-parallel delay-accurate simulation; the scalar
@@ -168,17 +192,19 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   aopts.chunk_samples = options.power_chunk_samples;
   aopts.time_quantum_ms = options.time_quantum_ms;
   aopts.levelization = lv;
-  const sim::ActivityStats activity = [&] {
+  aopts.context = &ctx;
+  {
     PML_OBS_SPAN("evaluate.activity");
-    return collect_activity(mod, lib, cycles_per_inference, workload, n_power,
-                            aopts);
-  }();
-  const power::PowerReport pr = [&] {
+    collect_activity_into(ctx.merged_activity, mod, lib, cycles_per_inference,
+                          workload, n_power, aopts);
+  }
+  {
     PML_OBS_SPAN("evaluate.power");
-    return power::estimate(mod, lib, activity, n_power,
-                           static_cast<std::size_t>(cycles_per_inference),
-                           period_ms, lv);
-  }();
+    power::estimate_into(ctx.power, mod, lib, ctx.merged_activity, n_power,
+                         static_cast<std::size_t>(cycles_per_inference),
+                         period_ms, *lv, rep.post_opt_stats);
+  }
+  const power::PowerReport& pr = ctx.power;
 
   rep.area_cm2 = pr.area_cm2;
   rep.static_mw = pr.static_mw;
@@ -191,7 +217,7 @@ HardwareReport evaluate_circuit(const netlist::Module& module,
   rep.latency_ms = pr.latency_ms;
   rep.energy_mj = pr.energy_per_inference_mj;
   rep.groups = pr.groups;
-  return rep;
+  PML_OBS_COUNT("eval.allocs", util::thread_alloc_count() - allocs_before);
 }
 
 }  // namespace pml::core

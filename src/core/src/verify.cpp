@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "pml/core/eval_context.hpp"
 #include "pml/obs/metrics.hpp"
 #include "pml/obs/trace.hpp"
 #include "pml/sim/batch_sim.hpp"
@@ -14,17 +15,23 @@
 
 namespace pml::core {
 
-std::vector<const netlist::Port*> feature_ports(const netlist::Module& module,
-                                                std::size_t count) {
-  std::vector<const netlist::Port*> ports;
-  ports.reserve(count);
+void feature_ports_into(std::vector<const netlist::Port*>& out,
+                        const netlist::Module& module, std::size_t count) {
+  out.clear();
+  out.reserve(count);
   for (std::size_t j = 0; j < count; ++j) {
     const netlist::Port* p = module.find_input("x" + std::to_string(j));
     if (p == nullptr) {
       throw std::invalid_argument("missing input port x" + std::to_string(j));
     }
-    ports.push_back(p);
+    out.push_back(p);
   }
+}
+
+std::vector<const netlist::Port*> feature_ports(const netlist::Module& module,
+                                                std::size_t count) {
+  std::vector<const netlist::Port*> ports;
+  feature_ports_into(ports, module, count);
   return ports;
 }
 
@@ -42,7 +49,11 @@ VerifyResult verify_workload(const netlist::Module& module,
       throw std::invalid_argument("verify_workload: ragged feature_codes");
     }
   }
-  const auto ports = feature_ports(module, num_features);
+  // Resolve feature ports into the context's pooled vector when pooling.
+  std::vector<const netlist::Port*> local_ports;
+  std::vector<const netlist::Port*>& ports =
+      options.context != nullptr ? options.context->ports : local_ports;
+  feature_ports_into(ports, module, num_features);
   const netlist::Port* class_port = module.find_output("class");
   if (class_port == nullptr) {
     throw std::invalid_argument("verify_workload: missing 'class' output");
@@ -68,9 +79,18 @@ VerifyResult verify_workload(const netlist::Module& module,
   std::atomic<std::size_t> mismatch_count{0};
   std::mutex mu;  // guards result.first (mismatches are the rare path)
 
-  auto worker = [&](std::size_t /*thread_index*/) {
+  if (options.context != nullptr) options.context->ensure_workers(num_threads);
+
+  auto worker = [&](std::size_t slot) {
     PML_OBS_SPAN("verify.worker");
-    sim::BatchSimulator bsim(module, lv);
+    // Pooled path: rebind this slot's warmed simulator (zero allocation
+    // for same-shaped modules); otherwise bind a per-call local.
+    sim::BatchSimulator local;
+    sim::BatchSimulator& bsim = options.context != nullptr
+                                    ? options.context->worker(slot).batch
+                                    : local;
+    if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
+    bsim.rebind(module, lv);
     std::uint64_t lane_values[kLanes];
     for (;;) {
       if (mismatch_count.load(std::memory_order_relaxed) >=

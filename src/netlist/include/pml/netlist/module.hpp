@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -132,6 +133,10 @@ class Module {
   // --- analysis support -----------------------------------------------------
   /// Index of the cell driving each net, or -1 for constants/PIs.
   [[nodiscard]] std::vector<std::int32_t> driver_map() const;
+  /// Same, written into caller-owned storage of at least num_nets()
+  /// entries (throws std::invalid_argument otherwise) — the
+  /// allocation-free form used by sim::levelize_into's arena scratch.
+  void driver_map_into(std::span<std::int32_t> out) const;
   /// Readers per net, counting both cell input pins and output-port bits
   /// (so a net that only feeds a port still shows a nonzero fanout).
   [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
@@ -165,6 +170,10 @@ class Module {
                              const std::vector<bool>& keep_cell);
 
   [[nodiscard]] ModuleStats stats() const;
+  /// Stats into a reused record: every vector is overwritten via
+  /// capacity-retaining assignment, so repeated calls on same-shaped
+  /// modules allocate nothing after the first.
+  void stats_into(ModuleStats& out) const;
 
   /// Structural sanity check; returns an error description or nullopt.
   /// Verified: every cell input is driven (constant, PI, or cell output),

@@ -215,10 +215,19 @@ const Port* Module::find_output(const std::string& name) const {
 
 std::vector<std::int32_t> Module::driver_map() const {
   std::vector<std::int32_t> drivers(num_nets_, -1);
-  for (std::size_t i = 0; i < cells_.size(); ++i) {
-    drivers[cells_[i].out] = static_cast<std::int32_t>(i);
-  }
+  driver_map_into(drivers);
   return drivers;
+}
+
+void Module::driver_map_into(std::span<std::int32_t> out) const {
+  if (out.size() < num_nets_) {
+    throw std::invalid_argument("driver_map_into: output too small");
+  }
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(num_nets_),
+            std::int32_t{-1});
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out[cells_[i].out] = static_cast<std::int32_t>(i);
+  }
 }
 
 std::vector<std::uint32_t> Module::fanout_counts() const {
@@ -333,16 +342,29 @@ Module::RewriteStats Module::apply_rewrite(std::vector<NetId> net_map,
 
 ModuleStats Module::stats() const {
   ModuleStats s;
+  stats_into(s);
+  return s;
+}
+
+void Module::stats_into(ModuleStats& s) const {
   s.num_cells = cells_.size();
   s.num_nets = num_nets_;
-  s.counts_by_group.assign(group_names_.size(),
-                           std::vector<std::size_t>(kNumCellTypes, 0));
+  s.num_dffs = 0;
+  std::fill(std::begin(s.counts_by_type), std::end(s.counts_by_type), 0);
+  // Shrink-then-clear-then-grow keeps every surviving inner vector's
+  // capacity, so repeated stats on same-shaped modules never allocate.
+  if (s.counts_by_group.size() > group_names_.size()) {
+    s.counts_by_group.resize(group_names_.size());
+  }
+  for (auto& row : s.counts_by_group) row.assign(kNumCellTypes, 0);
+  while (s.counts_by_group.size() < group_names_.size()) {
+    s.counts_by_group.emplace_back(kNumCellTypes, 0);
+  }
   for (const auto& c : cells_) {
     ++s.counts_by_type[static_cast<int>(c.type)];
     ++s.counts_by_group[c.group][static_cast<int>(c.type)];
     if (c.type == CellType::kDff) ++s.num_dffs;
   }
-  return s;
 }
 
 }  // namespace pml::netlist

@@ -8,6 +8,7 @@
 // archaeology.  collect() fills the environment-derived fields; callers
 // add the run-specific ones (seed, options digest, extras).
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -44,8 +45,39 @@ struct RunManifest {
   [[nodiscard]] Json to_json() const;
 };
 
-/// 64-bit FNV-1a (the digest primitive behind digest_options; exposed for
-/// content-hash keys elsewhere).
+/// Incremental 64-bit FNV-1a accumulator — the digest primitive behind
+/// digest_options, exposed for content-hash keys elsewhere (the sweep
+/// service digests whole netlists and workloads through it without
+/// materializing a serialization string).  Deterministic across runs,
+/// platforms, and build types; NOT cryptographic.
+class Fnv1a {
+ public:
+  Fnv1a& update(std::string_view data) noexcept {
+    for (const char c : data) step(static_cast<unsigned char>(c));
+    return *this;
+  }
+  /// Mix a 64-bit value byte by byte (little-endian), so integer fields
+  /// digest identically on every platform.
+  Fnv1a& update_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) step(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+  /// Mix a double via its IEEE-754 bit pattern (bit_cast keeps -0.0 and
+  /// 0.0 distinct — callers canonicalize if they care).
+  Fnv1a& update_f64(double v) noexcept {
+    return update_u64(std::bit_cast<std::uint64_t>(v));
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  void step(unsigned char byte) noexcept {
+    h_ ^= byte;
+    h_ *= 0x100000001b3ull;
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// One-shot convenience over Fnv1a.
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
 
 }  // namespace pml::obs

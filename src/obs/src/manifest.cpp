@@ -7,12 +7,7 @@
 namespace pml::obs {
 
 std::uint64_t fnv1a64(std::string_view data) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  return Fnv1a().update(data).digest();
 }
 
 RunManifest RunManifest::collect() {

@@ -86,10 +86,12 @@ class PassManager {
               const CostModel* cost_model, bool cost_driven);
 
   /// Optimize `m` in place.  With a cost-driven recipe and a cost model,
-  /// each pass runs on a copy and is committed only when the measured
-  /// cost does not worsen beyond options.cost_tolerance; rejected
-  /// applications are recorded in OptReport::rejected.  Deterministic in
-  /// the module and the cost model alone.
+  /// each pass runs on a pooled scratch copy and is committed (by swap)
+  /// only when the measured cost does not worsen beyond
+  /// options.cost_tolerance; rejected applications are recorded in
+  /// OptReport::rejected.  Deterministic in the module and the cost model
+  /// alone.  NOT thread-safe: concurrent run() calls on one PassManager
+  /// share the scratch module — use one manager per thread.
   OptReport run(netlist::Module& m) const;
 
   /// Run every recipe in `flows` on a copy of `m`, score each result
@@ -108,6 +110,11 @@ class PassManager {
   std::vector<Pass> passes_;
   OptOptions options_;
   const CostModel* cost_model_ = nullptr;
+  /// Measure-then-commit working copy, pooled across pass applications
+  /// and run() calls: copy-assign refills it reusing held capacity, and
+  /// acceptance swaps it with the module instead of moving (so both
+  /// buffers stay warm).  Mutable because it is scratch, not state.
+  mutable netlist::Module scratch_;
 };
 
 }  // namespace pml::opt

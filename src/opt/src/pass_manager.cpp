@@ -176,10 +176,12 @@ OptReport PassManager::run(netlist::Module& m) const {
         const auto pass_start = std::chrono::steady_clock::now();
         ++timing.applications;
         PML_OBS_COUNT("opt.pass.applications", 1);
-        // Measure-then-commit: run the pass on a scratch copy, price the
-        // result with the model, and keep it only when it does not
-        // worsen the measured cost.
-        netlist::Module candidate = m;
+        // Measure-then-commit: run the pass on the pooled scratch copy,
+        // price the result with the model, and keep it only when it does
+        // not worsen the measured cost.  Commit is a swap, so the
+        // rejected buffer's capacity feeds the next refill.
+        netlist::Module& candidate = scratch_;
+        candidate = m;
         PassDelta delta = pass.run(candidate);
         if (options_.check_invariants) debug_validate(candidate, pass.name);
         if (!delta.changed()) {
@@ -193,7 +195,7 @@ OptReport PassManager::run(netlist::Module& m) const {
         PML_OBS_COUNT("opt.cost_probes", 1);
         if (candidate_cost <=
             current_cost * (1.0 + options_.cost_tolerance)) {
-          m = std::move(candidate);
+          std::swap(m, candidate);
           current_cost = candidate_cost;
           changed = true;
           report.deltas.push_back(std::move(delta));

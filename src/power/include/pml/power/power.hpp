@@ -108,4 +108,17 @@ struct PowerReport {
     std::size_t cycles_per_inference, double period_ms,
     const std::shared_ptr<const sim::Levelization>& lv);
 
+/// Allocation-free form: overwrites `out`, reusing its groups capacity
+/// (group-name strings are copy-assigned, so their buffers survive too).
+/// `stats` must describe `module` (Module::stats_into into pooled storage)
+/// — it replaces the module.stats() temporaries inside the area/static
+/// pricing with identical arithmetic.  Produces exactly estimate()'s
+/// numbers; used by core::evaluate_circuit's pooled EvalContext.
+void estimate_into(PowerReport& out, const netlist::Module& module,
+                   const cells::CellLibrary& lib,
+                   const sim::ActivityStats& activity, std::size_t inferences,
+                   std::size_t cycles_per_inference, double period_ms,
+                   const sim::Levelization& lv,
+                   const netlist::ModuleStats& stats);
+
 }  // namespace pml::power

@@ -90,24 +90,43 @@ PowerReport estimate(const netlist::Module& module,
                      std::size_t inferences, std::size_t cycles_per_inference,
                      double period_ms,
                      const std::shared_ptr<const sim::Levelization>& lv_ptr) {
+  if (lv_ptr == nullptr) {
+    throw std::invalid_argument("power::estimate: null levelization");
+  }
+  PowerReport rep;
+  estimate_into(rep, module, lib, activity, inferences, cycles_per_inference,
+                period_ms, *lv_ptr, module.stats());
+  return rep;
+}
+
+void estimate_into(PowerReport& out, const netlist::Module& module,
+                   const cells::CellLibrary& lib,
+                   const sim::ActivityStats& activity, std::size_t inferences,
+                   std::size_t cycles_per_inference, double period_ms,
+                   const sim::Levelization& lv,
+                   const netlist::ModuleStats& stats) {
   if (inferences == 0 || cycles_per_inference == 0 || period_ms <= 0.0) {
     throw std::invalid_argument("power::estimate: bad workload parameters");
   }
   if (activity.net_toggles.size() < module.num_nets()) {
     throw std::invalid_argument("power::estimate: activity/module mismatch");
   }
-  if (lv_ptr == nullptr) {
-    throw std::invalid_argument("power::estimate: null levelization");
-  }
   const auto& cal = lib.calibration();
   const auto& cells_vec = module.cells();
-  const sim::Levelization& lv = *lv_ptr;
 
-  PowerReport rep;
+  PowerReport& rep = out;
   rep.groups.resize(module.group_names().size());
   for (std::size_t g = 0; g < rep.groups.size(); ++g) {
-    rep.groups[g].name = module.group_names()[g];
+    GroupReport& grp = rep.groups[g];
+    grp.name = module.group_names()[g];
+    grp.area_cm2 = 0.0;
+    grp.static_mw = 0.0;
+    grp.dynamic_mw = 0.0;
+    grp.glitch_mw = 0.0;
+    grp.cells = 0;
   }
+  rep.functional_transitions = 0;
+  rep.glitch_transitions = 0;
 
   const double total_time_ms =
       static_cast<double>(inferences) *
@@ -156,8 +175,8 @@ PowerReport estimate(const netlist::Module& module,
   // for simplicity it lands in the totals only (groups keep logic energy).
   // It is functional by definition, so it never enters the glitch slice.
 
-  rep.area_cm2 = area_cm2(module, lib);
-  rep.static_mw = static_power_mw(module, lib);
+  rep.area_cm2 = area_cm2(stats, lib);
+  rep.static_mw = static_power_mw(stats, lib);
   rep.dynamic_mw = dyn_nj / total_time_ms / 1000.0;  // nJ/ms = uW
   rep.dynamic_glitch_mw = glitch_nj / total_time_ms / 1000.0;
   rep.dynamic_functional_mw = rep.dynamic_mw - rep.dynamic_glitch_mw;
@@ -166,7 +185,6 @@ PowerReport estimate(const netlist::Module& module,
   rep.latency_ms = static_cast<double>(cycles_per_inference) * period_ms;
   // total_mw [mW] x latency [ms] = uJ; /1000 -> mJ.
   rep.energy_per_inference_mj = rep.total_mw * rep.latency_ms / 1000.0;
-  return rep;
 }
 
 }  // namespace pml::power

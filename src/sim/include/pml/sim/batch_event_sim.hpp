@@ -43,6 +43,9 @@ class BatchEventSimulator {
   /// Lanes per batch: one sample stream per bit of the SWAR word.
   static constexpr std::size_t kLanes = 64;
 
+  /// Unbound simulator for pooling (core::EvalContext worker scratch);
+  /// every member other than rebind()/bound() requires a bind first.
+  BatchEventSimulator() = default;
   /// `time_quantum_ms` converts library delays to integer ticks, exactly
   /// as in EventSimulator (equal quanta => equal tick grids => bit-exact
   /// per-lane equivalence).
@@ -54,6 +57,15 @@ class BatchEventSimulator {
   BatchEventSimulator(const netlist::Module& module,
                       const cells::CellLibrary& lib, double time_quantum_ms,
                       std::shared_ptr<const Levelization> lv);
+
+  /// (Re)bind to a module, reusing all internal storage — op tables, lane
+  /// words, timing-wheel buckets, activity counters: a pooled simulator
+  /// rebound to same-shaped modules under the same library performs zero
+  /// heap allocation.  The module and levelization are borrowed and must
+  /// outlive the binding; counters and the count mask are reset.
+  void rebind(const netlist::Module& module, const cells::CellLibrary& lib,
+              double time_quantum_ms, std::shared_ptr<const Levelization> lv);
+  [[nodiscard]] bool bound() const noexcept { return module_ != nullptr; }
 
   /// Restore all DFFs (every lane) to their power-on values, zero all
   /// nets, settle without counting, and clear the activity counters.
@@ -112,7 +124,7 @@ class BatchEventSimulator {
   /// Zero the counters (e.g. after a warm-up round).
   void clear_activity();
 
-  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const netlist::Module& module() const { return *module_; }
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
@@ -121,7 +133,7 @@ class BatchEventSimulator {
   void run_wheel(bool count);
   void full_settle_zero_delay();
 
-  const netlist::Module& module_;
+  const netlist::Module* module_ = nullptr;
   std::shared_ptr<const Levelization> lv_;
   std::vector<int> delay_ticks_;   ///< per cell type
   std::vector<SwarOp> cell_ops_;   ///< indexed by cell; DFF entries unused

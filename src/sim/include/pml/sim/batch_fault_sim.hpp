@@ -37,11 +37,22 @@ class BatchFaultSimulator {
   /// is the reserved fault-free reference, so kLanes - 1 variants fit.
   static constexpr std::size_t kLanes = 64;
 
+  /// Unbound simulator for pooling (core::EvalContext worker scratch);
+  /// every member other than rebind()/bound() requires a bind first.
+  BatchFaultSimulator() = default;
   explicit BatchFaultSimulator(const netlist::Module& module);
   /// Reuse a previously derived levelization (campaign workers across
   /// threads share one instead of re-deriving it per simulator).
   BatchFaultSimulator(const netlist::Module& module,
                       std::shared_ptr<const Levelization> lv);
+
+  /// (Re)bind to a module, reusing all internal vector capacities: a
+  /// pooled simulator rebound to same-shaped modules performs zero heap
+  /// allocation.  The module and levelization are borrowed and must
+  /// outlive the binding; installed faults and counters are cleared.
+  void rebind(const netlist::Module& module,
+              std::shared_ptr<const Levelization> lv);
+  [[nodiscard]] bool bound() const noexcept { return module_ != nullptr; }
 
   /// Restore all DFFs (every lane) to their power-on values, zero all
   /// nets, and settle *with the installed faults applied* — the batch
@@ -105,7 +116,7 @@ class BatchFaultSimulator {
                                          std::size_t lane) const;
 
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
-  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const netlist::Module& module() const { return *module_; }
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
@@ -113,7 +124,7 @@ class BatchFaultSimulator {
   /// by the cell loop; cell outputs are masked inline after each eval.
   void apply_faults_to_sources();
 
-  const netlist::Module& module_;
+  const netlist::Module* module_ = nullptr;
   std::shared_ptr<const Levelization> lv_;
   std::vector<SwarOp> ops_;      ///< levelized cells, pins flattened
   std::vector<SwarDffOp> dffs_;

@@ -38,11 +38,22 @@ class BatchSimulator {
   /// Lanes per batch: one sample per bit of the SWAR word.
   static constexpr std::size_t kLanes = 64;
 
+  /// Unbound simulator for pooling (core::EvalContext worker scratch);
+  /// every member other than rebind()/bound() requires a bind first.
+  BatchSimulator() = default;
   explicit BatchSimulator(const netlist::Module& module);
   /// Reuse a previously derived levelization (verification workers across
   /// threads share one instead of re-deriving it per simulator).
   BatchSimulator(const netlist::Module& module,
                  std::shared_ptr<const Levelization> lv);
+
+  /// (Re)bind to a module, reusing all internal vector capacities: a
+  /// pooled simulator rebound to same-shaped modules performs zero heap
+  /// allocation.  The module and levelization are borrowed and must
+  /// outlive the binding; lane masks/counters are reset as by reset().
+  void rebind(const netlist::Module& module,
+              std::shared_ptr<const Levelization> lv);
+  [[nodiscard]] bool bound() const noexcept { return module_ != nullptr; }
 
   /// Restore all DFFs (every lane) to their power-on values, zero all
   /// nets, settle, and clear toggle/cycle counters.
@@ -111,11 +122,11 @@ class BatchSimulator {
   }
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
 
-  [[nodiscard]] const netlist::Module& module() const { return module_; }
+  [[nodiscard]] const netlist::Module& module() const { return *module_; }
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
-  const netlist::Module& module_;
+  const netlist::Module* module_ = nullptr;
   std::shared_ptr<const Levelization> lv_;
   std::vector<SwarOp> ops_;      ///< levelized cells, pins flattened
   std::vector<SwarDffOp> dffs_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "pml/netlist/module.hpp"
+#include "pml/util/arena.hpp"
 
 namespace pml::sim {
 
@@ -29,6 +30,17 @@ struct Levelization {
 /// Compute the levelization.  Throws std::runtime_error on combinational
 /// cycles (Module::validate reports them more descriptively).
 [[nodiscard]] Levelization levelize(const netlist::Module& module);
+
+/// Allocation-free form: overwrite `lv` in place, reusing its vector (and
+/// fanout inner-vector) capacities, with all transient working memory
+/// (driver map, indegrees, ready stack, depth-sort counters) drawn from
+/// `scratch`.  Produces exactly the levelization levelize() returns —
+/// including the deterministic depth-major comb_order — but repeated
+/// calls on same-shaped modules perform zero heap allocation once the
+/// storage and arena are warm (core::EvalContext's steady state).  The
+/// caller owns resetting `scratch`; this function only bump-allocates.
+void levelize_into(const netlist::Module& module, Levelization& lv,
+                   util::Arena& scratch);
 
 /// Shared-ownership levelization, for passing one derivation to several
 /// simulators (e.g. the batch-verification workers of core::verify_workload

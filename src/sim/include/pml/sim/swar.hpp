@@ -71,37 +71,58 @@ struct SwarDffOp {
 }
 
 /// Combinational cells in levelized evaluation order (BatchSimulator,
-/// BatchFaultSimulator).
-[[nodiscard]] inline std::vector<SwarOp> swar_comb_ops(
-    const netlist::Module& module, const Levelization& lv) {
-  std::vector<SwarOp> ops;
+/// BatchFaultSimulator).  The `_into` form overwrites a reused vector so
+/// pooled simulators (rebind()) flatten without allocating once warm.
+inline void swar_comb_ops_into(std::vector<SwarOp>& ops,
+                               const netlist::Module& module,
+                               const Levelization& lv) {
+  ops.clear();
   ops.reserve(lv.comb_order.size());
   for (const std::uint32_t idx : lv.comb_order) {
     ops.push_back(flatten_cell(module.cells()[idx]));
   }
+}
+
+[[nodiscard]] inline std::vector<SwarOp> swar_comb_ops(
+    const netlist::Module& module, const Levelization& lv) {
+  std::vector<SwarOp> ops;
+  swar_comb_ops_into(ops, module, lv);
   return ops;
 }
 
 /// Every cell, indexed by cell id (BatchEventSimulator's wake table).
-[[nodiscard]] inline std::vector<SwarOp> swar_cell_ops(
-    const netlist::Module& module) {
-  std::vector<SwarOp> ops;
+inline void swar_cell_ops_into(std::vector<SwarOp>& ops,
+                               const netlist::Module& module) {
+  ops.clear();
   ops.reserve(module.cells().size());
   for (const netlist::Cell& c : module.cells()) {
     ops.push_back(flatten_cell(c));
   }
+}
+
+[[nodiscard]] inline std::vector<SwarOp> swar_cell_ops(
+    const netlist::Module& module) {
+  std::vector<SwarOp> ops;
+  swar_cell_ops_into(ops, module);
   return ops;
 }
 
-[[nodiscard]] inline std::vector<SwarDffOp> swar_dff_ops(
-    const netlist::Module& module, const Levelization& lv) {
-  std::vector<SwarDffOp> dffs;
+inline void swar_dff_ops_into(std::vector<SwarDffOp>& dffs,
+                              const netlist::Module& module,
+                              const Levelization& lv) {
+  dffs.clear();
   dffs.reserve(lv.dffs.size());
   for (const std::uint32_t idx : lv.dffs) {
     const netlist::Cell& c = module.cells()[idx];
     dffs.push_back(SwarDffOp{c.in[0], c.out,
                              c.dff_init ? ~std::uint64_t{0} : 0});
   }
+}
+
+[[nodiscard]] inline std::vector<SwarDffOp> swar_dff_ops(
+    const netlist::Module& module, const Levelization& lv) {
+  std::vector<SwarDffOp> dffs;
+  swar_dff_ops_into(dffs, module, lv);
   return dffs;
 }
 

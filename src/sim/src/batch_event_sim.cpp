@@ -21,20 +21,27 @@ BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
     : BatchEventSimulator(module, lib, time_quantum_ms,
                           levelize_shared(module)) {}
 
-BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
-                                         const cells::CellLibrary& lib,
-                                         double time_quantum_ms,
-                                         std::shared_ptr<const Levelization> lv)
-    : module_(module), lv_(std::move(lv)) {
-  if (lv_ == nullptr) {
+BatchEventSimulator::BatchEventSimulator(
+    const netlist::Module& module, const cells::CellLibrary& lib,
+    double time_quantum_ms, std::shared_ptr<const Levelization> lv) {
+  rebind(module, lib, time_quantum_ms, std::move(lv));
+}
+
+void BatchEventSimulator::rebind(const netlist::Module& module,
+                                 const cells::CellLibrary& lib,
+                                 double time_quantum_ms,
+                                 std::shared_ptr<const Levelization> lv) {
+  if (lv == nullptr) {
     throw std::invalid_argument("BatchEventSimulator: null levelization");
   }
   if (time_quantum_ms <= 0) {
     throw std::invalid_argument("time quantum must be positive");
   }
+  module_ = &module;
+  lv_ = std::move(lv);
   // Same quantization as EventSimulator: equal tick grids are what make
   // the per-lane trajectories bit-exact against the scalar oracle.
-  delay_ticks_.resize(netlist::kNumCellTypes);
+  delay_ticks_.assign(netlist::kNumCellTypes, 0);
   int max_delay = 1;
   for (int t = 0; t < netlist::kNumCellTypes; ++t) {
     const double d = lib.params(static_cast<CellType>(t)).delay_ms;
@@ -42,17 +49,27 @@ BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
         std::max(1, static_cast<int>(std::lround(d / time_quantum_ms)));
     max_delay = std::max(max_delay, delay_ticks_[t]);
   }
-  wheel_.assign(static_cast<std::size_t>(max_delay) + 1, {});
+  // Shrink-then-clear-then-grow keeps surviving bucket capacities (the
+  // event-wheel nodes of the pooling contract).
+  const std::size_t wheel_size = static_cast<std::size_t>(max_delay) + 1;
+  if (wheel_.size() > wheel_size) wheel_.resize(wheel_size);
+  for (auto& bucket : wheel_) bucket.clear();
+  wheel_.resize(wheel_size);
 
-  cell_ops_ = swar_cell_ops(module_);
-  dffs_ = swar_dff_ops(module_, *lv_);
-  values_.assign(module_.num_nets(), 0);
+  swar_cell_ops_into(cell_ops_, *module_);
+  swar_dff_ops_into(dffs_, *module_, *lv_);
+  values_.assign(module_->num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
-  cell_epoch_.assign(module_.cells().size(), 0);
-  window_start_.assign(module_.num_nets(), 0);
-  net_window_epoch_.assign(module_.num_nets(), 0);
-  activity_.net_toggles.assign(module_.num_nets(), 0);
-  activity_.net_functional.assign(module_.num_nets(), 0);
+  cell_epoch_.assign(module_->cells().size(), 0);
+  epoch_ = 0;
+  touched_cells_.clear();
+  window_start_.assign(module_->num_nets(), 0);
+  net_window_epoch_.assign(module_->num_nets(), 0);
+  window_nets_.clear();
+  window_epoch_ = 0;
+  count_mask_ = ~std::uint64_t{0};
+  activity_.net_toggles.assign(module_->num_nets(), 0);
+  activity_.net_functional.assign(module_->num_nets(), 0);
   reset();
 }
 
@@ -111,7 +128,7 @@ void BatchEventSimulator::set_port(const Port& port,
 void BatchEventSimulator::set_port(const std::string& name,
                                    const std::uint64_t* values,
                                    std::size_t count) {
-  const Port* port = module_.find_input(name);
+  const Port* port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no input port: " + name);
   set_port(*port, values, count);
 }
@@ -125,7 +142,7 @@ void BatchEventSimulator::set_port_broadcast(const Port& port,
 
 void BatchEventSimulator::set_port_broadcast(const std::string& name,
                                              std::uint64_t value) {
-  const Port* port = module_.find_input(name);
+  const Port* port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no input port: " + name);
   set_port_broadcast(*port, value);
 }
@@ -137,7 +154,7 @@ void BatchEventSimulator::schedule(std::size_t delay_ticks, NetId net,
 }
 
 void BatchEventSimulator::run_wheel(bool count) {
-  const auto& cells = module_.cells();
+  const auto& cells = module_->cells();
   std::uint64_t guard = 0;
   std::uint64_t evals = 0;  // 64-lane cell evaluations this wheel run
   const std::uint64_t kMaxEvents =
@@ -246,16 +263,16 @@ std::uint64_t BatchEventSimulator::port_unsigned(const Port& port,
 
 std::uint64_t BatchEventSimulator::port_unsigned(const std::string& name,
                                                  std::size_t lane) const {
-  const Port* port = module_.find_output(name);
-  if (port == nullptr) port = module_.find_input(name);
+  const Port* port = module_->find_output(name);
+  if (port == nullptr) port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
   return port_unsigned(*port, lane);
 }
 
 std::int64_t BatchEventSimulator::port_signed(const std::string& name,
                                               std::size_t lane) const {
-  const Port* port = module_.find_output(name);
-  if (port == nullptr) port = module_.find_input(name);
+  const Port* port = module_->find_output(name);
+  if (port == nullptr) port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
   return sign_extend_port(port_unsigned(*port, lane), port->nets.size());
 }

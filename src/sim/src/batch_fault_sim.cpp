@@ -15,18 +15,27 @@ using netlist::Port;
 BatchFaultSimulator::BatchFaultSimulator(const netlist::Module& module)
     : BatchFaultSimulator(module, levelize_shared(module)) {}
 
-BatchFaultSimulator::BatchFaultSimulator(const netlist::Module& module,
-                                         std::shared_ptr<const Levelization> lv)
-    : module_(module), lv_(std::move(lv)) {
-  if (lv_ == nullptr) {
+BatchFaultSimulator::BatchFaultSimulator(
+    const netlist::Module& module, std::shared_ptr<const Levelization> lv) {
+  rebind(module, std::move(lv));
+}
+
+void BatchFaultSimulator::rebind(const netlist::Module& module,
+                                 std::shared_ptr<const Levelization> lv) {
+  if (lv == nullptr) {
     throw std::invalid_argument("BatchFaultSimulator: null levelization");
   }
-  ops_ = swar_comb_ops(module_, *lv_);
-  dffs_ = swar_dff_ops(module_, *lv_);
-  values_.assign(module_.num_nets(), 0);
-  force0_.assign(module_.num_nets(), 0);
-  force1_.assign(module_.num_nets(), 0);
+  module_ = &module;
+  lv_ = std::move(lv);
+  swar_comb_ops_into(ops_, *module_, *lv_);
+  swar_dff_ops_into(dffs_, *module_, *lv_);
+  values_.assign(module_->num_nets(), 0);
+  force0_.assign(module_->num_nets(), 0);
+  force1_.assign(module_->num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
+  forced_nets_.clear();
+  num_faults_ = 0;
+  inputs_dirty_ = false;
   reset();
 }
 
@@ -93,7 +102,7 @@ void BatchFaultSimulator::set_port(const Port& port, std::uint64_t value) {
 
 void BatchFaultSimulator::set_port(const std::string& name,
                                    std::uint64_t value) {
-  const Port* port = module_.find_input(name);
+  const Port* port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no input port: " + name);
   set_port(*port, value);
 }
@@ -152,8 +161,8 @@ std::uint64_t BatchFaultSimulator::port_unsigned(const Port& port,
 
 std::uint64_t BatchFaultSimulator::port_unsigned(const std::string& name,
                                                  std::size_t lane) const {
-  const Port* port = module_.find_output(name);
-  if (port == nullptr) port = module_.find_input(name);
+  const Port* port = module_->find_output(name);
+  if (port == nullptr) port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
   return port_unsigned(*port, lane);
 }
@@ -165,8 +174,8 @@ std::int64_t BatchFaultSimulator::port_signed(const Port& port,
 
 std::int64_t BatchFaultSimulator::port_signed(const std::string& name,
                                               std::size_t lane) const {
-  const Port* port = module_.find_output(name);
-  if (port == nullptr) port = module_.find_input(name);
+  const Port* port = module_->find_output(name);
+  if (port == nullptr) port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
   return port_signed(*port, lane);
 }

@@ -17,16 +17,25 @@ BatchSimulator::BatchSimulator(const netlist::Module& module)
     : BatchSimulator(module, levelize_shared(module)) {}
 
 BatchSimulator::BatchSimulator(const netlist::Module& module,
-                               std::shared_ptr<const Levelization> lv)
-    : module_(module), lv_(std::move(lv)) {
-  if (lv_ == nullptr) {
+                               std::shared_ptr<const Levelization> lv) {
+  rebind(module, std::move(lv));
+}
+
+void BatchSimulator::rebind(const netlist::Module& module,
+                            std::shared_ptr<const Levelization> lv) {
+  if (lv == nullptr) {
     throw std::invalid_argument("BatchSimulator: null levelization");
   }
-  ops_ = swar_comb_ops(module_, *lv_);
-  dffs_ = swar_dff_ops(module_, *lv_);
-  values_.assign(module_.num_nets(), 0);
-  toggles_.assign(module_.num_nets(), 0);
+  module_ = &module;
+  lv_ = std::move(lv);
+  swar_comb_ops_into(ops_, *module_, *lv_);
+  swar_dff_ops_into(dffs_, *module_, *lv_);
+  values_.assign(module_->num_nets(), 0);
+  toggles_.assign(module_->num_nets(), 0);
   dff_state_.assign(dffs_.size(), 0);
+  active_mask_ = ~std::uint64_t{0};
+  active_lanes_ = kLanes;
+  inputs_dirty_ = false;
   reset();
 }
 
@@ -82,7 +91,7 @@ void BatchSimulator::set_port(const Port& port, const std::uint64_t* values,
 
 void BatchSimulator::set_port(const std::string& name,
                               const std::uint64_t* values, std::size_t count) {
-  const Port* port = module_.find_input(name);
+  const Port* port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no input port: " + name);
   set_port(*port, values, count);
 }
@@ -95,7 +104,7 @@ void BatchSimulator::set_port_broadcast(const Port& port, std::uint64_t value) {
 
 void BatchSimulator::set_port_broadcast(const std::string& name,
                                         std::uint64_t value) {
-  const Port* port = module_.find_input(name);
+  const Port* port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no input port: " + name);
   set_port_broadcast(*port, value);
 }
@@ -149,8 +158,8 @@ std::uint64_t BatchSimulator::port_unsigned(const Port& port,
 
 std::uint64_t BatchSimulator::port_unsigned(const std::string& name,
                                             std::size_t lane) const {
-  const Port* port = module_.find_output(name);
-  if (port == nullptr) port = module_.find_input(name);
+  const Port* port = module_->find_output(name);
+  if (port == nullptr) port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
   return port_unsigned(*port, lane);
 }
@@ -162,8 +171,8 @@ std::int64_t BatchSimulator::port_signed(const Port& port,
 
 std::int64_t BatchSimulator::port_signed(const std::string& name,
                                          std::size_t lane) const {
-  const Port* port = module_.find_output(name);
-  if (port == nullptr) port = module_.find_input(name);
+  const Port* port = module_->find_output(name);
+  if (port == nullptr) port = module_->find_input(name);
   if (port == nullptr) throw std::invalid_argument("no port: " + name);
   return port_signed(*port, lane);
 }

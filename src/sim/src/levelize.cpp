@@ -9,13 +9,32 @@ using netlist::Cell;
 using netlist::CellType;
 
 Levelization levelize(const netlist::Module& module) {
-  const auto& cells = module.cells();
   Levelization lv;
-  lv.fanout.resize(module.num_nets());
-  lv.net_depth.assign(module.num_nets(), 0);
+  util::Arena scratch;
+  levelize_into(module, lv, scratch);
+  return lv;
+}
 
-  std::vector<int> indegree(cells.size(), 0);
-  const auto drivers = module.driver_map();
+void levelize_into(const netlist::Module& module, Levelization& lv,
+                   util::Arena& scratch) {
+  const auto& cells = module.cells();
+  const std::size_t num_nets = module.num_nets();
+
+  // Reuse the fanout storage: shrink first (dropping only the tail inner
+  // vectors), clear the survivors in place, then grow — same-shaped
+  // modules keep every inner capacity.
+  if (lv.fanout.size() > num_nets) lv.fanout.resize(num_nets);
+  for (auto& f : lv.fanout) f.clear();
+  lv.fanout.resize(num_nets);
+  lv.net_depth.assign(num_nets, 0);
+  lv.comb_order.clear();
+  lv.dffs.clear();
+  lv.max_depth = 0;
+
+  int* const indegree = scratch.alloc<int>(cells.size());
+  std::fill(indegree, indegree + cells.size(), 0);
+  std::int32_t* const drivers = scratch.alloc<std::int32_t>(num_nets);
+  module.driver_map_into({drivers, num_nets});
 
   auto comb_driver = [&](netlist::NetId n) -> std::int32_t {
     const std::int32_t d = drivers[n];
@@ -38,16 +57,17 @@ Levelization levelize(const netlist::Module& module) {
     }
   }
 
-  std::vector<std::uint32_t> ready;
+  // Explicit stack in arena scratch (each comb cell enters at most once).
+  std::uint32_t* const ready = scratch.alloc<std::uint32_t>(cells.size());
+  std::size_t ready_top = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (cells[i].type != CellType::kDff && indegree[i] == 0) {
-      ready.push_back(static_cast<std::uint32_t>(i));
+      ready[ready_top++] = static_cast<std::uint32_t>(i);
     }
   }
   lv.comb_order.reserve(cells.size() - lv.dffs.size());
-  while (!ready.empty()) {
-    const std::uint32_t i = ready.back();
-    ready.pop_back();
+  while (ready_top > 0) {
+    const std::uint32_t i = ready[--ready_top];
     lv.comb_order.push_back(i);
     const Cell& c = cells[i];
     std::uint32_t depth = 0;
@@ -59,7 +79,7 @@ Levelization levelize(const netlist::Module& module) {
     lv.max_depth = std::max(lv.max_depth, depth + 1);
     for (std::uint32_t j : lv.fanout[c.out]) {
       if (cells[j].type == CellType::kDff) continue;
-      if (--indegree[j] == 0) ready.push_back(j);
+      if (--indegree[j] == 0) ready[ready_top++] = j;
     }
   }
   if (lv.comb_order.size() + lv.dffs.size() != cells.size()) {
@@ -67,13 +87,29 @@ Levelization levelize(const netlist::Module& module) {
                              module.name() + "'");
   }
   // `ready`-stack order is already topologically valid, but sorting by depth
-  // makes evaluation cache-friendlier and deterministic.
-  std::stable_sort(lv.comb_order.begin(), lv.comb_order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return lv.net_depth[cells[a].out] <
-                            lv.net_depth[cells[b].out];
-                   });
-  return lv;
+  // makes evaluation cache-friendlier and deterministic.  A stable counting
+  // sort over depths (bounded by max_depth) replaces std::stable_sort,
+  // whose temporary buffer would be a per-call heap allocation.
+  const std::size_t n_comb = lv.comb_order.size();
+  if (n_comb > 1) {
+    const std::size_t buckets = static_cast<std::size_t>(lv.max_depth) + 2;
+    std::uint32_t* const counts = scratch.alloc<std::uint32_t>(buckets);
+    std::fill(counts, counts + buckets, 0);
+    for (const std::uint32_t idx : lv.comb_order) {
+      ++counts[lv.net_depth[cells[idx].out]];
+    }
+    std::uint32_t running = 0;
+    for (std::size_t d = 0; d < buckets; ++d) {
+      const std::uint32_t c = counts[d];
+      counts[d] = running;
+      running += c;
+    }
+    std::uint32_t* const sorted = scratch.alloc<std::uint32_t>(n_comb);
+    for (const std::uint32_t idx : lv.comb_order) {
+      sorted[counts[lv.net_depth[cells[idx].out]]++] = idx;
+    }
+    std::copy(sorted, sorted + n_comb, lv.comb_order.begin());
+  }
 }
 
 std::shared_ptr<const Levelization> levelize_shared(

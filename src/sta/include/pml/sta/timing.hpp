@@ -15,6 +15,7 @@
 #include "pml/cells/library.hpp"
 #include "pml/netlist/module.hpp"
 #include "pml/sim/levelize.hpp"
+#include "pml/util/arena.hpp"
 
 namespace pml::sta {
 
@@ -45,5 +46,15 @@ struct TimingReport {
 [[nodiscard]] TimingReport analyze(
     const netlist::Module& module, const cells::CellLibrary& lib,
     const std::shared_ptr<const sim::Levelization>& lv);
+
+/// Allocation-free form: overwrites `out` (reusing its critical_path and
+/// sink_description capacity) and takes all per-net working arrays from
+/// `scratch` — the caller resets the arena between analyses.  Produces
+/// exactly analyze()'s result.  Used by core::evaluate_circuit's pooled
+/// EvalContext so steady-state timing analysis performs no heap
+/// allocation.
+void analyze_into(TimingReport& out, const netlist::Module& module,
+                  const cells::CellLibrary& lib, const sim::Levelization& lv,
+                  util::Arena& scratch);
 
 }  // namespace pml::sta

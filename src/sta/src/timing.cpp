@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace pml::sta {
 
@@ -20,16 +21,34 @@ TimingReport analyze(const netlist::Module& module,
   if (lv_ptr == nullptr) {
     throw std::invalid_argument("sta::analyze: null levelization");
   }
-  const sim::Levelization& lv = *lv_ptr;
+  TimingReport report;
+  util::Arena scratch;
+  analyze_into(report, module, lib, *lv_ptr, scratch);
+  return report;
+}
+
+void analyze_into(TimingReport& out, const netlist::Module& module,
+                  const cells::CellLibrary& lib, const sim::Levelization& lv,
+                  util::Arena& scratch) {
   const auto& cells = module.cells();
+  const std::size_t num_nets = module.num_nets();
+
+  out.critical_path_ms = 0.0;
+  out.max_frequency_hz = 0.0;
+  out.logic_depth = 0;
+  out.critical_path.clear();
+  out.sink_description.clear();
 
   const double clk_to_q = lib.params(CellType::kDff).delay_ms;
   const double setup = lib.calibration().dff_setup_ms;
 
-  std::vector<double> arrival(module.num_nets(), 0.0);
+  double* const arrival = scratch.alloc<double>(num_nets);
   // Predecessor net on the longest path into each net; -1 for sources.
-  std::vector<std::int64_t> pred(module.num_nets(), -1);
-  std::vector<std::int32_t> via_cell(module.num_nets(), -1);
+  std::int64_t* const pred = scratch.alloc<std::int64_t>(num_nets);
+  std::int32_t* const via_cell = scratch.alloc<std::int32_t>(num_nets);
+  std::fill(arrival, arrival + num_nets, 0.0);
+  std::fill(pred, pred + num_nets, std::int64_t{-1});
+  std::fill(via_cell, via_cell + num_nets, std::int32_t{-1});
 
   const double kf0 = lib.calibration().fanout_delay_factor;
   auto source_load = [&](netlist::NetId n) {
@@ -76,35 +95,51 @@ TimingReport analyze(const netlist::Module& module,
     via_cell[c.out] = static_cast<std::int32_t>(idx);
   }
 
-  TimingReport report;
+  // Track the worst sink's *identity* here and render the description once
+  // at the end — building a string per candidate sink would allocate.
   NetId worst_net = netlist::kInvalidNet;
-  auto consider = [&](NetId n, double extra, const std::string& what) {
+  const netlist::Port* worst_port = nullptr;
+  std::size_t worst_bit = 0;
+  bool worst_is_dff = false;
+  auto consider = [&](NetId n, double extra, const netlist::Port* port,
+                      std::size_t bit, bool is_dff) {
     const double t = arrival[n] + extra;
-    if (t > report.critical_path_ms) {
-      report.critical_path_ms = t;
+    if (t > out.critical_path_ms) {
+      out.critical_path_ms = t;
       worst_net = n;
-      report.sink_description = what;
+      worst_port = port;
+      worst_bit = bit;
+      worst_is_dff = is_dff;
     }
   };
   for (const auto& port : module.output_ports()) {
     for (std::size_t b = 0; b < port.nets.size(); ++b) {
-      consider(port.nets[b], 0.0,
-               "output '" + port.name + "' bit " + std::to_string(b));
+      consider(port.nets[b], 0.0, &port, b, false);
     }
   }
   for (const std::uint32_t idx : lv.dffs) {
-    consider(cells[idx].in[0], setup, "DFF D pin (setup)");
+    consider(cells[idx].in[0], setup, nullptr, 0, true);
   }
 
-  if (report.critical_path_ms <= 0.0) {
+  if (out.critical_path_ms <= 0.0) {
     // Fully constant design; report a nominal single-gate period.
-    report.critical_path_ms = lib.params(CellType::kBuf).delay_ms;
-    report.sink_description = "(constant design)";
+    out.critical_path_ms = lib.params(CellType::kBuf).delay_ms;
+    out.sink_description = "(constant design)";
+  } else if (worst_is_dff) {
+    out.sink_description = "DFF D pin (setup)";
+  } else if (worst_port != nullptr) {
+    out.sink_description.append("output '");
+    out.sink_description.append(worst_port->name);
+    out.sink_description.append("' bit ");
+    // Small-string append: bit indices stay within SSO capacity.
+    out.sink_description.append(std::to_string(worst_bit));
   }
-  report.max_frequency_hz = 1000.0 / report.critical_path_ms;
+  out.max_frequency_hz = 1000.0 / out.critical_path_ms;
 
-  // Walk predecessors to extract the critical path (sink -> source).
-  std::vector<PathStep> rev;
+  // Walk predecessors to extract the critical path (sink -> source), then
+  // reverse-copy into the reused output vector.
+  PathStep* const rev = scratch.alloc<PathStep>(num_nets);
+  std::size_t rev_len = 0;
   std::int64_t n = (worst_net == netlist::kInvalidNet)
                        ? -1
                        : static_cast<std::int64_t>(worst_net);
@@ -114,18 +149,19 @@ TimingReport analyze(const netlist::Module& module,
     step.arrival_ms = arrival[static_cast<std::size_t>(n)];
     const std::int32_t ci = via_cell[static_cast<std::size_t>(n)];
     if (ci >= 0) step.through = cells[static_cast<std::size_t>(ci)].type;
-    rev.push_back(step);
+    rev[rev_len++] = step;
     if (ci < 0) break;
     n = pred[static_cast<std::size_t>(n)];
   }
-  report.critical_path.assign(rev.rbegin(), rev.rend());
+  for (std::size_t i = rev_len; i > 0; --i) {
+    out.critical_path.push_back(rev[i - 1]);
+  }
   // Depth counts gates traversed; the path also contains the source net.
   int depth = 0;
-  for (const auto& step : report.critical_path) {
+  for (const auto& step : out.critical_path) {
     if (via_cell[step.net] >= 0) ++depth;
   }
-  report.logic_depth = depth;
-  return report;
+  out.logic_depth = depth;
 }
 
 }  // namespace pml::sta

@@ -1,0 +1,305 @@
+#include "pml/svc/sweep_service.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pml/obs/manifest.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
+#include "pml/util/parallel.hpp"
+
+namespace pml::svc {
+
+namespace {
+
+void digest_module(obs::Fnv1a& h, const netlist::Module& m) {
+  // Structure only — the module name is presentation, not behavior.
+  h.update_u64(m.num_nets());
+  const auto& cells = m.cells();
+  h.update_u64(cells.size());
+  for (const netlist::Cell& c : cells) {
+    h.update_u64(static_cast<std::uint64_t>(c.type));
+    h.update_u64(static_cast<std::uint64_t>(c.in[0]));
+    h.update_u64(static_cast<std::uint64_t>(c.in[1]));
+    h.update_u64(static_cast<std::uint64_t>(c.in[2]));
+    h.update_u64(static_cast<std::uint64_t>(c.out));
+    h.update_u64(static_cast<std::uint64_t>(c.group));
+    h.update_u64(c.dff_init ? 1 : 0);
+  }
+  for (const auto& ports : {m.input_ports(), m.output_ports()}) {
+    h.update_u64(ports.size());
+    for (const netlist::Port& p : ports) {
+      h.update_u64(p.name.size());
+      h.update(p.name);
+      h.update_u64(p.nets.size());
+      for (const auto net : p.nets) {
+        h.update_u64(static_cast<std::uint64_t>(net));
+      }
+    }
+  }
+  h.update_u64(m.group_names().size());
+  for (const std::string& g : m.group_names()) {
+    h.update_u64(g.size());
+    h.update(g);
+  }
+}
+
+void digest_workload(obs::Fnv1a& h, const core::CircuitWorkload& w) {
+  h.update_u64(w.feature_codes.size());
+  for (const auto& row : w.feature_codes) {
+    h.update_u64(row.size());
+    for (const std::int64_t code : row) {
+      h.update_u64(static_cast<std::uint64_t>(code));
+    }
+  }
+  h.update_u64(w.expected_class.size());
+  for (const int cls : w.expected_class) {
+    h.update_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(cls)));
+  }
+}
+
+// Only the options that can change a HardwareReport field participate.
+// Threading knobs (verify.num_threads, power_threads) are deliberately
+// excluded: the determinism contract of evaluate_circuit guarantees they
+// cannot affect results, so requests differing only in thread counts share
+// one cache entry.  validate_module likewise (validation can only throw,
+// never change a result).
+void digest_options(obs::Fnv1a& h, const core::EvaluateOptions& o) {
+  h.update_u64(o.power_samples);
+  h.update_u64(o.power_chunk_samples);
+  h.update_f64(o.time_quantum_ms);
+  h.update_u64(o.require_bit_exact ? 1 : 0);
+  h.update_u64(o.verify.max_mismatches);
+  h.update_u64(o.flow_probe_samples);
+  h.update_u64(o.optimize.enabled ? 1 : 0);
+  h.update_u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(o.optimize.max_iterations)));
+  h.update_f64(o.optimize.cost_tolerance);
+  h.update_u64(o.optimize.flow.size());
+  h.update(o.optimize.flow);
+}
+
+}  // namespace
+
+std::uint64_t SweepService::cache_key(const SweepRequest& request) {
+  if (!request.module || !request.workload) {
+    throw std::invalid_argument(
+        "SweepService::cache_key: null module or workload");
+  }
+  obs::Fnv1a h;
+  // Version tag: bump when the digest schema or evaluation semantics
+  // change, so stale keys from older builds can never collide.
+  h.update("pml.svc.v1");
+  h.update_u64(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(request.cycles_per_inference)));
+  h.update_u64(request.flow.size());
+  h.update(request.flow);
+  digest_options(h, request.options);
+  digest_module(h, *request.module);
+  digest_workload(h, *request.workload);
+  return h.digest();
+}
+
+SweepService::SweepService(const cells::CellLibrary& lib)
+    : SweepService(lib, Options{}) {}
+
+SweepService::SweepService(const cells::CellLibrary& lib, Options options)
+    : lib_(lib), options_(options) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  for (std::size_t i = 0; i < options_.num_workers; ++i) {
+    contexts_.emplace_back();
+  }
+  // run_workers owns the thread lifecycle (spawn, error drain, join); the
+  // pump thread exists so the num_workers == 1 inline path still runs off
+  // the caller's thread.
+  pump_ = std::thread([this] {
+    try {
+      util::run_workers(options_.num_workers, claim_, 0,
+                        [this](std::size_t slot) { worker_loop(slot); });
+    } catch (...) {
+      // Worker *spawn* failure (worker_loop itself never throws).  Fail
+      // every job that would otherwise wait forever.
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+      for (Job* job : queue_) {
+        job->state = JobState::kDone;
+        job->error = std::current_exception();
+        ++stats_.errors;
+      }
+      queue_.clear();
+      done_cv_.notify_all();
+    }
+  });
+}
+
+SweepService::~SweepService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (pump_.joinable()) pump_.join();
+}
+
+void SweepService::worker_loop(std::size_t slot) {
+  core::EvalContext& ctx = contexts_[slot];
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, nothing left to claim
+      job = queue_.front();
+      queue_.pop_front();
+      job->state = JobState::kRunning;
+    }
+    try {
+      core::EvaluateOptions opts = job->request.options;
+      // The service validated at submit(); workers run the lean path.
+      opts.validate_module = false;
+      if (!job->request.flow.empty()) {
+        opts.optimize.enabled = true;
+        opts.optimize.flow = job->request.flow;
+      }
+      if (options_.eval_threads != 0) {
+        opts.verify.num_threads = options_.eval_threads;
+        opts.power_threads = options_.eval_threads;
+      } else if (options_.num_workers > 1) {
+        // Concurrent jobs: keep each evaluation single-threaded so the
+        // pool is the only source of parallelism.
+        opts.verify.num_threads = 1;
+        opts.power_threads = 1;
+      }
+      core::evaluate_circuit_into(ctx, job->report, *job->request.module,
+                                  job->request.cycles_per_inference, lib_,
+                                  *job->request.workload, opts);
+    } catch (...) {
+      job->error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job->state = JobState::kDone;
+      ++stats_.evaluated;
+      if (job->error) ++stats_.errors;
+      // Drop the request's shared ownership now that the result (or the
+      // error) is cached — keeps module/workload lifetimes tied to the
+      // caller, not the cache.
+      job->request.module.reset();
+      job->request.workload.reset();
+    }
+    done_cv_.notify_all();
+  }
+}
+
+SweepTicket SweepService::submit(SweepRequest request) {
+  if (!request.module || !request.workload) {
+    throw std::invalid_argument("SweepService::submit: null module/workload");
+  }
+  const std::uint64_t key = cache_key(request);
+  bool need_validate = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.submitted;
+    PML_OBS_COUNT("svc.jobs.submitted", 1);
+    auto it = jobs_.find(key);
+    if (it != jobs_.end()) {
+      if (it->second->state == JobState::kDone) {
+        ++stats_.cache_hits;
+        PML_OBS_COUNT("svc.cache.hits", 1);
+      } else {
+        ++stats_.inflight_deduped;
+        PML_OBS_COUNT("svc.jobs.deduped", 1);
+      }
+      return SweepTicket{key};
+    }
+    need_validate = true;
+  }
+  // Validate outside the lock (it walks the whole netlist); a throw here
+  // leaves the service untouched beyond the `submitted` count.
+  if (need_validate) {
+    if (const auto err = request.module->validate()) {
+      throw std::runtime_error("SweepService::submit: invalid module: " +
+                               *err);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // Re-check: an identical request may have been submitted while we
+    // validated.
+    auto it = jobs_.find(key);
+    if (it != jobs_.end()) {
+      if (it->second->state == JobState::kDone) {
+        ++stats_.cache_hits;
+        PML_OBS_COUNT("svc.cache.hits", 1);
+      } else {
+        ++stats_.inflight_deduped;
+        PML_OBS_COUNT("svc.jobs.deduped", 1);
+      }
+      return SweepTicket{key};
+    }
+    auto job = std::make_unique<Job>();
+    job->request = std::move(request);
+    Job* raw = job.get();
+    jobs_.emplace(key, std::move(job));
+    queue_.push_back(raw);
+    ++stats_.cache_misses;
+    PML_OBS_COUNT("svc.cache.misses", 1);
+  }
+  work_cv_.notify_one();
+  return SweepTicket{key};
+}
+
+core::HardwareReport SweepService::wait(const SweepTicket& ticket) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = jobs_.find(ticket.key);
+  if (it == jobs_.end()) {
+    throw std::invalid_argument(
+        "SweepService::wait: unknown ticket (not issued by this service)");
+  }
+  Job& job = *it->second;  // stable: jobs_ never erases entries
+  done_cv_.wait(lk, [&job] { return job.state == JobState::kDone; });
+  if (job.error) std::rethrow_exception(job.error);
+  return job.report;
+}
+
+core::HardwareReport SweepService::evaluate(SweepRequest request) {
+  return wait(submit(std::move(request)));
+}
+
+std::vector<core::FlowSweepRow> SweepService::sweep_flows(
+    std::shared_ptr<const netlist::Module> raw_module,
+    int cycles_per_inference,
+    std::shared_ptr<const core::CircuitWorkload> workload,
+    const core::EvaluateOptions& base_options,
+    const std::vector<std::string>& flows) {
+  PML_OBS_SPAN("svc.sweep_flows");
+  std::vector<SweepTicket> tickets;
+  tickets.reserve(flows.size());
+  for (const std::string& flow : flows) {
+    SweepRequest req;
+    req.module = raw_module;
+    req.cycles_per_inference = cycles_per_inference;
+    req.workload = workload;
+    req.flow = flow;
+    req.options = base_options;
+    tickets.push_back(submit(std::move(req)));
+  }
+  std::vector<core::FlowSweepRow> rows;
+  rows.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    core::FlowSweepRow row;
+    row.flow = flows[i];
+    row.hw = wait(tickets[i]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+SweepStats SweepService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  SweepStats out = stats_;
+  out.cache_entries = jobs_.size();
+  return out;
+}
+
+}  // namespace pml::svc

@@ -1,0 +1,14 @@
+#include "pml/util/alloc_hook.hpp"
+
+namespace pml::util {
+
+namespace {
+// Trivially constructed/destroyed, so reading it is safe from any point
+// in a replacement operator new — including allocations made during
+// static initialization.
+thread_local std::uint64_t g_thread_allocs = 0;
+}  // namespace
+
+std::uint64_t& thread_alloc_count() noexcept { return g_thread_allocs; }
+
+}  // namespace pml::util

@@ -1,0 +1,119 @@
+// Steady-state zero-allocation proof for the evaluation core.
+//
+// This binary installs the counting operator-new hook, warms an
+// EvalContext with two evaluations (the first binds the pools, the
+// second settles string/vector high-water marks), then asserts the
+// third evaluation performs literally zero heap allocations on the
+// calling thread under the documented contract: single-threaded
+// verify + power, optimizer off, validation skipped, no tracer.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "pml/util/alloc_hook.hpp"
+
+PML_INSTALL_COUNTING_ALLOC_HOOK;
+
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/core/evaluate.hpp"
+#include "pml/quant/svm_quant.hpp"
+
+namespace pml::core {
+namespace {
+
+quant::QuantizedSvm tiny_model() {
+  quant::QuantizedSvm q;
+  q.strategy = ml::MulticlassStrategy::kOneVsRest;
+  q.num_classes = 3;
+  q.input_format = quant::input_format(3);
+  q.weight_format =
+      fixed::FixedFormat{.total_bits = 4, .frac_bits = 3, .is_signed = true};
+  q.classifiers = {quant::QuantizedClassifier{{3, -2}, 1},
+                   quant::QuantizedClassifier{{-1, 4}, 0},
+                   quant::QuantizedClassifier{{2, 2}, -3}};
+  return q;
+}
+
+CircuitWorkload tiny_workload(const quant::QuantizedSvm& q) {
+  CircuitWorkload wl;
+  for (std::int64_t a = 0; a <= 7; ++a) {
+    for (std::int64_t b = 0; b <= 7; ++b) {
+      wl.feature_codes.push_back({a, b});
+      wl.expected_class.push_back(q.predict_codes({a, b}));
+    }
+  }
+  return wl;
+}
+
+EvaluateOptions zero_alloc_options() {
+  EvaluateOptions opts;
+  opts.verify.num_threads = 1;
+  opts.power_threads = 1;
+  opts.optimize.enabled = false;
+  opts.validate_module = false;
+  return opts;
+}
+
+TEST(EvalAlloc, HookIsLive) {
+  const std::uint64_t before = util::thread_alloc_count();
+  auto v = std::make_unique<std::vector<int>>(256);
+  v->push_back(1);
+  EXPECT_GT(util::thread_alloc_count(), before);
+}
+
+TEST(EvalAlloc, SteadyStateEvaluationIsAllocationFree) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  const auto wl = tiny_workload(q);
+  const auto opts = zero_alloc_options();
+
+  EvalContext ctx;
+  HardwareReport rep;
+  // Warm-up: bind pools, then settle every capacity high-water mark.
+  evaluate_circuit_into(ctx, rep, circuit.module, circuit.cycles_per_inference,
+                        lib, wl, opts);
+  evaluate_circuit_into(ctx, rep, circuit.module, circuit.cycles_per_inference,
+                        lib, wl, opts);
+
+  const std::uint64_t before = util::thread_alloc_count();
+  evaluate_circuit_into(ctx, rep, circuit.module, circuit.cycles_per_inference,
+                        lib, wl, opts);
+  const std::uint64_t steady_allocs = util::thread_alloc_count() - before;
+  EXPECT_EQ(steady_allocs, 0u);
+
+  // The pooled evaluation still produced a full, correct report.
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.verified_samples, wl.feature_codes.size());
+  EXPECT_GT(rep.energy_mj, 0.0);
+}
+
+TEST(EvalAlloc, PooledAndFreshReportsAgree) {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  const auto lib = cells::CellLibrary::egfet();
+  const auto wl = tiny_workload(q);
+  const auto opts = zero_alloc_options();
+
+  const HardwareReport fresh = evaluate_circuit(
+      circuit.module, circuit.cycles_per_inference, lib, wl, opts);
+
+  EvalContext ctx;
+  HardwareReport pooled;
+  for (int i = 0; i < 3; ++i) {
+    evaluate_circuit_into(ctx, pooled, circuit.module,
+                          circuit.cycles_per_inference, lib, wl, opts);
+  }
+  EXPECT_EQ(pooled.energy_mj, fresh.energy_mj);
+  EXPECT_EQ(pooled.area_cm2, fresh.area_cm2);
+  EXPECT_EQ(pooled.frequency_hz, fresh.frequency_hz);
+  EXPECT_EQ(pooled.functional_transitions, fresh.functional_transitions);
+  EXPECT_EQ(pooled.glitch_transitions, fresh.glitch_transitions);
+  EXPECT_EQ(pooled.logic_depth, fresh.logic_depth);
+  EXPECT_EQ(pooled.num_cells, fresh.num_cells);
+}
+
+}  // namespace
+}  // namespace pml::core

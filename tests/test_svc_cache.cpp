@@ -1,0 +1,209 @@
+// Cache-key digest contract of svc::SweepService: keys are content hashes
+// — every result-relevant difference moves the key, every cosmetic or
+// result-irrelevant one does not — and a cache hit returns a report
+// field-for-field identical to a fresh evaluation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "pml/arch/sequential_svm.hpp"
+#include "pml/core/evaluate.hpp"
+#include "pml/quant/svm_quant.hpp"
+#include "pml/svc/sweep_service.hpp"
+
+namespace pml::svc {
+namespace {
+
+quant::QuantizedSvm tiny_model() {
+  quant::QuantizedSvm q;
+  q.strategy = ml::MulticlassStrategy::kOneVsRest;
+  q.num_classes = 3;
+  q.input_format = quant::input_format(3);
+  q.weight_format =
+      fixed::FixedFormat{.total_bits = 4, .frac_bits = 3, .is_signed = true};
+  q.classifiers = {quant::QuantizedClassifier{{3, -2}, 1},
+                   quant::QuantizedClassifier{{-1, 4}, 0},
+                   quant::QuantizedClassifier{{2, 2}, -3}};
+  return q;
+}
+
+std::shared_ptr<const core::CircuitWorkload> tiny_workload(
+    const quant::QuantizedSvm& q) {
+  auto wl = std::make_shared<core::CircuitWorkload>();
+  for (std::int64_t a = 0; a <= 7; ++a) {
+    for (std::int64_t b = 0; b <= 7; ++b) {
+      wl->feature_codes.push_back({a, b});
+      wl->expected_class.push_back(q.predict_codes({a, b}));
+    }
+  }
+  return wl;
+}
+
+SweepRequest tiny_request() {
+  const auto q = tiny_model();
+  auto circuit = arch::build_sequential_svm(q);
+  SweepRequest req;
+  req.module =
+      std::make_shared<const netlist::Module>(std::move(circuit.module));
+  req.cycles_per_inference = circuit.cycles_per_inference;
+  req.workload = tiny_workload(q);
+  return req;
+}
+
+/// A tiny hand-built two-gate module; the knobs select the structural
+/// variations the digest must distinguish.
+std::shared_ptr<const netlist::Module> two_gate_module(
+    const std::string& name, bool swap_creation_order, bool use_or) {
+  auto m = std::make_shared<netlist::Module>(name);
+  const auto a = m->add_input_port("x0", 1);
+  const auto b = m->add_input_port("x1", 1);
+  netlist::NetId first, second;
+  if (!swap_creation_order) {
+    first = use_or ? m->or2(a[0], b[0]) : m->and2(a[0], b[0]);
+    second = m->xor2(a[0], b[0]);
+  } else {
+    second = m->xor2(a[0], b[0]);
+    first = use_or ? m->or2(a[0], b[0]) : m->and2(a[0], b[0]);
+  }
+  m->add_output_port("class", {first, second});
+  return m;
+}
+
+SweepRequest raw_request(std::shared_ptr<const netlist::Module> module) {
+  SweepRequest req;
+  req.module = std::move(module);
+  req.cycles_per_inference = 1;
+  auto wl = std::make_shared<core::CircuitWorkload>();
+  wl->feature_codes.push_back({0, 1});
+  wl->expected_class.push_back(0);
+  req.workload = std::move(wl);
+  return req;
+}
+
+TEST(SvcCacheKey, IdenticalRequestsDigestIdentically) {
+  const auto r1 = tiny_request();
+  const auto r2 = tiny_request();  // independently rebuilt, same content
+  EXPECT_EQ(SweepService::cache_key(r1), SweepService::cache_key(r2));
+}
+
+TEST(SvcCacheKey, ModuleNameIsCosmetic) {
+  const auto k1 = SweepService::cache_key(
+      raw_request(two_gate_module("top", false, false)));
+  const auto k2 = SweepService::cache_key(
+      raw_request(two_gate_module("renamed", false, false)));
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(SvcCacheKey, SingleGateChangesKey) {
+  const auto k_and = SweepService::cache_key(
+      raw_request(two_gate_module("top", false, false)));
+  const auto k_or = SweepService::cache_key(
+      raw_request(two_gate_module("top", false, true)));
+  EXPECT_NE(k_and, k_or);
+}
+
+TEST(SvcCacheKey, NetOrderChangesKey) {
+  // Same gates, created in a different order: the nets they drive get
+  // different indices, so the structure (and the key) differs.
+  const auto k1 = SweepService::cache_key(
+      raw_request(two_gate_module("top", false, false)));
+  const auto k2 = SweepService::cache_key(
+      raw_request(two_gate_module("top", true, false)));
+  EXPECT_NE(k1, k2);
+}
+
+TEST(SvcCacheKey, WorkloadSamplesChangeKey) {
+  const auto base = tiny_request();
+  auto altered = base;
+  auto wl = std::make_shared<core::CircuitWorkload>(*base.workload);
+  wl->feature_codes[0][0] ^= 1;  // one feature code of one sample
+  altered.workload = std::move(wl);
+  EXPECT_NE(SweepService::cache_key(base), SweepService::cache_key(altered));
+}
+
+TEST(SvcCacheKey, FlowNameChangesKey) {
+  auto r1 = tiny_request();
+  auto r2 = r1;
+  r1.flow = "area";
+  r2.flow = "energy";
+  EXPECT_NE(SweepService::cache_key(r1), SweepService::cache_key(r2));
+}
+
+TEST(SvcCacheKey, ResultRelevantOptionsChangeKey) {
+  auto r1 = tiny_request();
+  auto r2 = r1;
+  r2.options.power_samples += 1;
+  EXPECT_NE(SweepService::cache_key(r1), SweepService::cache_key(r2));
+}
+
+TEST(SvcCacheKey, ThreadingKnobsDoNotChangeKey) {
+  // evaluate_circuit's determinism contract: thread counts cannot change
+  // any result field, so they must not fragment the cache.
+  auto r1 = tiny_request();
+  auto r2 = r1;
+  r2.options.power_threads = 7;
+  r2.options.verify.num_threads = 3;
+  r2.options.validate_module = false;
+  EXPECT_EQ(SweepService::cache_key(r1), SweepService::cache_key(r2));
+}
+
+void expect_reports_identical(const core::HardwareReport& a,
+                              const core::HardwareReport& b) {
+  // Exact comparisons, doubles included: both sides came from the same
+  // deterministic pipeline, so even the last ulp must agree.
+  EXPECT_EQ(a.area_cm2, b.area_cm2);
+  EXPECT_EQ(a.power_mw, b.power_mw);
+  EXPECT_EQ(a.frequency_hz, b.frequency_hz);
+  EXPECT_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_EQ(a.static_mw, b.static_mw);
+  EXPECT_EQ(a.dynamic_mw, b.dynamic_mw);
+  EXPECT_EQ(a.dynamic_glitch_mw, b.dynamic_glitch_mw);
+  EXPECT_EQ(a.functional_transitions, b.functional_transitions);
+  EXPECT_EQ(a.glitch_transitions, b.glitch_transitions);
+  EXPECT_EQ(a.logic_depth, b.logic_depth);
+  EXPECT_EQ(a.num_cells, b.num_cells);
+  EXPECT_EQ(a.num_dffs, b.num_dffs);
+  EXPECT_EQ(a.cycles_per_inference, b.cycles_per_inference);
+  EXPECT_EQ(a.verified, b.verified);
+  EXPECT_EQ(a.verified_samples, b.verified_samples);
+  EXPECT_EQ(a.verified_mismatches, b.verified_mismatches);
+  EXPECT_EQ(a.opt_flow, b.opt_flow);
+  EXPECT_EQ(a.opt_cost_probes, b.opt_cost_probes);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].name, b.groups[g].name);
+    EXPECT_EQ(a.groups[g].cells, b.groups[g].cells);
+    EXPECT_EQ(a.groups[g].area_cm2, b.groups[g].area_cm2);
+    EXPECT_EQ(a.groups[g].static_mw, b.groups[g].static_mw);
+    EXPECT_EQ(a.groups[g].dynamic_mw, b.groups[g].dynamic_mw);
+    EXPECT_EQ(a.groups[g].glitch_mw, b.groups[g].glitch_mw);
+  }
+  EXPECT_EQ(a.post_opt_stats.num_cells, b.post_opt_stats.num_cells);
+  EXPECT_EQ(a.post_opt_stats.num_nets, b.post_opt_stats.num_nets);
+  EXPECT_EQ(a.post_opt_stats.num_dffs, b.post_opt_stats.num_dffs);
+}
+
+TEST(SvcCache, CachedReportIdenticalToFreshEvaluation) {
+  const auto lib = cells::CellLibrary::egfet();
+  SweepService service(lib);
+  const auto req = tiny_request();
+
+  const core::HardwareReport first = service.evaluate(req);
+  const core::HardwareReport cached = service.evaluate(req);
+
+  const SweepStats stats = service.stats();
+  EXPECT_EQ(stats.evaluated, 1u);
+  EXPECT_GE(stats.cache_hits, 1u);
+
+  // The cache hit is a copy of the one real evaluation...
+  expect_reports_identical(first, cached);
+  // ...and that evaluation matches a from-scratch evaluate_circuit.
+  const core::HardwareReport fresh = core::evaluate_circuit(
+      *req.module, req.cycles_per_inference, lib, *req.workload, req.options);
+  expect_reports_identical(fresh, cached);
+}
+
+}  // namespace
+}  // namespace pml::svc
