@@ -22,7 +22,9 @@ from the baseline's recorded run, printed for context but never gated.
 
 A gated metric missing from the current record, or declared with a
 non-numeric value in the baseline, is an error — a silently vanished
-metric must never read as a pass.  Every CURRENT/BASELINE pair is
+metric must never read as a pass.  So is a NaN or infinite value on
+either side: every float comparison against NaN is false, which would
+make a bench that divides by zero sail through the regression check.  Every CURRENT/BASELINE pair is
 processed even when an earlier pair is unreadable or regressed, so one
 run reports the complete regression list.
 
@@ -36,6 +38,7 @@ record, 0 otherwise.  Stdlib only.
 """
 
 import json
+import math
 import sys
 
 
@@ -83,12 +86,28 @@ def check_pair(current_path, baseline_path, rows, failures):
                             f"baseline value in {baseline_path} "
                             f"(got {base_value!r})")
             continue
+        if not math.isfinite(base_value):
+            rows.append((bench, metric, f"{base_value:.6g}", "-", "-",
+                         "NON-FINITE"))
+            failures.append(f"{bench}: gated metric '{metric}' has a "
+                            f"non-finite baseline value {base_value!r} in "
+                            f"{baseline_path}")
+            continue
         cur_value = lookup(current, metric)
         if cur_value is None:
             rows.append((bench, metric, f"{base_value:.6g}", "missing", "-",
                          "NO-CURRENT"))
             failures.append(f"{bench}: gated metric '{metric}' is missing "
                             f"from (or non-numeric in) {current_path}; "
+                            f"baseline was {base_value:.6g}")
+            continue
+        if not math.isfinite(cur_value):
+            # NaN compares false against everything, so without this check
+            # a NaN metric would silently pass the regression comparison.
+            rows.append((bench, metric, f"{base_value:.6g}",
+                         f"{cur_value:.6g}", "-", "NON-FINITE"))
+            failures.append(f"{bench}: gated metric '{metric}' is non-finite "
+                            f"in {current_path} (got {cur_value!r}); "
                             f"baseline was {base_value:.6g}")
             continue
         pct = percent(cur_value, base_value)

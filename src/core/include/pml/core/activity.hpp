@@ -53,6 +53,9 @@ struct ActivityOptions {
   /// context must not be shared with a concurrent evaluation; nullptr
   /// allocates per-call scratch as before.
   EvalContext* context = nullptr;
+  /// Optional cooperative cancellation, checked between worker batches
+  /// (throws util::Cancelled).  Null = no checks.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// Replay the first `num_samples` workload samples (clamped to the

@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -84,6 +85,15 @@ class EvalContext {
   sta::TimingReport timing;
   power::PowerReport power;
   netlist::Module module_scratch;  ///< the optimizer's working copy
+
+  /// Test-only chaos hook: when set, evaluate_circuit_into calls it at
+  /// every phase boundary with the phase name ("evaluate.verify", ...)
+  /// BEFORE running the phase.  The chaos suite uses it to throw
+  /// mid-evaluation and prove the pooled context recovers (the next
+  /// evaluation on the same context must succeed).  Null in production;
+  /// the null check is one branch, so the zero-allocation contract
+  /// holds.
+  std::function<void(const char* phase)> chaos_phase_hook;
 
  private:
   sim::Levelization lv_;

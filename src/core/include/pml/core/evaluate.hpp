@@ -65,6 +65,14 @@ struct EvaluateOptions {
   /// simulator to price candidate netlists by measured switching energy.
   /// Capped at 64 (one lane each); 0 falls back to the cell-count model.
   std::size_t flow_probe_samples = 48;
+  /// Optional cooperative cancellation: checked at every phase boundary
+  /// (optimize -> levelize -> verify -> sta -> activity -> power) and
+  /// threaded into the verify/activity worker batch loops, so a cancel
+  /// request or expired deadline aborts the evaluation with
+  /// util::Cancelled at the next checkpoint instead of running the
+  /// remaining phases.  Null (the default) adds one branch per phase —
+  /// the zero-allocation and throughput contracts are unaffected.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// Evaluate `module` (inputs "x0".."x{m-1}", output "class") over the

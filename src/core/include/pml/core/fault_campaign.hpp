@@ -64,6 +64,10 @@ struct FaultCampaignOptions {
   /// Optional pre-derived levelization shared with the caller's other
   /// analyses; nullptr derives one internally.
   std::shared_ptr<const sim::Levelization> levelization;
+  /// Optional cooperative cancellation, checked between worker batches
+  /// (throws util::Cancelled) — a multi-hour campaign can be abandoned
+  /// at the next 63-variant batch boundary.  Null = no checks.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 struct FaultVariantResult {

@@ -23,6 +23,7 @@
 
 #include "pml/netlist/module.hpp"
 #include "pml/sim/levelize.hpp"
+#include "pml/util/cancellation.hpp"
 
 namespace pml::core {
 
@@ -51,6 +52,11 @@ struct VerifyOptions {
   /// evaluate_circuit.  The context must not be shared with a concurrent
   /// evaluation; nullptr allocates per-call scratch as before.
   EvalContext* context = nullptr;
+  /// Optional cooperative cancellation: workers check between batches
+  /// and throw util::Cancelled, so a cancel/deadline stops the sweep at
+  /// the next batch boundary instead of running to completion.  Null
+  /// (the default) costs one branch per batch.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 struct VerifyMismatch {

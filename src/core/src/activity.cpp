@@ -173,6 +173,8 @@ void collect_activity_into(sim::ActivityStats& out,
     if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
     bsim.rebind(module, lib, options.time_quantum_ms, lv);
     for (;;) {
+      // Cancellation checkpoint between batches (see verify_workload).
+      if (options.cancel != nullptr) options.cancel->check("activity.batch");
       const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_batches) return;
       PML_OBS_COUNT("sim.batch_event.batches", 1);

@@ -92,6 +92,15 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   const std::uint64_t allocs_before = util::thread_alloc_count();
   rep.cycles_per_inference = cycles_per_inference;
 
+  // Phase gate: the chaos hook (test-only injection between phases) and
+  // the cancellation checkpoint.  Both are null in production, so this
+  // is two branches per phase.
+  const auto phase_gate = [&](const char* phase) {
+    if (ctx.chaos_phase_hook) ctx.chaos_phase_hook(phase);
+    if (options.cancel != nullptr) options.cancel->check(phase);
+  };
+  phase_gate("evaluate");
+
   // Opt flow on a copy (the caller's module is untouched), so every
   // downstream analysis — verification, STA, activity replay, power —
   // sees the optimized netlist.  Already-optimized modules converge in
@@ -102,6 +111,7 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   module.stats_into(rep.pre_opt_stats);
   const netlist::Module* mp = &module;
   if (options.optimize.enabled) {
+    phase_gate("evaluate.optimize");
     PML_OBS_SPAN("evaluate.optimize");
     ctx.module_scratch = module;
     const bool wants_cost =
@@ -138,6 +148,7 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   // One levelization per circuit, shared by the batch-verification workers
   // and the event simulator below instead of re-derived per simulator —
   // pooled in the context (arena-backed scratch, reused storage).
+  phase_gate("evaluate.levelize");
   const auto lv = [&] {
     PML_OBS_SPAN("evaluate.levelize");
     return ctx.levelize(mod);
@@ -150,12 +161,14 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   VerifyOptions vopts = options.verify;
   vopts.levelization = lv;
   vopts.context = &ctx;
+  vopts.cancel = options.cancel;
   // Fail fast only when the caller left max_mismatches at its default; a
   // caller-tuned cap (e.g. "count up to 100 mismatches") is honored.
   if (options.require_bit_exact &&
       vopts.max_mismatches == std::numeric_limits<std::size_t>::max()) {
     vopts.max_mismatches = 1;
   }
+  phase_gate("evaluate.verify");
   const VerifyResult vr = [&] {
     PML_OBS_SPAN("evaluate.verify");
     return verify_workload(mod, cycles_per_inference, workload, vopts);
@@ -174,6 +187,7 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   rep.verified_mismatches = vr.mismatches;
 
   // --- 2. timing (shared levelization, arena scratch) -----------------------
+  phase_gate("evaluate.sta");
   {
     PML_OBS_SPAN("evaluate.sta");
     sta::analyze_into(ctx.timing, mod, lib, *lv, ctx.arena());
@@ -193,11 +207,14 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   aopts.time_quantum_ms = options.time_quantum_ms;
   aopts.levelization = lv;
   aopts.context = &ctx;
+  aopts.cancel = options.cancel;
+  phase_gate("evaluate.activity");
   {
     PML_OBS_SPAN("evaluate.activity");
     collect_activity_into(ctx.merged_activity, mod, lib, cycles_per_inference,
                           workload, n_power, aopts);
   }
+  phase_gate("evaluate.power");
   {
     PML_OBS_SPAN("evaluate.power");
     power::estimate_into(ctx.power, mod, lib, ctx.merged_activity, n_power,

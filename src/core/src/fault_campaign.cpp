@@ -104,6 +104,9 @@ FaultCampaignResult run_fault_campaign(const netlist::Module& module,
     sim::BatchFaultSimulator bsim(module, lv);
     std::size_t miscount[sim::BatchFaultSimulator::kLanes];
     for (;;) {
+      // Cancellation checkpoint between 63-variant batches: a long
+      // campaign can be abandoned without waiting for the full sweep.
+      if (options.cancel != nullptr) options.cancel->check("fault.batch");
       const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_batches) return;
       const std::size_t begin = b * kVariantLanes;

@@ -97,6 +97,10 @@ VerifyResult verify_workload(const netlist::Module& module,
           options.max_mismatches) {
         return;
       }
+      // Cancellation checkpoint between batches: the throw propagates
+      // through run_workers (siblings drain, threads join) so a cancel
+      // or deadline stops the whole verification promptly.
+      if (options.cancel != nullptr) options.cancel->check("verify.batch");
       const std::size_t b =
           next_batch.fetch_add(1, std::memory_order_relaxed);
       if (b >= num_batches) return;

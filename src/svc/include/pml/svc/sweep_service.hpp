@@ -1,6 +1,6 @@
 #pragma once
-// Cached design-space sweep service: an async job queue over the
-// hardware-evaluation core.
+// Cached design-space sweep service: a production-hardened async job
+// queue over the hardware-evaluation core.
 //
 // Design-space exploration (Table I, quantization sweeps, flow trade-off
 // tables) evaluates many (module, workload, flow, options) points, and
@@ -18,20 +18,56 @@
 //     wall-clock opt_seconds/opt_pass_times fields are whatever the one
 //     real evaluation measured).
 //
+// On top of the PR-7 cache sits the robustness layer:
+//
+//   * **Deadlines & cancellation** — SweepRequest::deadline_ns starts a
+//     per-job budget at submit; a util::CancellationToken built from the
+//     job's cancel flag + deadline threads through evaluate_circuit_into's
+//     phase boundaries and the verify/activity worker batch loops, so a
+//     cancel() or an expired deadline aborts an evaluation mid-flight.
+//     wait_outcome() reports JobStatus::{kOk,kFailed,kTimeout,kCancelled,
+//     kShed}; wait() maps non-kOk to typed exceptions.
+//   * **Backpressure** — Options::max_queue_depth bounds the queue;
+//     AdmissionPolicy picks what a full queue does to submit(): block
+//     until space, shed (ticket comes back pre-resolved as kShed), or run
+//     the evaluation on the caller's own thread.
+//   * **Bounded cache** — Options::max_cache_bytes caps the byte-accounted
+//     result cache; least-recently-used entries are evicted (waiters are
+//     unaffected: tickets hold the job record alive independently of the
+//     cache).  An evicted key re-evaluates on its next submit.
+//   * **Retry** — failures classified transient (chaos::TransientError,
+//     std::bad_alloc, or RetryPolicy::is_transient's verdict) re-run up to
+//     RetryPolicy::max_attempts times with doubling backoff slept on the
+//     injected util::Clock, so tests retry instantly on a ManualClock.
+//   * **Fault tolerance** — a chaos::PoisonWorker escaping an evaluation
+//     retires the claiming worker after requeueing the job; when the last
+//     worker retires with work remaining, the pump respawns the pool
+//     (`svc.workers.respawned`).
+//   * **Lifecycle** — stop(StopMode::kDrain) finishes queued work then
+//     joins; stop(StopMode::kAbort) fails queued jobs with ServiceStopped
+//     and requests cancellation of running ones.  Both are idempotent and
+//     safe to race with waiters; the destructor drains.
+//
 // Jobs run on a worker pool built from util::run_workers (the same
 // primitive behind the batch simulators' sharding); each worker owns one
 // pooled core::EvalContext, so steady-state job evaluation rides the
 // zero-allocation path (module validation runs once at submit, workers
-// skip it).  Cache statistics surface as the obs counters
-// `svc.jobs.submitted`, `svc.cache.hits`, `svc.cache.misses`,
-// `svc.jobs.deduped`, and through stats().
+// skip it).  Observability: `svc.jobs.submitted`, `svc.cache.hits`,
+// `svc.cache.misses`, `svc.jobs.deduped`, `svc.jobs.timeout`,
+// `svc.jobs.cancelled`, `svc.jobs.shed`, `svc.jobs.retried`,
+// `svc.jobs.caller_runs`, `svc.cache.evictions`,
+// `svc.workers.respawned`, and stats().
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
+#include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -43,8 +79,82 @@
 #include "pml/core/flow.hpp"
 #include "pml/core/hardware_report.hpp"
 #include "pml/netlist/module.hpp"
+#include "pml/util/clock.hpp"
+
+namespace pml::chaos {
+class FaultPlan;
+}  // namespace pml::chaos
 
 namespace pml::svc {
+
+/// Terminal state of a job (and of a shed admission).
+enum class JobStatus : std::uint8_t {
+  kOk,         ///< evaluation completed; report is valid
+  kFailed,     ///< evaluation threw (after exhausting any retries)
+  kTimeout,    ///< deadline expired before completion
+  kCancelled,  ///< cancel() (or stop-abort) interrupted the job
+  kShed,       ///< rejected at admission (queue full, AdmissionPolicy::kShed)
+};
+
+/// What submit() does when the queue is at max_queue_depth.
+enum class AdmissionPolicy : std::uint8_t {
+  kBlock,       ///< wait for space (default; submit() may block)
+  kShed,        ///< fail fast: return a pre-resolved kShed ticket
+  kCallerRuns,  ///< evaluate synchronously on the submitting thread
+};
+
+/// How stop() treats work still in the queue.
+enum class StopMode : std::uint8_t {
+  kDrain,  ///< finish every queued job, then join the pool
+  kAbort,  ///< fail queued jobs (ServiceStopped) and cancel running ones
+};
+
+/// Retry schedule for transiently failing evaluations.  Attempt n > 1
+/// sleeps backoff_ns * 2^(n-2) on the service clock first; a ManualClock
+/// makes the whole schedule instantaneous and assertable.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;   ///< total attempts (1 = no retry)
+  std::uint64_t backoff_ns = 0;   ///< base backoff before attempt 2
+  /// Optional override of the transient classification.  Null (default)
+  /// uses the built-in rule: chaos::TransientError or std::bad_alloc.
+  std::function<bool(const std::exception_ptr&)> is_transient;
+};
+
+/// Base of every service-originated exception.  The what() string of any
+/// exception rethrown by wait() carries the job id and the 16-hex-digit
+/// cache-key digest ("SweepService job #7 (key 00c3…): …") so a failure
+/// in a thousand-point sweep is attributable from the message alone.
+class ServiceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+/// submit() after stop(), or a queued job aborted by stop(kAbort).
+class ServiceStopped : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+/// wait() on a ticket that was shed at admission.
+class JobShed : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+/// wait() on a job whose deadline expired.
+class JobTimeout : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+/// wait() on a cancelled job.
+class JobCancelled : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+/// wait() on a failed job: wraps the evaluation's exception message with
+/// the job label (still a std::runtime_error, so existing catch sites
+/// keep working).
+class JobError : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
 
 /// One design-space point: everything evaluate_circuit needs, by
 /// shared_ptr so a sweep over one design or one workload shares rather
@@ -60,23 +170,51 @@ struct SweepRequest {
   /// `options` as given.
   std::string flow;
   core::EvaluateOptions options;
+  /// Per-job completion budget, relative to submit(), on the service
+  /// clock.  0 = no deadline.  Deliberately NOT part of the cache key: a
+  /// deadline cannot change a result, only whether one arrives.
+  std::uint64_t deadline_ns = 0;
 };
 
-/// Handle returned by submit(); redeem with wait().  The key is the
-/// content digest of the request — equal keys mean "same evaluation".
+/// Handle returned by submit(); redeem with wait() / wait_outcome().
+/// The key is the content digest of the request — equal keys mean "same
+/// evaluation".  The handle pins the job record (report, status, error)
+/// for this waiter even after cache eviction; a shed admission has a null
+/// handle and admitted == JobStatus::kShed.
 struct SweepTicket {
   std::uint64_t key = 0;
+  std::uint64_t id = 0;  ///< service-unique job id (0 for shed tickets)
+  JobStatus admitted = JobStatus::kOk;
+  std::shared_ptr<void> handle;
+};
+
+/// wait_outcome()'s no-throw result: exactly one of report (kOk) or
+/// error (every other status) is meaningful.
+struct SweepOutcome {
+  JobStatus status = JobStatus::kOk;
+  core::HardwareReport report;
+  std::exception_ptr error;
 };
 
 /// Cumulative service counters (monotonic since construction).
 struct SweepStats {
   std::uint64_t submitted = 0;       ///< submit() calls
-  std::uint64_t evaluated = 0;       ///< jobs actually run by a worker
+  std::uint64_t evaluated = 0;       ///< evaluation attempts that ran
   std::uint64_t cache_hits = 0;      ///< submits answered from the cache
   std::uint64_t cache_misses = 0;    ///< submits that enqueued a new job
   std::uint64_t inflight_deduped = 0;  ///< submits that joined a live job
-  std::uint64_t errors = 0;          ///< evaluations that threw
+  std::uint64_t errors = 0;          ///< jobs that finished kFailed
   std::uint64_t cache_entries = 0;   ///< distinct keys known (any state)
+  std::uint64_t timeouts = 0;        ///< jobs that finished kTimeout
+  std::uint64_t cancelled = 0;       ///< jobs that finished kCancelled
+  std::uint64_t shed = 0;            ///< submits rejected at admission
+  std::uint64_t retried = 0;         ///< transient failures re-attempted
+  std::uint64_t caller_runs = 0;     ///< submits evaluated on the caller
+  std::uint64_t cache_bytes = 0;     ///< current byte-accounted cache size
+  std::uint64_t cache_evictions = 0;  ///< entries LRU-evicted
+  std::uint64_t workers_respawned = 0;  ///< pool respawns after poisoning
+  /// Gauge (not monotonic): threads currently blocked in wait_outcome().
+  std::uint64_t waiters = 0;
   /// Fraction of resubmitted work answered without a fresh evaluation.
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = cache_hits + inflight_deduped + cache_misses;
@@ -100,13 +238,27 @@ class SweepService {
     /// identical under every setting (evaluate_circuit's determinism
     /// contract) — this is purely a throughput knob.
     std::size_t eval_threads = 0;
+    /// Queue bound for backpressure.  0 = unbounded (every submit
+    /// enqueues); otherwise `admission` decides what a full queue does.
+    std::size_t max_queue_depth = 0;
+    AdmissionPolicy admission = AdmissionPolicy::kBlock;
+    /// Result-cache budget (bytes, estimated per entry from report
+    /// capacities).  0 = unbounded.  Exceeding it evicts LRU entries.
+    std::size_t max_cache_bytes = 0;
+    RetryPolicy retry;
+    /// Time source for deadlines, backoff, and chaos delays.  Null uses
+    /// util::steady_clock(); tests inject a util::ManualClock.  Borrowed;
+    /// must outlive the service.
+    util::Clock* clock = nullptr;
   };
 
   /// The library is borrowed and must outlive the service.
   explicit SweepService(const cells::CellLibrary& lib);
   SweepService(const cells::CellLibrary& lib, Options options);
-  /// Drains nothing: queued jobs not yet claimed are abandoned; running
-  /// evaluations finish, then the workers join.
+  /// Equivalent to stop(StopMode::kDrain), then additionally waits for
+  /// every in-flight wait()/wait_outcome() call to return before the
+  /// members are torn down (destruct-while-waiting is defined behavior
+  /// as long as the wait began before the destructor).
   ~SweepService();
   SweepService(const SweepService&) = delete;
   SweepService& operator=(const SweepService&) = delete;
@@ -120,17 +272,41 @@ class SweepService {
 
   /// Enqueue (or join) the evaluation of `request` and return its ticket.
   /// Validates the module up front (throws std::runtime_error on an
-  /// invalid module, std::invalid_argument on null module/workload);
-  /// workers then skip re-validation.  A request whose key matches a
-  /// completed job is a cache hit (no work enqueued); one matching a
-  /// queued/running job joins it.
+  /// invalid module, std::invalid_argument on null module/workload,
+  /// ServiceStopped after stop()); workers then skip re-validation.  A
+  /// request whose key matches a completed job is a cache hit (no work
+  /// enqueued); one matching a queued/running job joins it.  On a full
+  /// queue, behavior follows Options::admission — note kShed returns a
+  /// pre-resolved ticket rather than throwing, so batch submitters can
+  /// keep going and tally the sheds from wait_outcome().
   SweepTicket submit(SweepRequest request);
 
   /// Block until the ticket's job completes and return a copy of its
-  /// HardwareReport.  Rethrows the evaluation's exception if it failed
-  /// (every waiter of a failed job gets the same exception).  Throws
-  /// std::invalid_argument for a ticket this service never issued.
+  /// HardwareReport.  Non-kOk outcomes throw: the (label-wrapped)
+  /// evaluation exception for kFailed, JobTimeout / JobCancelled /
+  /// JobShed for the rest — every waiter of a failed job gets the same
+  /// exception.  Throws std::invalid_argument for a ticket this service
+  /// never issued.
   [[nodiscard]] core::HardwareReport wait(const SweepTicket& ticket);
+
+  /// wait() without the throw: block until done and return the status
+  /// plus whichever of report/error applies.  Shed tickets resolve
+  /// immediately.  Still throws std::invalid_argument for foreign
+  /// tickets (that is caller misuse, not a job outcome).
+  [[nodiscard]] SweepOutcome wait_outcome(const SweepTicket& ticket);
+
+  /// Request cancellation: a queued job resolves kCancelled immediately;
+  /// a running one stops at its next cancellation checkpoint.  Returns
+  /// false when there is nothing to cancel (already done, shed, or a
+  /// foreign/default ticket) — cancel() never throws.
+  bool cancel(const SweepTicket& ticket);
+
+  /// Stop the service (idempotent, safe from any thread; the first
+  /// caller's mode wins).  kDrain completes queued jobs first; kAbort
+  /// fails them with ServiceStopped and requests cancellation of running
+  /// evaluations.  Either way every ticket resolves — no waiter is left
+  /// hanging — and subsequent submit() calls throw ServiceStopped.
+  void stop(StopMode mode = StopMode::kDrain);
 
   /// submit() + wait(): the drop-in synchronous replacement for
   /// evaluate_circuit with caching on top.
@@ -151,26 +327,71 @@ class SweepService {
 
   [[nodiscard]] SweepStats stats() const;
 
+  /// Test-only: fire `plan` before every evaluation attempt (the plan is
+  /// borrowed and must outlive the service; null uninstalls).  Install
+  /// before the first submit — installation is not synchronized against
+  /// running workers.
+  void install_chaos(const chaos::FaultPlan* plan) { chaos_plan_ = plan; }
+  /// Test-only: called with the evaluation ordinal at the start of every
+  /// attempt, on the evaluating thread.  Benches use it to hold a worker
+  /// hostage (saturating the queue deterministically) or to timestamp
+  /// attempt starts.  Same installation caveat as install_chaos().
+  void set_test_hook(std::function<void(std::uint64_t)> hook) {
+    test_hook_ = std::move(hook);
+  }
+
  private:
   enum class JobState { kQueued, kRunning, kDone };
+  enum class RunResult { kCompleted, kPoisoned };
   struct Job {
+    SweepService* owner = nullptr;
+    std::uint64_t id = 0;
+    std::uint64_t key = 0;
     SweepRequest request;
+    std::uint64_t deadline_abs_ns = 0;  ///< on the service clock; 0 = none
+    std::atomic<bool> cancel_flag{false};
     JobState state = JobState::kQueued;
+    JobStatus status = JobStatus::kOk;
     core::HardwareReport report;
     std::exception_ptr error;
+    // Cache residency (guarded by mu_): only kDone jobs whose outcome is
+    // cacheable (kOk, or kFailed on a permanent error) enter the LRU.
+    bool in_lru = false;
+    std::size_t bytes = 0;
+    std::list<Job*>::iterator lru_it;
   };
 
+  void pump_main();
   void worker_loop(std::size_t slot);
+  RunResult run_job(core::EvalContext& ctx, const std::shared_ptr<Job>& job,
+                    bool on_caller);
+  void finish_job(const std::shared_ptr<Job>& job, JobStatus status,
+                  std::exception_ptr error, bool cacheable);
+  void finish_job_locked(const std::shared_ptr<Job>& job, JobStatus status,
+                         std::exception_ptr error, bool cacheable);
+  void evict_over_budget_locked();
+  /// Cache-hit / in-flight-dedup check; returns the joined ticket (and
+  /// touches the LRU) or nullopt when the key is unknown.  mu_ held.
+  [[nodiscard]] bool try_join_locked(std::uint64_t key, SweepTicket& out);
+  [[nodiscard]] bool is_transient(const std::exception_ptr& error) const;
+  [[nodiscard]] static core::EvalContext& caller_context();
 
   const cells::CellLibrary& lib_;
   Options options_;
+  util::Clock* clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< queue non-empty or stopping
-  std::condition_variable done_cv_;  ///< some job reached kDone
-  std::unordered_map<std::uint64_t, std::unique_ptr<Job>> jobs_;
-  std::deque<Job*> queue_;  ///< submission order; entries owned by jobs_
+  std::condition_variable work_cv_;     ///< queue non-empty or stopping
+  std::condition_variable done_cv_;     ///< some job reached kDone
+  std::condition_variable space_cv_;    ///< queue shrank (kBlock admission)
+  std::condition_variable waiters_cv_;  ///< waiters_ hit zero (destructor)
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<std::shared_ptr<Job>> queue_;  ///< submission order
+  std::list<Job*> lru_;  ///< cacheable kDone jobs, most recent first
+  std::size_t cache_bytes_ = 0;
   SweepStats stats_;
+  std::uint64_t next_job_id_ = 0;
+  std::size_t waiters_ = 0;  ///< threads inside wait_outcome()
   bool stopping_ = false;
 
   /// One pooled evaluation context per worker slot (stable addresses).
@@ -178,7 +399,13 @@ class SweepService {
   /// Claim counter required by util::run_workers' error-drain contract;
   /// the service's real queue is `queue_` + `work_cv_`.
   std::atomic<std::size_t> claim_{0};
-  std::thread pump_;  ///< runs util::run_workers over the worker pool
+  /// Process-order evaluation-attempt counter (the chaos ordinal).
+  std::atomic<std::uint64_t> eval_ordinal_{0};
+  std::mutex join_mu_;  ///< serializes pump_.join() across stop() racers
+  std::thread pump_;    ///< runs util::run_workers over the worker pool
+
+  const chaos::FaultPlan* chaos_plan_ = nullptr;
+  std::function<void(std::uint64_t)> test_hook_;
 };
 
 }  // namespace pml::svc

@@ -1,11 +1,17 @@
 #include "pml/svc/sweep_service.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <new>
 #include <stdexcept>
 #include <utility>
 
+#include "pml/chaos/fault_plan.hpp"
 #include "pml/obs/manifest.hpp"
 #include "pml/obs/metrics.hpp"
 #include "pml/obs/trace.hpp"
+#include "pml/util/alloc_hook.hpp"
+#include "pml/util/cancellation.hpp"
 #include "pml/util/parallel.hpp"
 
 namespace pml::svc {
@@ -63,7 +69,8 @@ void digest_workload(obs::Fnv1a& h, const core::CircuitWorkload& w) {
 // excluded: the determinism contract of evaluate_circuit guarantees they
 // cannot affect results, so requests differing only in thread counts share
 // one cache entry.  validate_module likewise (validation can only throw,
-// never change a result).
+// never change a result).  Deadlines/retry are service policy, not
+// evaluation inputs, so they are excluded too.
 void digest_options(obs::Fnv1a& h, const core::EvaluateOptions& o) {
   h.update_u64(o.power_samples);
   h.update_u64(o.power_chunk_samples);
@@ -77,6 +84,52 @@ void digest_options(obs::Fnv1a& h, const core::EvaluateOptions& o) {
   h.update_f64(o.optimize.cost_tolerance);
   h.update_u64(o.optimize.flow.size());
   h.update(o.optimize.flow);
+}
+
+/// "SweepService job #7 (key 00c3a1...)" — the attribution prefix every
+/// service exception carries (satellite: failures in a wide sweep must be
+/// traceable from what() alone).
+std::string job_label(std::uint64_t id, std::uint64_t key) {
+  char buf[64];
+  if (id != 0) {
+    std::snprintf(buf, sizeof(buf), "SweepService job #%llu (key %016llx)",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(key));
+  } else {
+    std::snprintf(buf, sizeof(buf), "SweepService job (key %016llx)",
+                  static_cast<unsigned long long>(key));
+  }
+  return buf;
+}
+
+/// Estimated resident size of a cached entry: the Job record plus every
+/// dynamic buffer the report owns.  An estimate, not an audit — the cache
+/// budget is a pressure valve, not an accounting ledger.
+std::size_t report_bytes(const core::HardwareReport& r) {
+  std::size_t b = 0;
+  b += r.dataset.capacity() + r.model.capacity() + r.opt_flow.capacity();
+  b += r.groups.capacity() * sizeof(power::GroupReport);
+  for (const auto& g : r.groups) b += g.name.capacity();
+  b += r.opt_pass_times.capacity() * sizeof(opt::PassTiming);
+  for (const auto& p : r.opt_pass_times) b += p.pass.capacity();
+  return b;
+}
+
+/// Wrap an evaluation failure with the job label, preserving the original
+/// message.  Service-typed exceptions are already labeled; non-std
+/// exceptions pass through untouched (we cannot read their message).
+std::exception_ptr enrich_error(std::uint64_t id, std::uint64_t key,
+                                const std::exception_ptr& cause) {
+  try {
+    std::rethrow_exception(cause);
+  } catch (const ServiceError&) {
+    return cause;
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(
+        JobError(job_label(id, key) + ": " + e.what()));
+  } catch (...) {
+    return cause;
+  }
 }
 
 }  // namespace
@@ -104,47 +157,100 @@ SweepService::SweepService(const cells::CellLibrary& lib)
     : SweepService(lib, Options{}) {}
 
 SweepService::SweepService(const cells::CellLibrary& lib, Options options)
-    : lib_(lib), options_(options) {
+    : lib_(lib),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : &util::steady_clock()) {
   if (options_.num_workers == 0) options_.num_workers = 1;
   for (std::size_t i = 0; i < options_.num_workers; ++i) {
     contexts_.emplace_back();
   }
   // run_workers owns the thread lifecycle (spawn, error drain, join); the
   // pump thread exists so the num_workers == 1 inline path still runs off
-  // the caller's thread.
-  pump_ = std::thread([this] {
+  // the caller's thread, and so the pool can be respawned after a poison.
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+SweepService::~SweepService() {
+  stop(StopMode::kDrain);
+  // Let in-flight wait_outcome() calls leave the condition variable
+  // before the members are destroyed (destruct-while-waiting safety).
+  std::unique_lock<std::mutex> lk(mu_);
+  waiters_cv_.wait(lk, [this] { return waiters_ == 0; });
+}
+
+void SweepService::stop(StopMode mode) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!stopping_) {
+      stopping_ = true;
+      if (mode == StopMode::kAbort) {
+        // Fail everything still queued; waiters resolve immediately with
+        // ServiceStopped instead of waiting for a drain.
+        std::deque<std::shared_ptr<Job>> aborted;
+        aborted.swap(queue_);
+        for (const std::shared_ptr<Job>& job : aborted) {
+          finish_job_locked(
+              job, JobStatus::kFailed,
+              std::make_exception_ptr(ServiceStopped(
+                  job_label(job->id, job->key) +
+                  ": service stopped before evaluation (stop-abort)")),
+              /*cacheable=*/false);
+        }
+        // Running evaluations notice at their next checkpoint.
+        for (const auto& [key, job] : jobs_) {
+          if (job->state == JobState::kRunning) {
+            job->cancel_flag.store(true, std::memory_order_release);
+          }
+        }
+      }
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  // Idempotent join (double-stop and concurrent stops are safe; the
+  // pump thread itself never calls stop()).
+  std::lock_guard<std::mutex> jl(join_mu_);
+  if (pump_.joinable()) pump_.join();
+}
+
+void SweepService::pump_main() {
+  for (;;) {
     try {
       util::run_workers(options_.num_workers, claim_, 0,
                         [this](std::size_t slot) { worker_loop(slot); });
     } catch (...) {
-      // Worker *spawn* failure (worker_loop itself never throws).  Fail
-      // every job that would otherwise wait forever.
+      // Worker *spawn* failure (worker_loop itself only exits, never
+      // throws).  Fail every queued job rather than strand its waiters.
+      const std::exception_ptr spawn_error = std::current_exception();
       std::lock_guard<std::mutex> lk(mu_);
       stopping_ = true;
-      for (Job* job : queue_) {
-        job->state = JobState::kDone;
-        job->error = std::current_exception();
-        ++stats_.errors;
+      std::deque<std::shared_ptr<Job>> pending;
+      pending.swap(queue_);
+      for (const std::shared_ptr<Job>& job : pending) {
+        finish_job_locked(job, JobStatus::kFailed,
+                          enrich_error(job->id, job->key, spawn_error),
+                          /*cacheable=*/false);
       }
-      queue_.clear();
-      done_cv_.notify_all();
+      space_cv_.notify_all();
+      return;
     }
-  });
-}
-
-SweepService::~SweepService() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stopping_ = true;
+    // run_workers returns when every worker retired: either the service
+    // is stopping with a drained queue (normal shutdown) or the pool was
+    // poisoned to death with work remaining — respawn it.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_ && queue_.empty()) return;
+      ++stats_.workers_respawned;
+    }
+    PML_OBS_COUNT("svc.workers.respawned", 1);
   }
-  work_cv_.notify_all();
-  if (pump_.joinable()) pump_.join();
 }
 
 void SweepService::worker_loop(std::size_t slot) {
   core::EvalContext& ctx = contexts_[slot];
   for (;;) {
-    Job* job = nullptr;
+    std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lk(mu_);
       work_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
@@ -152,11 +258,45 @@ void SweepService::worker_loop(std::size_t slot) {
       job = queue_.front();
       queue_.pop_front();
       job->state = JobState::kRunning;
+      space_cv_.notify_one();
     }
+    if (run_job(ctx, job, /*on_caller=*/false) == RunResult::kPoisoned) {
+      return;  // this worker retires; pump_main respawns an empty pool
+    }
+  }
+}
+
+SweepService::RunResult SweepService::run_job(core::EvalContext& ctx,
+                                              const std::shared_ptr<Job>& job,
+                                              bool on_caller) {
+  const util::CancellationToken token(&job->cancel_flag, job->deadline_abs_ns,
+                                      clock_);
+  // A job can be claimed already dead: cancelled while queued behind a
+  // straggler, or with a deadline that expired before any worker got to
+  // it.  Resolve it without spending an evaluation.
+  if (token.cancel_requested()) {
+    finish_job(job, JobStatus::kCancelled, nullptr, /*cacheable=*/false);
+    return RunResult::kCompleted;
+  }
+  if (token.deadline_expired()) {
+    finish_job(job, JobStatus::kTimeout, nullptr, /*cacheable=*/false);
+    return RunResult::kCompleted;
+  }
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, options_.retry.max_attempts);
+  for (std::size_t attempt = 1;; ++attempt) {
+    std::exception_ptr error;
     try {
+      const std::uint64_t ordinal =
+          eval_ordinal_.fetch_add(1, std::memory_order_relaxed);
+      if (test_hook_) test_hook_(ordinal);
+      if (chaos_plan_ != nullptr) {
+        chaos_plan_->before_evaluation(ordinal, *clock_);
+      }
       core::EvaluateOptions opts = job->request.options;
       // The service validated at submit(); workers run the lean path.
       opts.validate_module = false;
+      opts.cancel = &token;
       if (!job->request.flow.empty()) {
         opts.optimize.enabled = true;
         opts.optimize.flow = job->request.flow;
@@ -164,31 +304,193 @@ void SweepService::worker_loop(std::size_t slot) {
       if (options_.eval_threads != 0) {
         opts.verify.num_threads = options_.eval_threads;
         opts.power_threads = options_.eval_threads;
-      } else if (options_.num_workers > 1) {
-        // Concurrent jobs: keep each evaluation single-threaded so the
-        // pool is the only source of parallelism.
+      } else if (options_.num_workers > 1 || on_caller) {
+        // Concurrent jobs (or a caller-run riding beside the pool): keep
+        // each evaluation single-threaded so the pool is the only source
+        // of parallelism.
         opts.verify.num_threads = 1;
         opts.power_threads = 1;
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.evaluated;
       }
       core::evaluate_circuit_into(ctx, job->report, *job->request.module,
                                   job->request.cycles_per_inference, lib_,
                                   *job->request.workload, opts);
+      util::disarm_alloc_failure();
+      finish_job(job, JobStatus::kOk, nullptr, /*cacheable=*/true);
+      return RunResult::kCompleted;
+    } catch (const chaos::PoisonWorker&) {
+      util::disarm_alloc_failure();
+      if (on_caller) {
+        // A caller-run evaluation has no pool to retire from; the poison
+        // degrades to a plain permanent failure.
+        finish_job(job, JobStatus::kFailed,
+                   std::make_exception_ptr(JobError(
+                       job_label(job->id, job->key) +
+                       ": worker poisoned during caller-run evaluation")),
+                   /*cacheable=*/false);
+        return RunResult::kCompleted;
+      }
+      // Put the job back at the head of the line (a fresh worker — with a
+      // fresh evaluation ordinal, so the poison does not refire — will
+      // claim it) and retire this worker.
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        job->state = JobState::kQueued;
+        queue_.push_front(job);
+      }
+      work_cv_.notify_one();
+      return RunResult::kPoisoned;
+    } catch (const util::Cancelled& c) {
+      util::disarm_alloc_failure();
+      finish_job(job,
+                 c.reason() == util::Cancelled::Reason::kDeadline
+                     ? JobStatus::kTimeout
+                     : JobStatus::kCancelled,
+                 nullptr, /*cacheable=*/false);
+      return RunResult::kCompleted;
     } catch (...) {
-      job->error = std::current_exception();
+      // Disarm so an injected-but-unfired allocation failure can never
+      // leak into the next job on this thread.
+      util::disarm_alloc_failure();
+      error = std::current_exception();
     }
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      job->state = JobState::kDone;
-      ++stats_.evaluated;
-      if (job->error) ++stats_.errors;
-      // Drop the request's shared ownership now that the result (or the
-      // error) is cached — keeps module/workload lifetimes tied to the
-      // caller, not the cache.
-      job->request.module.reset();
-      job->request.workload.reset();
+    const bool transient = is_transient(error);
+    if (transient && attempt < max_attempts) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.retried;
+      }
+      PML_OBS_COUNT("svc.jobs.retried", 1);
+      if (options_.retry.backoff_ns != 0) {
+        const unsigned shift =
+            static_cast<unsigned>(std::min<std::size_t>(attempt - 1, 32));
+        clock_->sleep_ns(options_.retry.backoff_ns << shift);
+      }
+      // The backoff may have consumed the budget (or a cancel arrived).
+      if (token.cancel_requested()) {
+        finish_job(job, JobStatus::kCancelled, nullptr, /*cacheable=*/false);
+        return RunResult::kCompleted;
+      }
+      if (token.deadline_expired()) {
+        finish_job(job, JobStatus::kTimeout, nullptr, /*cacheable=*/false);
+        return RunResult::kCompleted;
+      }
+      continue;
     }
-    done_cv_.notify_all();
+    // Permanent failures are cacheable (identical resubmits get the same
+    // verdict for free); an exhausted transient is not — a later submit
+    // deserves a fresh roll of the dice.
+    finish_job(job, JobStatus::kFailed,
+               enrich_error(job->id, job->key, error),
+               /*cacheable=*/!transient);
+    return RunResult::kCompleted;
   }
+}
+
+void SweepService::finish_job(const std::shared_ptr<Job>& job,
+                              JobStatus status, std::exception_ptr error,
+                              bool cacheable) {
+  std::lock_guard<std::mutex> lk(mu_);
+  finish_job_locked(job, status, std::move(error), cacheable);
+}
+
+void SweepService::finish_job_locked(const std::shared_ptr<Job>& job,
+                                     JobStatus status,
+                                     std::exception_ptr error,
+                                     bool cacheable) {
+  job->state = JobState::kDone;
+  job->status = status;
+  if (!error) {
+    // Give timeout/cancel outcomes a ready-made typed exception so every
+    // waiter (and wait_outcome inspector) sees a labeled error.
+    if (status == JobStatus::kTimeout) {
+      error = std::make_exception_ptr(
+          JobTimeout(job_label(job->id, job->key) +
+                     ": deadline exceeded before completion"));
+    } else if (status == JobStatus::kCancelled) {
+      error = std::make_exception_ptr(
+          JobCancelled(job_label(job->id, job->key) + ": cancelled"));
+    }
+  }
+  job->error = std::move(error);
+  switch (status) {
+    case JobStatus::kOk:
+      break;
+    case JobStatus::kFailed:
+      ++stats_.errors;
+      break;
+    case JobStatus::kTimeout:
+      ++stats_.timeouts;
+      PML_OBS_COUNT("svc.jobs.timeout", 1);
+      break;
+    case JobStatus::kCancelled:
+      ++stats_.cancelled;
+      PML_OBS_COUNT("svc.jobs.cancelled", 1);
+      break;
+    case JobStatus::kShed:
+      break;  // shed admissions never materialize a job
+  }
+  // Drop the request's shared ownership now that the outcome is recorded
+  // — keeps module/workload lifetimes tied to the caller, not the cache.
+  job->request.module.reset();
+  job->request.workload.reset();
+  const auto it = jobs_.find(job->key);
+  const bool owns_entry = it != jobs_.end() && it->second == job;
+  if (owns_entry) {
+    if (cacheable) {
+      job->bytes = sizeof(Job) + report_bytes(job->report);
+      cache_bytes_ += job->bytes;
+      lru_.push_front(job.get());
+      job->lru_it = lru_.begin();
+      job->in_lru = true;
+      evict_over_budget_locked();
+    } else {
+      // Timeout / cancel / exhausted-transient outcomes do not stick: the
+      // next identical submit re-runs.  Waiters still hold the record via
+      // their ticket handle.
+      jobs_.erase(it);
+    }
+  }
+  done_cv_.notify_all();
+}
+
+void SweepService::evict_over_budget_locked() {
+  if (options_.max_cache_bytes == 0) return;
+  while (cache_bytes_ > options_.max_cache_bytes && !lru_.empty()) {
+    Job* victim = lru_.back();
+    lru_.pop_back();
+    victim->in_lru = false;
+    cache_bytes_ -= victim->bytes;
+    ++stats_.cache_evictions;
+    PML_OBS_COUNT("svc.cache.evictions", 1);
+    // Outstanding tickets keep the record alive; the map entry (and its
+    // reference) goes, so the key re-evaluates on its next submit.
+    jobs_.erase(victim->key);
+  }
+}
+
+bool SweepService::try_join_locked(std::uint64_t key, SweepTicket& out) {
+  const auto it = jobs_.find(key);
+  if (it == jobs_.end()) return false;
+  const std::shared_ptr<Job>& job = it->second;
+  if (job->state == JobState::kDone) {
+    ++stats_.cache_hits;
+    PML_OBS_COUNT("svc.cache.hits", 1);
+    if (job->in_lru && job->lru_it != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, job->lru_it);  // touch: most recent
+    }
+  } else {
+    ++stats_.inflight_deduped;
+    PML_OBS_COUNT("svc.jobs.deduped", 1);
+  }
+  out.key = key;
+  out.id = job->id;
+  out.admitted = JobStatus::kOk;
+  out.handle = std::static_pointer_cast<void>(job);
+  return true;
 }
 
 SweepTicket SweepService::submit(SweepRequest request) {
@@ -196,70 +498,162 @@ SweepTicket SweepService::submit(SweepRequest request) {
     throw std::invalid_argument("SweepService::submit: null module/workload");
   }
   const std::uint64_t key = cache_key(request);
-  bool need_validate = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      throw ServiceStopped("SweepService::submit: service is stopped");
+    }
     ++stats_.submitted;
     PML_OBS_COUNT("svc.jobs.submitted", 1);
-    auto it = jobs_.find(key);
-    if (it != jobs_.end()) {
-      if (it->second->state == JobState::kDone) {
-        ++stats_.cache_hits;
-        PML_OBS_COUNT("svc.cache.hits", 1);
-      } else {
-        ++stats_.inflight_deduped;
-        PML_OBS_COUNT("svc.jobs.deduped", 1);
-      }
-      return SweepTicket{key};
-    }
-    need_validate = true;
+    SweepTicket joined;
+    if (try_join_locked(key, joined)) return joined;
   }
   // Validate outside the lock (it walks the whole netlist); a throw here
   // leaves the service untouched beyond the `submitted` count.
-  if (need_validate) {
-    if (const auto err = request.module->validate()) {
-      throw std::runtime_error("SweepService::submit: invalid module: " +
-                               *err);
-    }
+  if (const auto err = request.module->validate()) {
+    throw std::runtime_error("SweepService::submit: invalid module: " + *err);
   }
+  std::shared_ptr<Job> job;
+  bool caller_runs = false;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    // Re-check: an identical request may have been submitted while we
-    // validated.
-    auto it = jobs_.find(key);
-    if (it != jobs_.end()) {
-      if (it->second->state == JobState::kDone) {
-        ++stats_.cache_hits;
-        PML_OBS_COUNT("svc.cache.hits", 1);
-      } else {
-        ++stats_.inflight_deduped;
-        PML_OBS_COUNT("svc.jobs.deduped", 1);
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      if (stopping_) {
+        throw ServiceStopped("SweepService::submit: service is stopped");
       }
-      return SweepTicket{key};
+      // Re-check after validation and after every admission wait: an
+      // identical request may have landed meanwhile.
+      SweepTicket joined;
+      if (try_join_locked(key, joined)) return joined;
+      if (options_.max_queue_depth == 0 ||
+          queue_.size() < options_.max_queue_depth) {
+        break;  // admitted to the queue
+      }
+      if (options_.admission == AdmissionPolicy::kShed) {
+        ++stats_.shed;
+        PML_OBS_COUNT("svc.jobs.shed", 1);
+        SweepTicket t;
+        t.key = key;
+        t.admitted = JobStatus::kShed;
+        return t;  // pre-resolved; wait_outcome() reports kShed
+      }
+      if (options_.admission == AdmissionPolicy::kCallerRuns) {
+        caller_runs = true;
+        break;
+      }
+      space_cv_.wait(lk);
     }
-    auto job = std::make_unique<Job>();
+    job = std::make_shared<Job>();
+    job->owner = this;
+    job->id = ++next_job_id_;
+    job->key = key;
     job->request = std::move(request);
-    Job* raw = job.get();
-    jobs_.emplace(key, std::move(job));
-    queue_.push_back(raw);
+    if (job->request.deadline_ns != 0) {
+      job->deadline_abs_ns = clock_->now_ns() + job->request.deadline_ns;
+    }
+    jobs_.emplace(key, job);
     ++stats_.cache_misses;
     PML_OBS_COUNT("svc.cache.misses", 1);
+    if (caller_runs) {
+      job->state = JobState::kRunning;
+      ++stats_.caller_runs;
+      PML_OBS_COUNT("svc.jobs.caller_runs", 1);
+    } else {
+      queue_.push_back(job);
+    }
   }
-  work_cv_.notify_one();
-  return SweepTicket{key};
+  if (caller_runs) {
+    // Backpressure via work-stealing: the submitting thread pays for its
+    // own evaluation on a thread-local pooled context.  run_job resolves
+    // the job fully (including poison, which degrades to failure here).
+    run_job(caller_context(), job, /*on_caller=*/true);
+  } else {
+    work_cv_.notify_one();
+  }
+  SweepTicket t;
+  t.key = key;
+  t.id = job->id;
+  t.admitted = JobStatus::kOk;
+  t.handle = std::static_pointer_cast<void>(job);
+  return t;
 }
 
-core::HardwareReport SweepService::wait(const SweepTicket& ticket) {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto it = jobs_.find(ticket.key);
-  if (it == jobs_.end()) {
+core::EvalContext& SweepService::caller_context() {
+  // One pooled context per submitting thread: caller-run evaluations get
+  // warm-capacity reuse without racing the worker pool's contexts.
+  static thread_local core::EvalContext ctx;
+  return ctx;
+}
+
+SweepOutcome SweepService::wait_outcome(const SweepTicket& ticket) {
+  if (ticket.admitted == JobStatus::kShed) {
+    SweepOutcome out;
+    out.status = JobStatus::kShed;
+    out.error = std::make_exception_ptr(
+        JobShed(job_label(0, ticket.key) +
+                ": shed at admission (queue at max_queue_depth)"));
+    return out;
+  }
+  const auto job = std::static_pointer_cast<Job>(ticket.handle);
+  if (!job || job->owner != this) {
     throw std::invalid_argument(
         "SweepService::wait: unknown ticket (not issued by this service)");
   }
-  Job& job = *it->second;  // stable: jobs_ never erases entries
-  done_cv_.wait(lk, [&job] { return job.state == JobState::kDone; });
-  if (job.error) std::rethrow_exception(job.error);
-  return job.report;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    ++waiters_;
+    done_cv_.wait(lk, [&job] { return job->state == JobState::kDone; });
+    --waiters_;
+    if (waiters_ == 0) waiters_cv_.notify_all();
+  }
+  // Once kDone the record is immutable and the ticket's shared_ptr keeps
+  // it alive, so the copy can safely happen outside the lock — even if
+  // the service is being destroyed right now.
+  SweepOutcome out;
+  out.status = job->status;
+  out.error = job->error;
+  if (job->status == JobStatus::kOk) out.report = job->report;
+  return out;
+}
+
+core::HardwareReport SweepService::wait(const SweepTicket& ticket) {
+  SweepOutcome out = wait_outcome(ticket);
+  if (out.status == JobStatus::kOk) return std::move(out.report);
+  std::rethrow_exception(out.error);
+}
+
+bool SweepService::cancel(const SweepTicket& ticket) {
+  if (ticket.admitted == JobStatus::kShed) return false;
+  const auto job = std::static_pointer_cast<Job>(ticket.handle);
+  if (!job || job->owner != this) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (job->state == JobState::kDone) return false;
+  job->cancel_flag.store(true, std::memory_order_release);
+  if (job->state == JobState::kQueued) {
+    // Still waiting for a worker: resolve it right here instead of
+    // making a worker claim a corpse.
+    const auto it = std::find(queue_.begin(), queue_.end(), job);
+    if (it != queue_.end()) {
+      queue_.erase(it);
+      space_cv_.notify_one();
+    }
+    finish_job_locked(job, JobStatus::kCancelled, nullptr,
+                      /*cacheable=*/false);
+  }
+  return true;
+}
+
+bool SweepService::is_transient(const std::exception_ptr& error) const {
+  if (options_.retry.is_transient) return options_.retry.is_transient(error);
+  try {
+    std::rethrow_exception(error);
+  } catch (const chaos::TransientError&) {
+    return true;
+  } catch (const std::bad_alloc&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 core::HardwareReport SweepService::evaluate(SweepRequest request) {
@@ -299,6 +693,8 @@ SweepStats SweepService::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   SweepStats out = stats_;
   out.cache_entries = jobs_.size();
+  out.cache_bytes = cache_bytes_;
+  out.waiters = waiters_;
   return out;
 }
 

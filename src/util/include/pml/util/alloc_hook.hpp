@@ -26,6 +26,22 @@ namespace pml::util {
 /// Always 0 unless the binary installed PML_INSTALL_COUNTING_ALLOC_HOOK.
 [[nodiscard]] std::uint64_t& thread_alloc_count() noexcept;
 
+/// Armed allocation-failure countdown for this thread: when the counting
+/// hook is installed and the countdown is n > 0, the nth subsequent
+/// allocation on this thread throws std::bad_alloc (and disarms).  0 =
+/// disarmed (the default; a no-op without the hook).  This is the
+/// chaos-engineering lever behind chaos::FaultPlan's fail-allocation
+/// action and the run_workers thread-spawn-failure tests.
+[[nodiscard]] std::uint64_t& thread_alloc_fail_countdown() noexcept;
+
+/// Make the nth allocation on this thread fail (1 = the very next one).
+inline void arm_alloc_failure(std::uint64_t nth) noexcept {
+  thread_alloc_fail_countdown() = nth;
+}
+inline void disarm_alloc_failure() noexcept {
+  thread_alloc_fail_countdown() = 0;
+}
+
 }  // namespace pml::util
 
 // Replacement operator new/delete family (C++20 replaceable set).  The
@@ -64,8 +80,15 @@ namespace pml::util {
 
 namespace pml::util::detail {
 
+/// Decrement an armed failure countdown; throw when it strikes zero.
+inline void consume_armed_failure() {
+  std::uint64_t& countdown = thread_alloc_fail_countdown();
+  if (countdown != 0 && --countdown == 0) throw std::bad_alloc();
+}
+
 inline void* counting_alloc(std::size_t size) {
   ++thread_alloc_count();
+  consume_armed_failure();
   if (size == 0) size = 1;
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
@@ -74,6 +97,7 @@ inline void* counting_alloc(std::size_t size) {
 
 inline void* counting_alloc_aligned(std::size_t size, std::size_t align) {
   ++thread_alloc_count();
+  consume_armed_failure();
   if (size == 0) size = 1;
   const std::size_t rounded = (size + align - 1) / align * align;
   void* p = std::aligned_alloc(align, rounded);

@@ -1,0 +1,86 @@
+#pragma once
+// Cooperative cancellation with optional deadline — the mechanism that
+// keeps a hung or obsolete evaluation from stranding its waiters.
+//
+// A CancellationToken is a cheap non-owning view over (a) an atomic
+// cancel flag owned by whoever controls the job (svc::SweepService's Job
+// record) and (b) an optional absolute deadline against an injectable
+// util::Clock.  The evaluation pipeline threads a `const
+// CancellationToken*` through EvaluateOptions / VerifyOptions /
+// ActivityOptions / FaultCampaignOptions; phase boundaries and worker
+// batch loops call check(), which throws util::Cancelled when the flag
+// is set or the deadline passed.  A null token pointer (the default
+// everywhere) costs one branch — the zero-allocation steady-state
+// contract is unaffected.
+//
+// Tokens are trivially copyable and never allocate; the pointed-to flag
+// and clock must outlive every evaluation holding the token (the service
+// guarantees this: the Job owns the flag and outlives its evaluation).
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "pml/util/clock.hpp"
+
+namespace pml::util {
+
+/// Thrown by CancellationToken::check().  reason() distinguishes an
+/// explicit cancel request from a deadline expiry so callers can map the
+/// two to distinct terminal statuses (cancelled vs timeout).
+class Cancelled : public std::runtime_error {
+ public:
+  enum class Reason { kCancelled, kDeadline };
+  Cancelled(Reason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  /// `flag` may be null (deadline-only token); `deadline_ns` of 0 means
+  /// no deadline; `clock` of null falls back to the process steady clock
+  /// when a deadline is set.
+  explicit CancellationToken(const std::atomic<bool>* flag,
+                             std::uint64_t deadline_ns = 0,
+                             Clock* clock = nullptr)
+      : flag_(flag), deadline_ns_(deadline_ns), clock_(clock) {}
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool deadline_expired() const {
+    if (deadline_ns_ == 0) return false;
+    Clock& c = clock_ != nullptr ? *clock_ : steady_clock();
+    return c.now_ns() >= deadline_ns_;
+  }
+  [[nodiscard]] bool cancelled() const {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /// Throw util::Cancelled when cancelled; `site` names the checkpoint
+  /// (e.g. "evaluate.sta") in the message.  An explicit cancel request
+  /// wins over a simultaneous deadline expiry.
+  void check(const char* site) const {
+    if (cancel_requested()) {
+      throw Cancelled(Cancelled::Reason::kCancelled,
+                      std::string("cancelled at ") + site);
+    }
+    if (deadline_expired()) {
+      throw Cancelled(Cancelled::Reason::kDeadline,
+                      std::string("deadline expired at ") + site);
+    }
+  }
+
+ private:
+  const std::atomic<bool>* flag_ = nullptr;
+  std::uint64_t deadline_ns_ = 0;  ///< absolute, on `clock_`; 0 = none
+  Clock* clock_ = nullptr;
+};
+
+}  // namespace pml::util

@@ -7,8 +7,13 @@ namespace {
 // in a replacement operator new — including allocations made during
 // static initialization.
 thread_local std::uint64_t g_thread_allocs = 0;
+thread_local std::uint64_t g_thread_alloc_fail_countdown = 0;
 }  // namespace
 
 std::uint64_t& thread_alloc_count() noexcept { return g_thread_allocs; }
+
+std::uint64_t& thread_alloc_fail_countdown() noexcept {
+  return g_thread_alloc_fail_countdown;
+}
 
 }  // namespace pml::util

@@ -1,0 +1,10 @@
+#include "pml/util/clock.hpp"
+
+namespace pml::util {
+
+Clock& steady_clock() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace pml::util

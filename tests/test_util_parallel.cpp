@@ -1,0 +1,129 @@
+// Failure paths of util::run_workers, driven by the chaos allocation
+// hook: worker exceptions must drain the claim queue, join every thread,
+// and rethrow the first error; thread-*spawn* failures (std::bad_alloc
+// out of pool.reserve or a std::thread constructor) must never leak a
+// running thread or deadlock.  These paths back the sweep service's
+// worker pool, so they get direct coverage here.
+
+#include "pml/util/alloc_hook.hpp"
+
+PML_INSTALL_COUNTING_ALLOC_HOOK;
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+
+#include "pml/util/parallel.hpp"
+
+namespace pml::util {
+namespace {
+
+TEST(UtilParallel, SingleThreadRunsInlineOnCaller) {
+  std::atomic<std::size_t> queue{0};
+  std::size_t claimed = 0;
+  run_workers(1, queue, 0, [&](std::size_t t) {
+    EXPECT_EQ(t, 0u);
+    for (;;) {
+      const std::size_t i = queue.fetch_add(1);
+      if (i >= 8) return;
+      ++claimed;  // no synchronization needed: inline = this thread
+    }
+  });
+  EXPECT_EQ(claimed, 8u);
+}
+
+TEST(UtilParallel, WorkerExceptionDrainsQueueJoinsAllAndRethrows) {
+  constexpr std::size_t kItems = 10'000;
+  std::atomic<std::size_t> queue{0};
+  std::atomic<std::size_t> claimed{0};
+  auto worker = [&](std::size_t /*t*/) {
+    for (;;) {
+      const std::size_t i = queue.fetch_add(1);
+      if (i >= kItems) return;
+      if (i == 7) throw std::runtime_error("worker 7 exploded");
+      claimed.fetch_add(1);
+    }
+  };
+  try {
+    run_workers(4, queue, kItems, worker);
+    FAIL() << "expected the worker exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 7 exploded");
+  }
+  // The drain stored kItems into the claim counter, so siblings stopped
+  // claiming almost immediately — nowhere near the full queue.
+  EXPECT_LT(claimed.load(), kItems);
+  // All threads joined: reusing the (drained) queue is safe.
+  std::atomic<std::size_t> queue2{0};
+  std::atomic<std::size_t> done{0};
+  run_workers(4, queue2, 0, [&](std::size_t) {
+    for (;;) {
+      if (queue2.fetch_add(1) >= 64) return;
+      done.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(UtilParallel, FirstOfConcurrentExceptionsWins) {
+  // Every worker throws on its first claim; exactly one exception (the
+  // first recorded) must surface, the rest are swallowed by the drain.
+  std::atomic<std::size_t> queue{0};
+  EXPECT_THROW(run_workers(4, queue, 16,
+                           [&](std::size_t) {
+                             (void)queue.fetch_add(1);
+                             throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(UtilParallel, ThreadSpawnFailureNeverLeaksOrDeadlocks) {
+  // Arm the nth allocation on THIS thread (the armed countdown is
+  // thread-local, so worker-thread allocations are unaffected) and walk n
+  // across the whole spawn sequence: small n fails pool.reserve (before
+  // the try block — propagates without drain), later n fail inside a
+  // std::thread constructor (the drain-join-rethrow path), larger n
+  // either fire during the caller's inline worker run or never fire.
+  // Every case must end with all spawned threads joined and no deadlock.
+  bool saw_spawn_failure = false;
+  bool saw_success = false;
+  for (std::uint64_t nth = 1; nth <= 24; ++nth) {
+    std::atomic<std::size_t> queue{0};
+    std::atomic<std::size_t> claimed{0};
+    auto worker = [&](std::size_t) {
+      for (;;) {
+        if (queue.fetch_add(1) >= 32) return;
+        claimed.fetch_add(1);
+      }
+    };
+    arm_alloc_failure(nth);
+    try {
+      run_workers(4, queue, 32, worker);
+      disarm_alloc_failure();
+      saw_success = true;
+      EXPECT_EQ(claimed.load(), 32u);
+    } catch (const std::bad_alloc&) {
+      disarm_alloc_failure();
+      saw_spawn_failure = true;
+    }
+    // Whatever happened, the pool is gone: a fresh run works.
+    std::atomic<std::size_t> queue2{0};
+    std::atomic<std::size_t> claimed2{0};
+    run_workers(4, queue2, 32, [&](std::size_t) {
+      for (;;) {
+        if (queue2.fetch_add(1) >= 32) return;
+        claimed2.fetch_add(1);
+      }
+    });
+    EXPECT_EQ(claimed2.load(), 32u);
+  }
+  // The sweep must have exercised both outcomes, or the loop bound needs
+  // raising — fail loudly rather than silently losing coverage.
+  EXPECT_TRUE(saw_spawn_failure);
+  EXPECT_TRUE(saw_success);
+}
+
+}  // namespace
+}  // namespace pml::util
