@@ -7,17 +7,25 @@
 // bench_batch_sim) so scripts/check_perf.py can gate CI on regressions;
 // the human-readable summary goes to stderr.
 //
+// A SIMD comparison section times every compiled+supported wide lane-word
+// backend (AVX2, AVX-512) against the u64 reference with a finer chunking
+// (so the wide batch words actually fill) and emits simd.<name>_vs_u64
+// ratios — gated in CI as OPTIONAL-IF-UNSUPPORTED.
+//
 // Usage: bench_batch_event [--quick] [--trace out.json] [--metrics]
+//                          [--backend u64|avx2|avx512|auto]
 
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "pml/arch/sequential_svm.hpp"
 #include "pml/core/activity.hpp"
+#include "pml/sim/backend.hpp"
 #include "pml/core/flow.hpp"
 #include "pml/ml/multiclass.hpp"
 #include "pml/quant/svm_quant.hpp"
@@ -117,6 +125,7 @@ int main(int argc, char** argv) {
   aopts.num_threads = 1;
   aopts.chunk_samples = kChunk;
   aopts.time_quantum_ms = kQuantumMs;
+  aopts.backend = sim::parse_backend(args.backend);
   aopts.levelization = sim::levelize_shared(circuit.module);
   sw.restart();
   const sim::ActivityStats batch_stats = core::collect_activity(
@@ -154,6 +163,41 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  // --- SIMD backend comparison -----------------------------------------------
+  // Wide batch words need many lane-streams to fill: chunk_samples=4
+  // cuts the workload into n/4 chunks (512 for the quick 2048-sample
+  // workload — exactly one full AVX-512 batch), and the u64 reference is
+  // re-timed under the identical chunking so the ratio isolates the lane
+  // width.  Merged counts must stay bit-identical throughout.
+  const auto time_backend = [&](sim::Backend b) {
+    core::ActivityOptions sopts = aopts;
+    sopts.num_threads = 1;
+    sopts.chunk_samples = 4;
+    sopts.backend = b;
+    benchutil::Stopwatch ssw;
+    const sim::ActivityStats r = core::collect_activity(
+        circuit.module, lib, circuit.cycles_per_inference, wl, n, sopts);
+    return std::pair<double, std::uint64_t>(
+        static_cast<double>(n) / ssw.seconds(), total_toggles(r));
+  };
+  const auto [simd_u64_sps, simd_u64_toggles] =
+      time_backend(sim::Backend::kU64);
+  obs::Json simd = obs::Json::object();
+  bool simd_ok = true;
+  for (const sim::Backend b : sim::available_backends()) {
+    if (b == sim::Backend::kU64) continue;
+    const auto [sps, toggles] = time_backend(b);
+    simd_ok &= toggles == simd_u64_toggles;
+    const std::string name = sim::backend_name(b);
+    std::cerr << "  " << name << " (1 thr): " << static_cast<long>(sps)
+              << " samples/s  -> " << sps / simd_u64_sps << "x vs u64 ("
+              << sim::backend_lanes(b) << " lanes)"
+              << (toggles == simd_u64_toggles ? "" : "  [COUNTS DIVERGED!]")
+              << "\n";
+    simd.set(name + "_samples_per_sec", sps);
+    simd.set(name + "_vs_u64", sps / simd_u64_sps);
+  }
+
   // --- machine-readable record ----------------------------------------------
   obs::Json rec = session.record();
   rec.set("dataset", data.name);
@@ -182,12 +226,14 @@ int main(int argc, char** argv) {
                     .set("speedup_vs_scalar", p.sps / scalar_sps));
   }
   rec.set("thread_scaling", std::move(points));
+  rec.set("simd", std::move(simd));
   rec.write(std::cout);
   std::cout << "\n";
   session.finish();
 
-  if (total_toggles(batch_stats) == 0) {
-    std::cerr << "bench_batch_event: no activity counted — failing\n";
+  if (total_toggles(batch_stats) == 0 || !simd_ok) {
+    std::cerr << "bench_batch_event: no activity counted or SIMD counts "
+                 "diverged — failing\n";
     return 1;
   }
   return speedup >= 10.0 ? 0 : 2;

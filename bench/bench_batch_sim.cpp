@@ -6,15 +6,24 @@
 // Emits a machine-readable JSON object on stdout so future PRs can track
 // the perf trajectory; the human-readable summary goes to stderr.
 //
+// A SIMD comparison section times every compiled+supported wide lane-word
+// backend (AVX2, AVX-512) against the u64 reference on the same workload
+// and emits simd.<name>_vs_u64 ratios — gated in CI as
+// OPTIONAL-IF-UNSUPPORTED (absent on hardware without the extension,
+// regression-checked where present).
+//
 // Usage: bench_batch_sim [--quick] [--trace out.json] [--metrics]
+//                        [--backend u64|avx2|avx512|auto]
 
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "pml/arch/sequential_svm.hpp"
+#include "pml/sim/backend.hpp"
 #include "pml/core/flow.hpp"
 #include "pml/core/verify.hpp"
 #include "pml/ml/multiclass.hpp"
@@ -112,6 +121,7 @@ int main(int argc, char** argv) {
   // --- batch, single thread --------------------------------------------------
   core::VerifyOptions vopts;
   vopts.num_threads = 1;
+  vopts.backend = sim::parse_backend(args.backend);
   vopts.levelization = sim::levelize_shared(circuit.module);
   const auto obs_before = obs::snapshot_metrics();
   sw.restart();
@@ -173,6 +183,39 @@ int main(int argc, char** argv) {
               << " samples/s" << (r.ok() ? "" : "  [MISMATCHES!]") << "\n";
   }
 
+  // --- SIMD backend comparison -----------------------------------------------
+  // Single-thread lane-throughput of every available wide backend vs the
+  // u64 reference on the identical workload.  Each wide leg must also
+  // verify cleanly — the equivalence suite proves bit-exactness, this is
+  // the belt-and-braces check on the real workload.
+  const auto time_backend = [&](sim::Backend b) {
+    core::VerifyOptions sopts = vopts;
+    sopts.num_threads = 1;
+    sopts.backend = b;
+    benchutil::Stopwatch ssw;
+    const core::VerifyResult r = core::verify_workload(
+        circuit.module, circuit.cycles_per_inference, wl, sopts);
+    return std::pair<double, bool>(static_cast<double>(n) / ssw.seconds(),
+                                   r.ok());
+  };
+  const double u64_sps = vopts.backend == sim::Backend::kU64
+                             ? batch_sps
+                             : time_backend(sim::Backend::kU64).first;
+  obs::Json simd = obs::Json::object();
+  bool simd_ok = true;
+  for (const sim::Backend b : sim::available_backends()) {
+    if (b == sim::Backend::kU64) continue;
+    const auto [sps, ok] = time_backend(b);
+    simd_ok &= ok;
+    const std::string name = sim::backend_name(b);
+    std::cerr << "  " << name << " (1 thr): " << static_cast<long>(sps)
+              << " samples/s  -> " << sps / u64_sps << "x vs u64 ("
+              << sim::backend_lanes(b) << " lanes)"
+              << (ok ? "" : "  [MISMATCHES!]") << "\n";
+    simd.set(name + "_samples_per_sec", sps);
+    simd.set(name + "_vs_u64", sps / u64_sps);
+  }
+
   // --- machine-readable record ----------------------------------------------
   obs::Json rec = session.record();
   rec.set("dataset", data.name);
@@ -205,11 +248,12 @@ int main(int argc, char** argv) {
                     .set("speedup_vs_scalar", p.sps / scalar_sps));
   }
   rec.set("thread_scaling", std::move(points));
+  rec.set("simd", std::move(simd));
   rec.write(std::cout);
   std::cout << "\n";
   session.finish();
 
-  if (!single.ok() || scalar_matches != n) {
+  if (!single.ok() || scalar_matches != n || !simd_ok) {
     std::cerr << "bench_batch_sim: verification mismatches — failing\n";
     return 1;
   }

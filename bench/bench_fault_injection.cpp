@@ -20,15 +20,23 @@
 // gate via scripts/check_perf.py); the human-readable summary goes to
 // stderr.
 //
+// A SIMD comparison section times every compiled+supported wide lane-word
+// backend against u64 on a variant set sized to fill one AVX-512 pass
+// (511 variants + golden) and emits simd.<name>_vs_u64 ratios — gated in
+// CI as OPTIONAL-IF-UNSUPPORTED.
+//
 // Usage: bench_fault_injection [--quick] [--trace out.json] [--metrics]
+//                              [--backend u64|avx2|avx512|auto]
 
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "pml/arch/parallel_svm.hpp"
+#include "pml/sim/backend.hpp"
 #include "pml/arch/sequential_svm.hpp"
 #include "pml/core/fault_campaign.hpp"
 #include "pml/ml/multiclass.hpp"
@@ -144,6 +152,7 @@ int main(int argc, char** argv) {
   core::FaultCampaignOptions copts;
   copts.num_threads = 1;
   copts.max_samples = n;
+  copts.backend = sim::parse_backend(args.backend);
   copts.levelization = sim::levelize_shared(seq.module);
   // The batch path clears one quick-mode pass in a few ms — too short for
   // a stable CI gate — so repeat it until at least 0.25 s has elapsed and
@@ -273,6 +282,53 @@ int main(int argc, char** argv) {
               << " variant-samples/s\n";
   }
 
+  // --- SIMD backend comparison -----------------------------------------------
+  // 511 two-fault variants fill one AVX-512 pass (kLanes - 1 variants +
+  // the golden lane) and 2/8 passes of AVX2/u64, so the ratio reflects
+  // steady-state packing, not underfilled wide words.  Every backend must
+  // report identical per-variant counts.
+  const auto simd_sets =
+      core::sample_fault_sets(seq.module, /*faults_per_set=*/2, 511,
+                              /*seed=*/0x51D0);
+  const auto time_backend = [&](sim::Backend b) {
+    core::FaultCampaignOptions sopts = copts;
+    sopts.backend = b;
+    core::FaultCampaignResult r;
+    std::size_t reps = 0;
+    benchutil::Stopwatch ssw;
+    double secs = 0.0;
+    for (;; ++reps) {
+      r = core::run_fault_campaign(seq.module, seq.cycles_per_inference, wl,
+                                   simd_sets, sopts);
+      secs = ssw.seconds();
+      if (secs >= 0.25) break;
+    }
+    const double vsps = static_cast<double>(simd_sets.size() * n) *
+                        static_cast<double>(reps + 1) / secs;
+    return std::pair<double, core::FaultCampaignResult>(vsps, std::move(r));
+  };
+  const auto [simd_u64_vsps, simd_u64_result] =
+      time_backend(sim::Backend::kU64);
+  obs::Json simd = obs::Json::object();
+  bool simd_ok = true;
+  for (const sim::Backend b : sim::available_backends()) {
+    if (b == sim::Backend::kU64) continue;
+    const auto [vsps, r] = time_backend(b);
+    bool equal = r.golden.misclassified == simd_u64_result.golden.misclassified;
+    for (std::size_t i = 0; i < r.variants.size(); ++i) {
+      equal &= r.variants[i].misclassified ==
+               simd_u64_result.variants[i].misclassified;
+    }
+    simd_ok &= equal;
+    const std::string name = sim::backend_name(b);
+    std::cerr << "  " << name << " (1 thr): " << static_cast<long>(vsps)
+              << " variant-samples/s  -> " << vsps / simd_u64_vsps
+              << "x vs u64 (" << sim::backend_lanes(b) << " lanes)"
+              << (equal ? "" : "  [MISMATCHES!]") << "\n";
+    simd.set(name + "_variant_samples_per_sec", vsps);
+    simd.set(name + "_vs_u64", vsps / simd_u64_vsps);
+  }
+
   // --- machine-readable record ----------------------------------------------
   obs::Json rec = session.record();
   rec.set("dataset", data.name);
@@ -328,11 +384,12 @@ int main(int argc, char** argv) {
                     .set("speedup_vs_scalar", p.vsps / scalar_vsps));
   }
   rec.set("thread_scaling", std::move(points));
+  rec.set("simd", std::move(simd));
   rec.write(std::cout);
   std::cout << "\n";
   session.finish();
 
-  if (!counts_match) {
+  if (!counts_match || !simd_ok) {
     std::cerr << "bench_fault_injection: scalar/batch mismatch — failing\n";
     return 1;
   }

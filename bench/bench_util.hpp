@@ -46,11 +46,18 @@ inline PreparedData prepare(ml::UciProfile profile,
 ///   --smoke          smallest meaningful workload (single dataset)
 ///   --trace <file>   write a Chrome trace-event JSON of the run
 ///   --metrics        print the metrics-registry delta to stderr at exit
+///   --backend <b>    lane-word SIMD backend (u64|avx2|avx512|auto) for
+///                    the gated batch legs.  Defaults to "u64" — the
+///                    reference backend — so the baseline-gated
+///                    batch.speedup_vs_scalar numbers stay comparable
+///                    across machines; the SIMD comparison legs always
+///                    run every available wide backend regardless.
 struct ObsArgs {
   bool quick = false;
   bool smoke = false;
   bool metrics = false;
   std::string trace_file;  ///< empty = tracing off
+  std::string backend = "u64";
 };
 
 inline ObsArgs parse_args(int argc, char** argv) {
@@ -64,6 +71,8 @@ inline ObsArgs parse_args(int argc, char** argv) {
       args.metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       args.trace_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      args.backend = argv[++i];
     }
   }
   return args;

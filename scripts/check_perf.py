@@ -22,7 +22,12 @@ from the baseline's recorded run, printed for context but never gated.
 
 A gated metric missing from the current record, or declared with a
 non-numeric value in the baseline, is an error — a silently vanished
-metric must never read as a pass.  So is a NaN or infinite value on
+metric must never read as a pass.  The one exception is SIMD backend
+metrics (any gated path containing "avx"): those are
+OPTIONAL-IF-UNSUPPORTED, because a bench running on hardware without the
+extension (or a build without PML_SIMD_BACKENDS) legitimately omits them
+— they are reported as "SKIP (unsupported)" when absent, but are still
+regression-checked like any other metric when present.  So is a NaN or infinite value on
 either side: every float comparison against NaN is false, which would
 make a bench that divides by zero sail through the regression check.  Every CURRENT/BASELINE pair is
 processed even when an earlier pair is unreadable or regressed, so one
@@ -95,6 +100,13 @@ def check_pair(current_path, baseline_path, rows, failures):
             continue
         cur_value = lookup(current, metric)
         if cur_value is None:
+            if "avx" in metric:
+                # OPTIONAL-IF-UNSUPPORTED: SIMD backend metrics vanish on
+                # hardware/builds without the extension; that is not a
+                # regression.  Present-but-regressed still fails below.
+                rows.append((bench, metric, f"{base_value:.6g}", "missing",
+                             "-", "SKIP (unsupported)"))
+                continue
             rows.append((bench, metric, f"{base_value:.6g}", "missing", "-",
                          "NO-CURRENT"))
             failures.append(f"{bench}: gated metric '{metric}' is missing "

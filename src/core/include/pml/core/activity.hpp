@@ -3,8 +3,9 @@
 // evaluate_circuit's power step (flow step 7).
 //
 // The power-replay samples are cut into contiguous chunks of
-// `chunk_samples`; each chunk becomes one lane-stream of a 64-way
-// sim::BatchEventSimulator, and batches of 64 chunks are sharded across
+// `chunk_samples`; each chunk becomes one lane-stream of a bit-parallel
+// sim::BatchEventSimulator, and batches of kLanes chunks (64 on the u64
+// reference backend, wider under AVX) are sharded across
 // std::thread workers (each worker owns one simulator; all workers share
 // one Levelization — the same pattern as core::verify_workload).  Each
 // batch warms up every lane on its chunk's first sample, clears the
@@ -39,7 +40,7 @@ struct ActivityOptions {
   /// Contiguous samples per lane-stream.  Larger chunks amortize the
   /// warm-up round over more counted samples but expose less lane
   /// parallelism for a given sample count (utilization needs
-  /// >= 64 x chunk_samples samples per batch).
+  /// >= kLanes x chunk_samples samples per batch).
   std::size_t chunk_samples = 16;
   /// Event-simulator tick (ms); must match the scalar reference for
   /// bit-exact equivalence.
@@ -56,10 +57,15 @@ struct ActivityOptions {
   /// Optional cooperative cancellation, checked between worker batches
   /// (throws util::Cancelled).  Null = no checks.
   const util::CancellationToken* cancel = nullptr;
+  /// SWAR lane-word backend (kAuto = widest available; see
+  /// sim::resolve_backend).  Bit-exact against u64 by construction, so
+  /// the merged ActivityStats never depend on it.
+  sim::Backend backend = sim::Backend::kAuto;
 };
 
 /// Replay the first `num_samples` workload samples (clamped to the
-/// workload size) through sharded 64-way batch-event workers and return
+/// workload size) through sharded bit-parallel batch-event workers and
+/// return
 /// the merged delay-accurate ActivityStats — per-net transition counts
 /// including glitches, DFF clock events, and counted cycles — ready for
 /// power::estimate.  `cycles_per_inference` clock cycles per sample for

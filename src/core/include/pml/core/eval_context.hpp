@@ -33,6 +33,7 @@
 
 #include "pml/netlist/module.hpp"
 #include "pml/power/power.hpp"
+#include "pml/sim/backend.hpp"
 #include "pml/sim/batch_event_sim.hpp"
 #include "pml/sim/batch_sim.hpp"
 #include "pml/sim/event_sim.hpp"
@@ -48,9 +49,18 @@ class EvalContext {
   /// deque so growing the pool never moves (or copies) a simulator that
   /// an earlier evaluation warmed up.
   struct WorkerScratch {
-    sim::BatchSimulator batch;       ///< verification engine
-    sim::BatchEventSimulator event;  ///< power/glitch replay engine
+    sim::BatchSimulator batch;       ///< verification engine (u64 backend)
+    sim::BatchEventSimulator event;  ///< power/glitch replay engine (u64)
     sim::ActivityStats activity;     ///< this slot's partial counts
+    /// Wide-backend pooling: when an evaluation runs on an AVX backend,
+    /// its BatchSimulatorT<LaneAvx*> / BatchEventSimulatorT<LaneAvx*>
+    /// live here type-erased (only the per-flag backend TUs may name the
+    /// concrete types), tagged with the backend that created them so a
+    /// backend switch drops the stale pair.  The u64 members above stay
+    /// dedicated — the zero-allocation contract is proven on them.
+    std::shared_ptr<void> lane_batch;
+    std::shared_ptr<void> lane_event;
+    sim::Backend lane_backend = sim::Backend::kU64;
   };
 
   EvalContext() = default;

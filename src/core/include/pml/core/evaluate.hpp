@@ -2,13 +2,13 @@
 // Gate-level evaluation harness: the stand-in for the paper's Synopsys
 // DC + PrimeTime step.
 //
-//  1. *Verify*: simulate the circuit (64-way bit-parallel zero-delay batch
+//  1. *Verify*: simulate the circuit (bit-parallel zero-delay batch
 //     simulator, sharded across threads — see core/verify.hpp) on every
 //     workload sample and require the predicted class to equal the integer
 //     software model's prediction — bit-exactness is a hard gate.
 //  2. *Time*: STA gives the critical path => clock frequency and latency.
 //  3. *Power*: a sample subset is replayed with real gate delays through
-//     sharded 64-way bit-parallel batch-event workers (see
+//     sharded bit-parallel batch-event workers (see
 //     core/activity.hpp), counting every transition (including glitches);
 //     the power model converts the merged counts to dynamic power and
 //     adds static.
@@ -63,8 +63,14 @@ struct EvaluateOptions {
   /// is cost-driven ("balanced") or a selection policy ("best"): the
   /// opt::SwitchingEnergyCost replays them through the batch event
   /// simulator to price candidate netlists by measured switching energy.
-  /// Capped at 64 (one lane each); 0 falls back to the cell-count model.
+  /// Capped at one reference batch (sim::BatchSimulator::kLanes, one lane
+  /// each); 0 falls back to the cell-count model.
   std::size_t flow_probe_samples = 48;
+  /// SIMD lane-word backend for the verify and activity phases (and the
+  /// cost-model probe replays).  kAuto picks the widest backend the CPU
+  /// supports; results are bit-identical across backends — only
+  /// throughput changes.
+  sim::Backend backend = sim::Backend::kAuto;
   /// Optional cooperative cancellation: checked at every phase boundary
   /// (optimize -> levelize -> verify -> sta -> activity -> power) and
   /// threaded into the verify/activity worker batch loops, so a cancel

@@ -6,7 +6,9 @@
 // and the paper's folded sequential SVM concentrates risk: one shared MAC
 // engine means a single stuck-at fault corrupts every class score.  A
 // campaign takes a list of fault sets (each a list of stuck-at sites),
-// packs 63 of them per pass of the 64-way sim::BatchFaultSimulator (lane 0
+// packs kLanes - 1 of them per pass of the bit-parallel
+// sim::BatchFaultSimulator — 63 / 255 / 511 under u64 / AVX2 / AVX-512
+// (lane 0
 // carries the fault-free golden reference for free), and shards the
 // batches across std::thread workers sharing one Levelization — the same
 // pattern as core::verify_workload / core::collect_activity.
@@ -66,8 +68,12 @@ struct FaultCampaignOptions {
   std::shared_ptr<const sim::Levelization> levelization;
   /// Optional cooperative cancellation, checked between worker batches
   /// (throws util::Cancelled) — a multi-hour campaign can be abandoned
-  /// at the next 63-variant batch boundary.  Null = no checks.
+  /// at the next variant-batch boundary.  Null = no checks.
   const util::CancellationToken* cancel = nullptr;
+  /// SWAR lane-word backend (kAuto = widest available; see
+  /// sim::resolve_backend).  A wider backend packs more variants per pass
+  /// (63 / 255 / 511 + the golden lane) with identical per-variant counts.
+  sim::Backend backend = sim::Backend::kAuto;
 };
 
 struct FaultVariantResult {

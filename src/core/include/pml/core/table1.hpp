@@ -9,6 +9,7 @@
 #include "pml/cells/library.hpp"
 #include "pml/core/hardware_report.hpp"
 #include "pml/ml/synthetic_datasets.hpp"
+#include "pml/sim/backend.hpp"
 
 namespace pml::core {
 
@@ -29,6 +30,10 @@ struct Table1Options {
   /// "balanced", "none", "best"); empty keeps the default.  The baselines
   /// always use their published (area-driven) flow.
   std::string flow;
+  /// SIMD lane-word backend for every evaluation in the table (ours and
+  /// baselines).  Results are backend-invariant; benches pin this to
+  /// compare throughput.
+  sim::Backend backend = sim::Backend::kAuto;
 };
 
 struct Table1Summary {

@@ -2,8 +2,9 @@
 // Batched, multi-threaded bit-exactness verification — the engine behind
 // evaluate_circuit's hard gate (flow step 6).
 //
-// The workload is cut into 64-sample batches; each batch is classified in
-// one pass of the 64-way bit-parallel sim::BatchSimulator, and batches are
+// The workload is cut into kLanes-sample batches (64 on the u64 reference
+// backend, 256/512 under AVX2/AVX-512); each batch is classified in one
+// pass of the bit-parallel sim::BatchSimulator, and batches are
 // sharded across std::thread workers (each worker owns one simulator; all
 // workers share one Levelization).  Sequential circuits free-run across
 // the batches each worker claims — no reset between batches — exercising
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "pml/netlist/module.hpp"
+#include "pml/sim/backend.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/util/cancellation.hpp"
 
@@ -57,6 +59,10 @@ struct VerifyOptions {
   /// the next batch boundary instead of running to completion.  Null
   /// (the default) costs one branch per batch.
   const util::CancellationToken* cancel = nullptr;
+  /// SWAR lane-word backend (kAuto = widest available; see
+  /// sim::resolve_backend).  Every backend is bit-exact against u64, so
+  /// this knob can never change the result — only throughput.
+  sim::Backend backend = sim::Backend::kAuto;
 };
 
 struct VerifyMismatch {

@@ -1,87 +1,13 @@
 #include "pml/core/activity.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
-#include <vector>
 
+#include "backends/kernels.hpp"
 #include "pml/core/eval_context.hpp"
-#include "pml/obs/metrics.hpp"
-#include "pml/obs/trace.hpp"
-#include "pml/sim/batch_event_sim.hpp"
-#include "pml/util/parallel.hpp"
+#include "pml/sim/backend.hpp"
 
 namespace pml::core {
-
-namespace {
-
-constexpr std::size_t kLanes = sim::BatchEventSimulator::kLanes;
-
-/// One worker's claim: replay batch `b` (chunks [b*kLanes, ...)) through
-/// its own BatchEventSimulator and merge the counts into `local`.
-void run_batch(sim::BatchEventSimulator& bsim, std::size_t batch,
-               std::size_t num_chunks, std::size_t chunk_samples,
-               std::size_t num_samples, bool sequential,
-               int cycles_per_inference,
-               const std::vector<std::vector<std::int64_t>>& samples,
-               const std::vector<const netlist::Port*>& ports,
-               sim::ActivityStats& local) {
-  const std::size_t chunk_begin = batch * kLanes;
-  const std::size_t lanes = std::min(kLanes, num_chunks - chunk_begin);
-  std::uint64_t lane_values[kLanes];
-
-  // Sample index for chunk-lane L at round r, clamped to the chunk's last
-  // sample once the (ragged final) chunk is exhausted: holding the inputs
-  // produces no events in that lane, and the count mask excludes it.
-  const auto sample_at = [&](std::size_t lane, std::size_t r) {
-    const std::size_t begin = (chunk_begin + lane) * chunk_samples;
-    const std::size_t len =
-        std::min(chunk_samples, num_samples - begin);  // >= 1
-    return begin + std::min(r, len - 1);
-  };
-  const auto lane_len = [&](std::size_t lane) {
-    return std::min(chunk_samples,
-                    num_samples - (chunk_begin + lane) * chunk_samples);
-  };
-
-  const auto apply_round = [&](std::size_t r) {
-    for (std::size_t j = 0; j < ports.size(); ++j) {
-      for (std::size_t lane = 0; lane < lanes; ++lane) {
-        lane_values[lane] =
-            static_cast<std::uint64_t>(samples[sample_at(lane, r)][j]);
-      }
-      bsim.set_port(*ports[j], lane_values, lanes);
-    }
-    if (sequential) {
-      for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
-    } else {
-      bsim.settle();
-    }
-  };
-
-  bsim.reset();
-  // Warm-up round on each chunk's first sample, then discard the counts
-  // so every lane starts from its steady state (the scalar protocol).
-  bsim.set_count_mask(lanes == kLanes ? ~std::uint64_t{0}
-                                      : (std::uint64_t{1} << lanes) - 1);
-  apply_round(0);
-  bsim.clear_activity();
-
-  // Replay rounds; chunk 0 of the batch is always the longest.
-  const std::size_t rounds = lane_len(0);
-  for (std::size_t r = 0; r < rounds; ++r) {
-    std::uint64_t mask = 0;
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      if (r < lane_len(lane)) mask |= std::uint64_t{1} << lane;
-    }
-    bsim.set_count_mask(mask);
-    apply_round(r);
-  }
-  local.accumulate(bsim.activity());
-}
-
-}  // namespace
 
 sim::ActivityStats collect_activity(const netlist::Module& module,
                                     const cells::CellLibrary& lib,
@@ -125,71 +51,28 @@ void collect_activity_into(sim::ActivityStats& out,
   const std::shared_ptr<const sim::Levelization> lv =
       options.levelization != nullptr ? options.levelization
                                       : sim::levelize_shared(module);
-  const bool sequential = !lv->dffs.empty();
 
-  const std::size_t chunk = std::max<std::size_t>(1, options.chunk_samples);
-  const std::size_t num_chunks = (n + chunk - 1) / chunk;
-  const std::size_t num_batches = (num_chunks + kLanes - 1) / kLanes;
-  std::size_t num_threads =
-      options.num_threads != 0
-          ? options.num_threads
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  num_threads = std::min(num_threads, num_batches);
+  backends::ActivityJob job;
+  job.module = &module;
+  job.lv = lv;
+  job.ports = &ports;
+  job.sequential = !lv->dffs.empty();
+  job.cycles_per_inference = cycles_per_inference;
+  job.cancel = options.cancel;
+  job.lib = &lib;
+  job.time_quantum_ms = options.time_quantum_ms;
+  job.samples = &workload.feature_codes;
+  job.num_samples = n;
+  job.chunk_samples = std::max<std::size_t>(1, options.chunk_samples);
+  job.num_threads = options.num_threads;
+  job.context = options.context;
 
-  std::atomic<std::size_t> next_batch{0};
-  // One stats slot per worker; summed after the join.  Addition of
-  // integer counts is commutative, so the total is independent of which
-  // worker claims which batch.  Pooled slots live in the context (reused
-  // capacity); otherwise a per-call vector.
-  const std::size_t nets = module.num_nets();
-  std::vector<sim::ActivityStats> local_partials;
-  if (options.context != nullptr) {
-    options.context->ensure_workers(num_threads);
-  } else {
-    local_partials.resize(num_threads);
-  }
-  auto partial = [&](std::size_t slot) -> sim::ActivityStats& {
-    return options.context != nullptr
-               ? options.context->worker(slot).activity
-               : local_partials[slot];
-  };
-  for (std::size_t t = 0; t < num_threads; ++t) {
-    sim::ActivityStats& p = partial(t);
-    p.net_toggles.assign(nets, 0);
-    p.net_functional.assign(nets, 0);
-    p.dff_clock_events = 0;
-    p.cycles = 0;
-  }
-
-  auto worker = [&](std::size_t slot) {
-    PML_OBS_SPAN("activity.worker");
-    sim::ActivityStats& local = partial(slot);
-    // Pooled path: rebind this slot's warmed simulator (zero allocation
-    // for same-shaped modules); otherwise bind a per-call local.
-    sim::BatchEventSimulator local_sim;
-    sim::BatchEventSimulator& bsim =
-        options.context != nullptr ? options.context->worker(slot).event
-                                   : local_sim;
-    if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
-    bsim.rebind(module, lib, options.time_quantum_ms, lv);
-    for (;;) {
-      // Cancellation checkpoint between batches (see verify_workload).
-      if (options.cancel != nullptr) options.cancel->check("activity.batch");
-      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
-      if (b >= num_batches) return;
-      PML_OBS_COUNT("sim.batch_event.batches", 1);
-      run_batch(bsim, b, num_chunks, chunk, n, sequential,
-                cycles_per_inference, workload.feature_codes, ports, local);
-    }
-  };
-
-  util::run_workers(num_threads, next_batch, num_batches, worker);
-
-  out.net_toggles.assign(nets, 0);
-  out.net_functional.assign(nets, 0);
-  out.dff_clock_events = 0;
-  out.cycles = 0;
-  for (std::size_t t = 0; t < num_threads; ++t) out.accumulate(partial(t));
+  // Chunking is deterministic in chunk_samples alone; only the grouping
+  // of chunks into batches (and so the thread clamp) depends on the
+  // backend's lane width, and the merged counts are invariant to it.
+  const backends::Kernels& k =
+      backends::kernels_for(sim::resolve_backend(options.backend));
+  k.activity(job, out);
 }
 
 }  // namespace pml::core

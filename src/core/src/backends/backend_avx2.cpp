@@ -1,0 +1,24 @@
+// The 256-lane AVX2 kernel table.  This TU is compiled with -mavx2 (set
+// per-source by CMake when the compiler supports it and PML_SIMD_BACKENDS
+// is ON) — it is the ONLY place BatchSimulatorT<LaneAvx2> and friends are
+// instantiated, so no other object file contains AVX2 instructions.  The
+// double guard (PML_SIM_HAVE_AVX2 from CMake, __AVX2__ from the flag)
+// collapses the TU to a nullptr table when either is missing.
+#include "kernels.hpp"
+
+#if defined(PML_SIM_HAVE_AVX2) && defined(__AVX2__)
+#include "batch_loops.hpp"
+#endif
+
+namespace pml::core::backends {
+
+const Kernels* kernels_avx2() {
+#if defined(PML_SIM_HAVE_AVX2) && defined(__AVX2__)
+  static const Kernels k = make_kernels<sim::LaneAvx2>();
+  return &k;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace pml::core::backends

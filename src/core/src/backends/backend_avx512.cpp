@@ -1,0 +1,25 @@
+// The 512-lane AVX-512 kernel table.  This TU is compiled with -mavx512f
+// (set per-source by CMake when the compiler supports it and
+// PML_SIMD_BACKENDS is ON) — it is the ONLY place
+// BatchSimulatorT<LaneAvx512> and friends are instantiated, so no other
+// object file contains AVX-512 instructions.  The double guard
+// (PML_SIM_HAVE_AVX512 from CMake, __AVX512F__ from the flag) collapses
+// the TU to a nullptr table when either is missing.
+#include "kernels.hpp"
+
+#if defined(PML_SIM_HAVE_AVX512) && defined(__AVX512F__)
+#include "batch_loops.hpp"
+#endif
+
+namespace pml::core::backends {
+
+const Kernels* kernels_avx512() {
+#if defined(PML_SIM_HAVE_AVX512) && defined(__AVX512F__)
+  static const Kernels k = make_kernels<sim::LaneAvx512>();
+  return &k;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace pml::core::backends

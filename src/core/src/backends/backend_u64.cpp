@@ -1,0 +1,14 @@
+// The always-built 64-lane scalar kernel table: the reference backend the
+// wide ones are proven bit-exact against, and the fallback on CPUs (or
+// builds) without AVX.
+#include "batch_loops.hpp"
+#include "kernels.hpp"
+
+namespace pml::core::backends {
+
+const Kernels* kernels_u64() {
+  static const Kernels k = make_kernels<sim::LaneU64>();
+  return &k;
+}
+
+}  // namespace pml::core::backends

@@ -1,0 +1,466 @@
+#pragma once
+// The width-generic worker loops behind the Kernels table (kernels.hpp).
+//
+// Each backend TU instantiates these templates on its LaneWord — they are
+// the former bodies of verify_workload / collect_activity_into /
+// run_fault_campaign, verbatim in protocol (claim order, cancellation
+// checkpoints, obs span/counter names, pooling, lowest-index-first
+// mismatch, warm-up rounds, golden-lane bookkeeping), with every literal
+// 64 replaced by the backend's lane width.  Keeping them here, included
+// ONLY from the per-backend TUs, means the vector instantiations are
+// compiled exactly once each, under the right -m flags.
+//
+// Width-invariance (why every backend returns identical results):
+//  - verify: each lane's sample is simulated independently; lane packing
+//    only changes which word a sample rides in, never its value stream.
+//  - activity: chunk_samples defines the per-chunk replay streams; each
+//    chunk warms up and counts independently, so the summed counters are
+//    independent of how chunks are grouped into batches.
+//  - fault: every batch starts from power-on reset and variants are
+//    lane-independent, so per-variant counts do not depend on packing
+//    (63 vs 255 vs 511 variants per pass).
+//  - probe: reset-per-batch makes even free-running sequential state
+//    width-invariant (see backend_probe.hpp).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "kernels.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/obs/trace.hpp"
+#include "pml/sim/batch_event_sim.hpp"
+#include "pml/sim/batch_fault_sim.hpp"
+#include "pml/sim/batch_sim.hpp"
+#include "pml/sim/lanes.hpp"
+#include "pml/util/parallel.hpp"
+
+namespace pml::core::backends {
+
+template <class L>
+inline constexpr sim::Backend kBackendOf = sim::Backend::kU64;
+#if defined(__AVX2__)
+template <>
+inline constexpr sim::Backend kBackendOf<sim::LaneAvx2> = sim::Backend::kAvx2;
+#endif
+#if defined(__AVX512F__)
+template <>
+inline constexpr sim::Backend kBackendOf<sim::LaneAvx512> =
+    sim::Backend::kAvx512;
+#endif
+
+/// Build the chunked mask with lanes [0, count) set.
+template <class L>
+inline void lanes_mask_chunks(std::size_t count, std::uint64_t* mask) {
+  for (std::size_t c = 0; c < L::kChunks; ++c) {
+    const std::size_t lo = c * 64;
+    mask[c] = count >= lo + 64 ? ~std::uint64_t{0}
+              : count <= lo    ? 0
+                               : (std::uint64_t{1} << (count - lo)) - 1;
+  }
+}
+
+/// Pooled simulators.  The u64 loops keep using the dedicated
+/// WorkerScratch::batch / ::event members (the slots the zero-allocation
+/// contract is proven on); wide backends pool through the type-erased
+/// lane_batch / lane_event slots, tagged with their backend so a context
+/// that switches backend between evaluations drops the stale pair.
+template <class L>
+[[nodiscard]] inline sim::BatchSimulatorT<L>& pooled_batch(
+    EvalContext::WorkerScratch& ws) {
+  if constexpr (std::is_same_v<L, sim::LaneU64>) {
+    return ws.batch;
+  } else {
+    if (ws.lane_backend != kBackendOf<L> || ws.lane_batch == nullptr) {
+      if (ws.lane_backend != kBackendOf<L>) {
+        ws.lane_batch.reset();
+        ws.lane_event.reset();
+        ws.lane_backend = kBackendOf<L>;
+      }
+      ws.lane_batch = std::make_shared<sim::BatchSimulatorT<L>>();
+    }
+    return *std::static_pointer_cast<sim::BatchSimulatorT<L>>(ws.lane_batch);
+  }
+}
+
+template <class L>
+[[nodiscard]] inline sim::BatchEventSimulatorT<L>& pooled_event(
+    EvalContext::WorkerScratch& ws) {
+  if constexpr (std::is_same_v<L, sim::LaneU64>) {
+    return ws.event;
+  } else {
+    if (ws.lane_backend != kBackendOf<L> || ws.lane_event == nullptr) {
+      if (ws.lane_backend != kBackendOf<L>) {
+        ws.lane_batch.reset();
+        ws.lane_event.reset();
+        ws.lane_backend = kBackendOf<L>;
+      }
+      ws.lane_event = std::make_shared<sim::BatchEventSimulatorT<L>>();
+    }
+    return *std::static_pointer_cast<sim::BatchEventSimulatorT<L>>(
+        ws.lane_event);
+  }
+}
+
+[[nodiscard]] inline std::size_t clamp_threads(std::size_t requested,
+                                               std::size_t num_batches) {
+  const std::size_t n =
+      requested != 0
+          ? requested
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min(n, num_batches);
+}
+
+// --- verify -----------------------------------------------------------------
+
+template <class L>
+void run_verify_loop(const VerifyJob& job, VerifyResult& result) {
+  constexpr std::size_t kLanes = L::kWidth;
+  const CircuitWorkload& workload = *job.workload;
+  const std::vector<const netlist::Port*>& ports = *job.ports;
+  const std::size_t num_samples = workload.feature_codes.size();
+  const std::size_t num_batches = (num_samples + kLanes - 1) / kLanes;
+  const std::size_t num_threads = clamp_threads(job.num_threads, num_batches);
+
+  std::atomic<std::size_t> next_batch{0};
+  std::atomic<std::size_t> mismatch_count{0};
+  std::mutex mu;  // guards result.first (mismatches are the rare path)
+
+  if (job.context != nullptr) job.context->ensure_workers(num_threads);
+
+  auto worker = [&](std::size_t slot) {
+    PML_OBS_SPAN("verify.worker");
+    // Pooled path: rebind this slot's warmed simulator (zero allocation
+    // for same-shaped modules); otherwise bind a per-call local.
+    sim::BatchSimulatorT<L> local;
+    sim::BatchSimulatorT<L>& bsim =
+        job.context != nullptr ? pooled_batch<L>(job.context->worker(slot))
+                               : local;
+    if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
+    bsim.rebind(*job.module, job.lv);
+    std::uint64_t lane_values[kLanes];
+    for (;;) {
+      if (mismatch_count.load(std::memory_order_relaxed) >=
+          job.max_mismatches) {
+        return;
+      }
+      // Cancellation checkpoint between batches: the throw propagates
+      // through run_workers (siblings drain, threads join) so a cancel
+      // or deadline stops the whole verification promptly.
+      if (job.cancel != nullptr) job.cancel->check("verify.batch");
+      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_batches) return;
+      PML_OBS_COUNT("sim.batch.batches", 1);
+      const std::size_t begin = b * kLanes;
+      const std::size_t count = std::min(kLanes, num_samples - begin);
+      bsim.set_active_lanes(count);
+      for (std::size_t j = 0; j < ports.size(); ++j) {
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          lane_values[lane] = static_cast<std::uint64_t>(
+              workload.feature_codes[begin + lane][j]);
+        }
+        bsim.set_port(*ports[j], lane_values, count);
+      }
+      if (job.sequential) {
+        for (int c = 0; c < job.cycles_per_inference; ++c) bsim.step();
+      } else {
+        bsim.propagate();
+      }
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        const int predicted =
+            static_cast<int>(bsim.port_unsigned(*job.class_port, lane));
+        const std::size_t s = begin + lane;
+        if (predicted != workload.expected_class[s]) {
+          mismatch_count.fetch_add(1, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(mu);
+          if (!result.first.has_value() || s < result.first->sample) {
+            result.first =
+                VerifyMismatch{s, predicted, workload.expected_class[s]};
+          }
+        }
+      }
+    }
+  };
+
+  util::run_workers(num_threads, next_batch, num_batches, worker);
+
+  result.mismatches = mismatch_count.load();
+}
+
+// --- activity ---------------------------------------------------------------
+
+/// One worker's claim: replay batch `b` (chunks [b*kLanes, ...)) through
+/// its own BatchEventSimulator and merge the counts into `local`.
+template <class L>
+void run_activity_batch(sim::BatchEventSimulatorT<L>& bsim, std::size_t batch,
+                        std::size_t num_chunks, std::size_t chunk_samples,
+                        std::size_t num_samples, bool sequential,
+                        int cycles_per_inference,
+                        const std::vector<std::vector<std::int64_t>>& samples,
+                        const std::vector<const netlist::Port*>& ports,
+                        sim::ActivityStats& local) {
+  constexpr std::size_t kLanes = L::kWidth;
+  const std::size_t chunk_begin = batch * kLanes;
+  const std::size_t lanes = std::min(kLanes, num_chunks - chunk_begin);
+  std::uint64_t lane_values[kLanes];
+  std::uint64_t mask[L::kChunks];
+
+  // Sample index for chunk-lane L at round r, clamped to the chunk's last
+  // sample once the (ragged final) chunk is exhausted: holding the inputs
+  // produces no events in that lane, and the count mask excludes it.
+  const auto sample_at = [&](std::size_t lane, std::size_t r) {
+    const std::size_t begin = (chunk_begin + lane) * chunk_samples;
+    const std::size_t len =
+        std::min(chunk_samples, num_samples - begin);  // >= 1
+    return begin + std::min(r, len - 1);
+  };
+  const auto lane_len = [&](std::size_t lane) {
+    return std::min(chunk_samples,
+                    num_samples - (chunk_begin + lane) * chunk_samples);
+  };
+
+  const auto apply_round = [&](std::size_t r) {
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        lane_values[lane] =
+            static_cast<std::uint64_t>(samples[sample_at(lane, r)][j]);
+      }
+      bsim.set_port(*ports[j], lane_values, lanes);
+    }
+    if (sequential) {
+      for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
+    } else {
+      bsim.settle();
+    }
+  };
+
+  bsim.reset();
+  // Warm-up round on each chunk's first sample, then discard the counts
+  // so every lane starts from its steady state (the scalar protocol).
+  lanes_mask_chunks<L>(lanes, mask);
+  bsim.set_count_mask_chunks(mask);
+  apply_round(0);
+  bsim.clear_activity();
+
+  // Replay rounds; chunk 0 of the batch is always the longest.
+  const std::size_t rounds = lane_len(0);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::fill(mask, mask + L::kChunks, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (r < lane_len(lane)) mask[sim::lane_chunk(lane)] |= sim::lane_bit(lane);
+    }
+    bsim.set_count_mask_chunks(mask);
+    apply_round(r);
+  }
+  local.accumulate(bsim.activity());
+}
+
+template <class L>
+void run_activity_loop(const ActivityJob& job, sim::ActivityStats& out) {
+  constexpr std::size_t kLanes = L::kWidth;
+  const std::vector<const netlist::Port*>& ports = *job.ports;
+  const std::size_t n = job.num_samples;
+  const std::size_t chunk = job.chunk_samples;
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  const std::size_t num_batches = (num_chunks + kLanes - 1) / kLanes;
+  const std::size_t num_threads = clamp_threads(job.num_threads, num_batches);
+
+  std::atomic<std::size_t> next_batch{0};
+  // One stats slot per worker; summed after the join.  Addition of
+  // integer counts is commutative, so the total is independent of which
+  // worker claims which batch.  Pooled slots live in the context (reused
+  // capacity); otherwise a per-call vector.  ActivityStats is plain
+  // scalar counters, so the slots are shared by every backend.
+  const std::size_t nets = job.module->num_nets();
+  std::vector<sim::ActivityStats> local_partials;
+  if (job.context != nullptr) {
+    job.context->ensure_workers(num_threads);
+  } else {
+    local_partials.resize(num_threads);
+  }
+  auto partial = [&](std::size_t slot) -> sim::ActivityStats& {
+    return job.context != nullptr ? job.context->worker(slot).activity
+                                  : local_partials[slot];
+  };
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    sim::ActivityStats& p = partial(t);
+    p.net_toggles.assign(nets, 0);
+    p.net_functional.assign(nets, 0);
+    p.dff_clock_events = 0;
+    p.cycles = 0;
+  }
+
+  auto worker = [&](std::size_t slot) {
+    PML_OBS_SPAN("activity.worker");
+    sim::ActivityStats& local = partial(slot);
+    // Pooled path: rebind this slot's warmed simulator (zero allocation
+    // for same-shaped modules); otherwise bind a per-call local.
+    sim::BatchEventSimulatorT<L> local_sim;
+    sim::BatchEventSimulatorT<L>& bsim =
+        job.context != nullptr ? pooled_event<L>(job.context->worker(slot))
+                               : local_sim;
+    if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
+    bsim.rebind(*job.module, *job.lib, job.time_quantum_ms, job.lv);
+    for (;;) {
+      // Cancellation checkpoint between batches (see verify loop).
+      if (job.cancel != nullptr) job.cancel->check("activity.batch");
+      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_batches) return;
+      PML_OBS_COUNT("sim.batch_event.batches", 1);
+      run_activity_batch<L>(bsim, b, num_chunks, chunk, n, job.sequential,
+                            job.cycles_per_inference, *job.samples, ports,
+                            local);
+    }
+  };
+
+  util::run_workers(num_threads, next_batch, num_batches, worker);
+
+  out.net_toggles.assign(nets, 0);
+  out.net_functional.assign(nets, 0);
+  out.dff_clock_events = 0;
+  out.cycles = 0;
+  for (std::size_t t = 0; t < num_threads; ++t) out.accumulate(partial(t));
+}
+
+// --- fault campaign ---------------------------------------------------------
+
+template <class L>
+void run_fault_loop(const FaultJob& job, FaultCampaignResult& result) {
+  // Lane 0 carries the golden reference, so kLanes - 1 variants ride per
+  // batch (63 scalar, 255 AVX2, 511 AVX-512).
+  constexpr std::size_t kVariantLanes = L::kWidth - 1;
+  const CircuitWorkload& workload = *job.workload;
+  const std::vector<const netlist::Port*>& ports = *job.ports;
+  const std::vector<FaultSet>& fault_sets = *job.fault_sets;
+  const std::size_t n = job.num_samples;
+  const std::size_t num_sets = fault_sets.size();
+  const std::size_t num_batches =
+      (num_sets + kVariantLanes - 1) / kVariantLanes;
+  const std::size_t num_threads = clamp_threads(job.num_threads, num_batches);
+
+  std::atomic<std::size_t> next_batch{0};
+
+  // Each batch writes disjoint result slots (its own variants, plus
+  // golden for batch 0 only), so workers need no locking on results.
+  auto worker = [&](std::size_t /*thread_index*/) {
+    PML_OBS_SPAN("fault.worker");
+    sim::BatchFaultSimulatorT<L> bsim(*job.module, job.lv);
+    std::size_t miscount[L::kWidth];
+    for (;;) {
+      // Cancellation checkpoint between variant batches: a long campaign
+      // can be abandoned without waiting for the full sweep.
+      if (job.cancel != nullptr) job.cancel->check("fault.batch");
+      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_batches) return;
+      const std::size_t begin = b * kVariantLanes;
+      const std::size_t count = std::min(kVariantLanes, num_sets - begin);
+      PML_OBS_COUNT("fault.batches", 1);
+      PML_OBS_COUNT("fault.variants", count);
+
+      bsim.clear_faults();
+      for (std::size_t v = 0; v < count; ++v) {
+        for (const StuckAtFault& f : fault_sets[begin + v].faults) {
+          bsim.set_fault(f.net, v + 1, f.stuck_value);
+        }
+      }
+      // Every batch starts from power-on reset (faults applied during the
+      // settle), making the per-variant counts independent of batch order.
+      bsim.reset();
+
+      std::fill(miscount, miscount + count + 1, std::size_t{0});
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < ports.size(); ++j) {
+          bsim.set_port(*ports[j], static_cast<std::uint64_t>(
+                                       workload.feature_codes[i][j]));
+        }
+        if (job.sequential) {
+          for (int c = 0; c < job.cycles_per_inference; ++c) bsim.step();
+        } else {
+          bsim.propagate();
+        }
+        const int expected = workload.expected_class[i];
+        for (std::size_t lane = 0; lane <= count; ++lane) {
+          const int predicted =
+              static_cast<int>(bsim.port_unsigned(*job.class_port, lane));
+          miscount[lane] += predicted != expected;
+        }
+      }
+      for (std::size_t v = 0; v < count; ++v) {
+        result.variants[begin + v].misclassified = miscount[v + 1];
+      }
+      // Lane 0 recomputes the same golden run in every batch; record the
+      // canonical copy from batch 0.
+      if (b == 0) result.golden.misclassified = miscount[0];
+    }
+  };
+
+  util::run_workers(num_threads, next_batch, num_batches, worker);
+}
+
+// --- probe ------------------------------------------------------------------
+
+template <class L>
+void run_probe_loop(const ProbeJob& job, BatchProbeResult& result) {
+  constexpr std::size_t kLanes = L::kWidth;
+  const std::vector<std::vector<std::int64_t>>& samples = *job.samples;
+  const std::vector<const netlist::Port*>& ports = *job.ports;
+  const std::size_t num_samples = samples.size();
+  const std::size_t num_batches = (num_samples + kLanes - 1) / kLanes;
+
+  result.lanes = kLanes;
+  result.class_values.assign(num_samples, 0);
+  result.net_toggles.assign(job.module->num_nets(), 0);
+
+  sim::BatchSimulatorT<L> bsim(*job.module, job.lv);
+  std::uint64_t lane_values[kLanes];
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    if (job.cancel != nullptr) job.cancel->check("probe.batch");
+    const std::size_t begin = b * kLanes;
+    const std::size_t count = std::min(kLanes, num_samples - begin);
+    // Reset per batch: every sample starts from power-on state, so the
+    // outputs and toggle sums cannot depend on lane packing (see
+    // backend_probe.hpp).
+    bsim.reset();
+    bsim.set_active_lanes(count);
+    for (std::size_t j = 0; j < ports.size(); ++j) {
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        lane_values[lane] =
+            static_cast<std::uint64_t>(samples[begin + lane][j]);
+      }
+      bsim.set_port(*ports[j], lane_values, count);
+    }
+    if (job.sequential) {
+      for (int c = 0; c < job.cycles_per_inference; ++c) bsim.step();
+    } else {
+      bsim.propagate();
+    }
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      result.class_values[begin + lane] =
+          bsim.port_unsigned(*job.class_port, lane);
+    }
+    const std::vector<std::uint64_t>& toggles = bsim.toggles();
+    for (std::size_t net = 0; net < toggles.size(); ++net) {
+      result.net_toggles[net] += toggles[net];
+    }
+  }
+}
+
+/// Build one backend's kernel table from the templated loops.
+template <class L>
+[[nodiscard]] constexpr Kernels make_kernels() {
+  Kernels k;
+  k.backend = kBackendOf<L>;
+  k.lanes = L::kWidth;
+  k.verify = &run_verify_loop<L>;
+  k.activity = &run_activity_loop<L>;
+  k.fault = &run_fault_loop<L>;
+  k.probe = &run_probe_loop<L>;
+  return k;
+}
+
+}  // namespace pml::core::backends

@@ -1,0 +1,77 @@
+// Resolved-backend -> kernel-table lookup, plus the public cross-backend
+// probe driver (the equivalence-test vehicle of tests/test_sim_backend).
+#include <stdexcept>
+#include <string>
+
+#include "kernels.hpp"
+#include "pml/core/backend_probe.hpp"
+#include "pml/core/verify.hpp"
+
+namespace pml::core::backends {
+
+const Kernels& kernels_for(sim::Backend resolved) {
+  const Kernels* k = nullptr;
+  switch (resolved) {
+    case sim::Backend::kU64:
+      k = kernels_u64();
+      break;
+    case sim::Backend::kAvx2:
+      k = kernels_avx2();
+      break;
+    case sim::Backend::kAvx512:
+      k = kernels_avx512();
+      break;
+    case sim::Backend::kAuto:
+      break;
+  }
+  if (k == nullptr) {
+    // resolve_backend() already rejects unavailable backends; reaching
+    // this means a caller skipped resolution.
+    throw std::runtime_error(std::string("no kernels for sim backend '") +
+                             sim::backend_name(resolved) + "'");
+  }
+  return *k;
+}
+
+}  // namespace pml::core::backends
+
+namespace pml::core {
+
+BatchProbeResult probe_batch_backend(
+    const netlist::Module& module, int cycles_per_inference,
+    const std::vector<std::vector<std::int64_t>>& samples,
+    sim::Backend backend) {
+  if (samples.empty()) {
+    throw std::invalid_argument("probe_batch_backend: empty samples");
+  }
+  const std::size_t num_features = samples[0].size();
+  for (const auto& row : samples) {
+    if (row.size() != num_features) {
+      throw std::invalid_argument("probe_batch_backend: ragged samples");
+    }
+  }
+  const auto ports = feature_ports(module, num_features);
+  const netlist::Port* class_port = module.find_output("class");
+  if (class_port == nullptr) {
+    throw std::invalid_argument("probe_batch_backend: missing 'class' output");
+  }
+  const std::shared_ptr<const sim::Levelization> lv =
+      sim::levelize_shared(module);
+
+  backends::ProbeJob job;
+  job.module = &module;
+  job.lv = lv;
+  job.ports = &ports;
+  job.sequential = !lv->dffs.empty();
+  job.cycles_per_inference = cycles_per_inference;
+  job.samples = &samples;
+  job.class_port = class_port;
+
+  BatchProbeResult result;
+  const backends::Kernels& k =
+      backends::kernels_for(sim::resolve_backend(backend));
+  k.probe(job, result);
+  return result;
+}
+
+}  // namespace pml::core

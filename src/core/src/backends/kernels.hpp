@@ -1,0 +1,97 @@
+#pragma once
+// Type-erased kernel table for the SIMD lane-word backends.
+//
+// The core drivers (verify_workload, collect_activity_into,
+// run_fault_campaign, probe_batch_backend) keep all validation, port
+// resolution, and levelization width-agnostic, then package the prepared
+// inputs into a Job struct and call through this table.  Each backend TU
+// (backend_u64.cpp always; backend_avx2.cpp / backend_avx512.cpp compiled
+// with the matching -m flags) instantiates the shared templated worker
+// loops from batch_loops.hpp on its LaneWord and exposes them as plain
+// function pointers — so no TU without the right -m flag ever names a
+// vector type, and the compiler is free to use vector instructions
+// everywhere inside a backend TU.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pml/cells/library.hpp"
+#include "pml/core/backend_probe.hpp"
+#include "pml/core/eval_context.hpp"
+#include "pml/core/fault_campaign.hpp"
+#include "pml/core/verify.hpp"
+#include "pml/netlist/module.hpp"
+#include "pml/sim/backend.hpp"
+#include "pml/sim/levelize.hpp"
+#include "pml/util/cancellation.hpp"
+
+namespace pml::core::backends {
+
+/// Inputs shared by every kernel: the module, its levelization, the
+/// resolved feature ports, and the clocking protocol.
+struct JobBase {
+  const netlist::Module* module = nullptr;
+  std::shared_ptr<const sim::Levelization> lv;
+  const std::vector<const netlist::Port*>* ports = nullptr;
+  bool sequential = false;
+  int cycles_per_inference = 0;
+  const util::CancellationToken* cancel = nullptr;
+};
+
+struct VerifyJob : JobBase {
+  const CircuitWorkload* workload = nullptr;
+  const netlist::Port* class_port = nullptr;
+  std::size_t max_mismatches = 0;
+  /// Raw thread request (0 = hardware concurrency); the kernel clamps to
+  /// its own batch count, which depends on the backend's lane width.
+  std::size_t num_threads = 0;
+  EvalContext* context = nullptr;
+};
+
+struct ActivityJob : JobBase {
+  const cells::CellLibrary* lib = nullptr;
+  double time_quantum_ms = 0;
+  const std::vector<std::vector<std::int64_t>>* samples = nullptr;
+  std::size_t num_samples = 0;
+  std::size_t chunk_samples = 0;
+  std::size_t num_threads = 0;
+  EvalContext* context = nullptr;
+};
+
+struct FaultJob : JobBase {
+  const CircuitWorkload* workload = nullptr;
+  const netlist::Port* class_port = nullptr;
+  const std::vector<FaultSet>* fault_sets = nullptr;
+  std::size_t num_samples = 0;
+  std::size_t num_threads = 0;
+};
+
+struct ProbeJob : JobBase {
+  const std::vector<std::vector<std::int64_t>>* samples = nullptr;
+  const netlist::Port* class_port = nullptr;
+};
+
+/// One backend's kernel table.  `lanes` is the batch width the kernels
+/// shard work by (64 / 256 / 512).
+struct Kernels {
+  sim::Backend backend = sim::Backend::kU64;
+  std::size_t lanes = 0;
+  void (*verify)(const VerifyJob&, VerifyResult&) = nullptr;
+  void (*activity)(const ActivityJob&, sim::ActivityStats&) = nullptr;
+  void (*fault)(const FaultJob&, FaultCampaignResult&) = nullptr;
+  void (*probe)(const ProbeJob&, BatchProbeResult&) = nullptr;
+};
+
+/// Per-backend tables; the AVX ones return nullptr when their TU was
+/// compiled without the matching -m support (PML_SIM_HAVE_* unset).
+[[nodiscard]] const Kernels* kernels_u64();
+[[nodiscard]] const Kernels* kernels_avx2();
+[[nodiscard]] const Kernels* kernels_avx512();
+
+/// Table for a *resolved* concrete backend (callers run
+/// sim::resolve_backend first); throws std::runtime_error if the backend
+/// has no compiled kernels.
+[[nodiscard]] const Kernels& kernels_for(sim::Backend resolved);
+
+}  // namespace pml::core::backends

@@ -13,6 +13,7 @@
 #include "pml/opt/cost_model.hpp"
 #include "pml/opt/pass_manager.hpp"
 #include "pml/power/power.hpp"
+#include "pml/sim/batch_sim.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/sta/timing.hpp"
 #include "pml/util/alloc_hook.hpp"
@@ -42,8 +43,9 @@ opt::ProbeWorkload make_probe_workload(const netlist::Module& module,
     }
     feature_of[p] = j;
   }
-  const std::size_t count =
-      std::min({num_samples, workload.feature_codes.size(), std::size_t{64}});
+  const std::size_t count = std::min(
+      {num_samples, workload.feature_codes.size(),
+       std::size_t{sim::BatchSimulator::kLanes}});
   probe.samples.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     std::vector<std::uint64_t> row(inputs.size());
@@ -155,13 +157,14 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   }();
 
   // --- 1. functional verification (full workload, zero-delay) -------------
-  // Batched 64-way bit-parallel simulation sharded across threads; the
+  // Batched bit-parallel simulation sharded across threads; the
   // scalar CycleSimulator remains available as the reference and for fault
   // injection, but the hot verification gate runs on sim::BatchSimulator.
   VerifyOptions vopts = options.verify;
   vopts.levelization = lv;
   vopts.context = &ctx;
   vopts.cancel = options.cancel;
+  vopts.backend = options.backend;
   // Fail fast only when the caller left max_mismatches at its default; a
   // caller-tuned cap (e.g. "count up to 100 mismatches") is honored.
   if (options.require_bit_exact &&
@@ -196,7 +199,7 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   const double period_ms = ctx.timing.critical_path_ms;
 
   // --- 3. power (batched event-driven subset replay) -----------------------
-  // Sharded 64-way bit-parallel delay-accurate simulation; the scalar
+  // Sharded bit-parallel delay-accurate simulation; the scalar
   // EventSimulator remains the reference oracle (the equivalence suite in
   // tests/test_sim_batch_event.cpp proves the merged counts bit-exact).
   const std::size_t n_power =
@@ -208,6 +211,7 @@ void evaluate_circuit_into(EvalContext& ctx, HardwareReport& rep,
   aopts.levelization = lv;
   aopts.context = &ctx;
   aopts.cancel = options.cancel;
+  aopts.backend = options.backend;
   phase_gate("evaluate.activity");
   {
     PML_OBS_SPAN("evaluate.activity");

@@ -1,16 +1,12 @@
 #include "pml/core/fault_campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
 #include <stdexcept>
-#include <thread>
 
+#include "backends/kernels.hpp"
 #include "pml/ml/rng.hpp"
-#include "pml/obs/metrics.hpp"
-#include "pml/obs/trace.hpp"
-#include "pml/sim/batch_fault_sim.hpp"
-#include "pml/util/parallel.hpp"
+#include "pml/sim/backend.hpp"
 
 namespace pml::core {
 
@@ -78,81 +74,28 @@ FaultCampaignResult run_fault_campaign(const netlist::Module& module,
   const std::shared_ptr<const sim::Levelization> lv =
       options.levelization != nullptr ? options.levelization
                                       : sim::levelize_shared(module);
-  const bool sequential = !lv->dffs.empty();
 
-  // Lane 0 carries the golden reference, so 63 variants ride per batch.
-  constexpr std::size_t kVariantLanes = sim::BatchFaultSimulator::kLanes - 1;
-  const std::size_t num_sets = fault_sets.size();
-  const std::size_t num_batches =
-      (num_sets + kVariantLanes - 1) / kVariantLanes;
-  std::size_t num_threads =
-      options.num_threads != 0
-          ? options.num_threads
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  num_threads = std::min(num_threads, num_batches);
+  backends::FaultJob job;
+  job.module = &module;
+  job.lv = lv;
+  job.ports = &ports;
+  job.sequential = !lv->dffs.empty();
+  job.cycles_per_inference = cycles_per_inference;
+  job.cancel = options.cancel;
+  job.workload = &workload;
+  job.class_port = class_port;
+  job.fault_sets = &fault_sets;
+  job.num_samples = n;
+  job.num_threads = options.num_threads;
 
   FaultCampaignResult result;
-  result.variants.assign(num_sets, FaultVariantResult{0, n});
+  result.variants.assign(fault_sets.size(), FaultVariantResult{0, n});
   result.golden.samples = n;
-
-  std::atomic<std::size_t> next_batch{0};
-
-  // Each batch writes disjoint result slots (its own 63 variants, plus
-  // golden for batch 0 only), so workers need no locking on results.
-  auto worker = [&](std::size_t /*thread_index*/) {
-    PML_OBS_SPAN("fault.worker");
-    sim::BatchFaultSimulator bsim(module, lv);
-    std::size_t miscount[sim::BatchFaultSimulator::kLanes];
-    for (;;) {
-      // Cancellation checkpoint between 63-variant batches: a long
-      // campaign can be abandoned without waiting for the full sweep.
-      if (options.cancel != nullptr) options.cancel->check("fault.batch");
-      const std::size_t b = next_batch.fetch_add(1, std::memory_order_relaxed);
-      if (b >= num_batches) return;
-      const std::size_t begin = b * kVariantLanes;
-      const std::size_t count = std::min(kVariantLanes, num_sets - begin);
-      PML_OBS_COUNT("fault.batches", 1);
-      PML_OBS_COUNT("fault.variants", count);
-
-      bsim.clear_faults();
-      for (std::size_t v = 0; v < count; ++v) {
-        for (const StuckAtFault& f : fault_sets[begin + v].faults) {
-          bsim.set_fault(f.net, v + 1, f.stuck_value);
-        }
-      }
-      // Every batch starts from power-on reset (faults applied during the
-      // settle), making the per-variant counts independent of batch order.
-      bsim.reset();
-
-      std::fill(miscount, miscount + count + 1, std::size_t{0});
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < ports.size(); ++j) {
-          bsim.set_port(*ports[j], static_cast<std::uint64_t>(
-                                       workload.feature_codes[i][j]));
-        }
-        if (sequential) {
-          for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
-        } else {
-          bsim.propagate();
-        }
-        const int expected = workload.expected_class[i];
-        for (std::size_t lane = 0; lane <= count; ++lane) {
-          const int predicted =
-              static_cast<int>(bsim.port_unsigned(*class_port, lane));
-          miscount[lane] += predicted != expected;
-        }
-      }
-      for (std::size_t v = 0; v < count; ++v) {
-        result.variants[begin + v].misclassified = miscount[v + 1];
-      }
-      // Lane 0 recomputes the same golden run in every batch; record the
-      // canonical copy from batch 0.
-      if (b == 0) result.golden.misclassified = miscount[0];
-    }
-  };
-
-  util::run_workers(num_threads, next_batch, num_batches, worker);
-
+  // How many variants ride per pass (kLanes - 1) belongs to the selected
+  // SIMD backend; per-variant counts are independent of the packing.
+  const backends::Kernels& k =
+      backends::kernels_for(sim::resolve_backend(options.backend));
+  k.fault(job, result);
   return result;
 }
 

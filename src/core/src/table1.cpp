@@ -73,6 +73,7 @@ Table1Result run_table1(const cells::CellLibrary& lib,
     fopts.evaluate.power_samples = options.power_samples;
     fopts.evaluate.power_threads = options.num_threads;
     fopts.evaluate.verify.num_threads = options.num_threads;
+    fopts.evaluate.backend = options.backend;
     fopts.precision.num_threads = options.num_threads;
     fopts.flow = options.flow;
     SequentialSvmDesign ours = design_sequential_svm(train, test, lib, fopts);
@@ -93,6 +94,7 @@ Table1Result run_table1(const cells::CellLibrary& lib,
       p2.evaluate.power_samples = options.power_samples;
       p2.evaluate.power_threads = options.num_threads;
       p2.evaluate.verify.num_threads = options.num_threads;
+      p2.evaluate.backend = options.backend;
       ParallelSvmBaseline b2 =
           build_parallel_svm_baseline(train, test, lib, p2);
       b2.hw.dataset = ds_name;
@@ -118,6 +120,7 @@ Table1Result run_table1(const cells::CellLibrary& lib,
       p4.evaluate.power_samples = options.power_samples;
       p4.evaluate.power_threads = options.num_threads;
       p4.evaluate.verify.num_threads = options.num_threads;
+      p4.evaluate.backend = options.backend;
       MlpBaseline b4 = build_mlp_baseline(train, test, lib, p4);
       b4.hw.dataset = ds_name;
       pd.e4 = b4.hw.energy_mj;

@@ -1,17 +1,12 @@
 #include "pml/core/verify.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
+#include "backends/kernels.hpp"
 #include "pml/core/eval_context.hpp"
-#include "pml/obs/metrics.hpp"
-#include "pml/obs/trace.hpp"
+#include "pml/sim/backend.hpp"
 #include "pml/sim/batch_sim.hpp"
-#include "pml/util/parallel.hpp"
 
 namespace pml::core {
 
@@ -61,84 +56,27 @@ VerifyResult verify_workload(const netlist::Module& module,
   const std::shared_ptr<const sim::Levelization> lv =
       options.levelization != nullptr ? options.levelization
                                       : sim::levelize_shared(module);
-  const bool sequential = !lv->dffs.empty();
 
-  constexpr std::size_t kLanes = sim::BatchSimulator::kLanes;
-  const std::size_t num_samples = workload.feature_codes.size();
-  const std::size_t num_batches = (num_samples + kLanes - 1) / kLanes;
-  std::size_t num_threads =
-      options.num_threads != 0
-          ? options.num_threads
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  num_threads = std::min(num_threads, num_batches);
+  backends::VerifyJob job;
+  job.module = &module;
+  job.lv = lv;
+  job.ports = &ports;
+  job.sequential = !lv->dffs.empty();
+  job.cycles_per_inference = cycles_per_inference;
+  job.cancel = options.cancel;
+  job.workload = &workload;
+  job.class_port = class_port;
+  job.max_mismatches = options.max_mismatches;
+  job.num_threads = options.num_threads;
+  job.context = options.context;
 
   VerifyResult result;
-  result.samples = num_samples;
-
-  std::atomic<std::size_t> next_batch{0};
-  std::atomic<std::size_t> mismatch_count{0};
-  std::mutex mu;  // guards result.first (mismatches are the rare path)
-
-  if (options.context != nullptr) options.context->ensure_workers(num_threads);
-
-  auto worker = [&](std::size_t slot) {
-    PML_OBS_SPAN("verify.worker");
-    // Pooled path: rebind this slot's warmed simulator (zero allocation
-    // for same-shaped modules); otherwise bind a per-call local.
-    sim::BatchSimulator local;
-    sim::BatchSimulator& bsim = options.context != nullptr
-                                    ? options.context->worker(slot).batch
-                                    : local;
-    if (bsim.bound()) PML_OBS_COUNT("eval.pool_reuse", 1);
-    bsim.rebind(module, lv);
-    std::uint64_t lane_values[kLanes];
-    for (;;) {
-      if (mismatch_count.load(std::memory_order_relaxed) >=
-          options.max_mismatches) {
-        return;
-      }
-      // Cancellation checkpoint between batches: the throw propagates
-      // through run_workers (siblings drain, threads join) so a cancel
-      // or deadline stops the whole verification promptly.
-      if (options.cancel != nullptr) options.cancel->check("verify.batch");
-      const std::size_t b =
-          next_batch.fetch_add(1, std::memory_order_relaxed);
-      if (b >= num_batches) return;
-      PML_OBS_COUNT("sim.batch.batches", 1);
-      const std::size_t begin = b * kLanes;
-      const std::size_t count = std::min(kLanes, num_samples - begin);
-      bsim.set_active_lanes(count);
-      for (std::size_t j = 0; j < ports.size(); ++j) {
-        for (std::size_t lane = 0; lane < count; ++lane) {
-          lane_values[lane] = static_cast<std::uint64_t>(
-              workload.feature_codes[begin + lane][j]);
-        }
-        bsim.set_port(*ports[j], lane_values, count);
-      }
-      if (sequential) {
-        for (int c = 0; c < cycles_per_inference; ++c) bsim.step();
-      } else {
-        bsim.propagate();
-      }
-      for (std::size_t lane = 0; lane < count; ++lane) {
-        const int predicted =
-            static_cast<int>(bsim.port_unsigned(*class_port, lane));
-        const std::size_t s = begin + lane;
-        if (predicted != workload.expected_class[s]) {
-          mismatch_count.fetch_add(1, std::memory_order_relaxed);
-          const std::lock_guard<std::mutex> lock(mu);
-          if (!result.first.has_value() || s < result.first->sample) {
-            result.first =
-                VerifyMismatch{s, predicted, workload.expected_class[s]};
-          }
-        }
-      }
-    }
-  };
-
-  util::run_workers(num_threads, next_batch, num_batches, worker);
-
-  result.mismatches = mismatch_count.load();
+  result.samples = workload.feature_codes.size();
+  // The batch width (and so the thread clamp and worker loop) belongs to
+  // the selected SIMD backend; everything above is width-agnostic.
+  const backends::Kernels& k =
+      backends::kernels_for(sim::resolve_backend(options.backend));
+  k.verify(job, result);
   return result;
 }
 

@@ -5,7 +5,7 @@
 // (rather than trusting cell count) is that the two real objectives —
 // area and switching energy — disagree: PR 4's area-minimal netlist
 // glitches more than the raw one.  SwitchingEnergyCost replays a short
-// caller-supplied probe workload through a 64-lane
+// caller-supplied probe workload through one batch of a
 // sim::BatchEventSimulator and prices a candidate by measured
 // transitions x per-cell switch energy x fanout load (+ clock energy) —
 // the same glitch-aware figure power::estimate reports, minus the
@@ -47,7 +47,8 @@ class CellCountCost final : public CostModel {
 /// candidate derived from the same design).
 struct ProbeWorkload {
   /// samples[i][p] = unsigned raw code driven into input port p.  At most
-  /// the first 64 samples are used (one BatchEventSimulator lane each).
+  /// the first BatchEventSimulator::kLanes samples are used (one lane
+  /// each).
   std::vector<std::vector<std::uint64_t>> samples;
   /// Clock cycles per sample for sequential circuits; <= 0 settles once
   /// (combinational).

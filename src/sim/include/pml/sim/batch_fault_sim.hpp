@@ -1,134 +1,311 @@
 #pragma once
-// 64-way bit-parallel (SWAR) zero-delay *fault-variant* simulator.
+// Width-generic bit-parallel (SWAR) zero-delay *fault-variant* simulator.
 //
-// The dual of BatchSimulator: instead of 64 samples through one unperturbed
-// design, the lanes of the uint64_t word per net are 64 stuck-at fault
-// variants of the SAME circuit evaluated on the SAME input.  Per-net
+// The dual of BatchSimulator: instead of kLanes samples through one
+// unperturbed design, the lanes of the word per net are kLanes stuck-at
+// fault variants of the SAME circuit evaluated on the SAME input.  Per-net
 // `force0`/`force1` lane-mask words are applied after each SWAR cell eval
 // (two extra bit-ops per cell, branch-free), so variant L sees net n stuck
 // at 0/1 exactly where bit L of the masks is set.  Functional results are
 // bit-identical, lane by lane, to a scalar CycleSimulator with the same
-// faults installed via force_net — the equivalence suite in
-// tests/test_sim_fault_batch.cpp proves it on generated sequential-SVM,
+// faults installed via force_net — the equivalence suites in
+// tests/test_sim_fault_batch.cpp (u64) and tests/test_sim_backend.cpp
+// (wide backends vs u64) prove it on generated sequential-SVM,
 // parallel-SVM, and random netlists.
 //
 // Lane 0 is reserved fault-free (set_fault rejects it): every batch of a
 // campaign carries the golden reference for free, and the lane-0 outputs
 // are guaranteed to equal an unfaulted run by construction.
 //
-// This is the engine behind core::run_fault_campaign, which packs fault
-// sets 63 per batch and shards batches across threads; the scalar
-// CycleSimulator::force_net path remains the oracle.
+// This is the engine behind core::run_fault_campaign, which packs
+// kLanes - 1 fault sets per batch (63 scalar, 255 AVX2, 511 AVX-512) and
+// shards batches across threads; the scalar CycleSimulator::force_net
+// path remains the oracle.  `BatchFaultSimulator` is the 64-lane scalar
+// instantiation; wide instantiations are created only in the per-flag TUs
+// under src/core/src/backends/.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "pml/netlist/module.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/sim/lanes.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
-class BatchFaultSimulator {
+template <LaneWord L>
+class BatchFaultSimulatorT {
  public:
-  /// Lanes per pass: one fault variant per bit of the SWAR word.  Lane 0
-  /// is the reserved fault-free reference, so kLanes - 1 variants fit.
-  static constexpr std::size_t kLanes = 64;
+  /// Lanes per pass: one fault variant per bit of the SWAR lane word.
+  /// Lane 0 is the reserved fault-free reference, so kLanes - 1 variants
+  /// fit.
+  static constexpr std::size_t kLanes = L::kWidth;
+  /// uint64_t storage chunks per lane word (lane L -> chunk L/64).
+  static constexpr std::size_t kChunks = L::kChunks;
 
   /// Unbound simulator for pooling (core::EvalContext worker scratch);
   /// every member other than rebind()/bound() requires a bind first.
-  BatchFaultSimulator() = default;
-  explicit BatchFaultSimulator(const netlist::Module& module);
+  BatchFaultSimulatorT() = default;
+  explicit BatchFaultSimulatorT(const netlist::Module& module)
+      : BatchFaultSimulatorT(module, levelize_shared(module)) {}
   /// Reuse a previously derived levelization (campaign workers across
   /// threads share one instead of re-deriving it per simulator).
-  BatchFaultSimulator(const netlist::Module& module,
-                      std::shared_ptr<const Levelization> lv);
+  BatchFaultSimulatorT(const netlist::Module& module,
+                       std::shared_ptr<const Levelization> lv) {
+    rebind(module, std::move(lv));
+  }
 
   /// (Re)bind to a module, reusing all internal vector capacities: a
   /// pooled simulator rebound to same-shaped modules performs zero heap
   /// allocation.  The module and levelization are borrowed and must
   /// outlive the binding; installed faults and counters are cleared.
   void rebind(const netlist::Module& module,
-              std::shared_ptr<const Levelization> lv);
+              std::shared_ptr<const Levelization> lv) {
+    if (lv == nullptr) {
+      throw std::invalid_argument("BatchFaultSimulator: null levelization");
+    }
+    module_ = &module;
+    lv_ = std::move(lv);
+    swar_comb_ops_into(ops_, *module_, *lv_);
+    swar_dff_ops_into(dffs_, *module_, *lv_);
+    values_.assign(module_->num_nets() * kChunks, 0);
+    force0_.assign(module_->num_nets() * kChunks, 0);
+    force1_.assign(module_->num_nets() * kChunks, 0);
+    dff_state_.assign(dffs_.size() * kChunks, 0);
+    forced_nets_.clear();
+    num_faults_ = 0;
+    inputs_dirty_ = false;
+    reset();
+  }
   [[nodiscard]] bool bound() const noexcept { return module_ != nullptr; }
 
   /// Restore all DFFs (every lane) to their power-on values, zero all
   /// nets, and settle *with the installed faults applied* — the batch
   /// equivalent of CycleSimulator::reset after force_net.
-  void reset();
+  void reset() {
+    std::fill(values_.begin(), values_.end(), 0);
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      values_[netlist::kConst1 * kChunks + c] = ~std::uint64_t{0};
+    }
+    for (std::size_t i = 0; i < dffs_.size(); ++i) {
+      // SwarDffOp::init is 0 or ~0 — broadcast it to every chunk.
+      for (std::size_t c = 0; c < kChunks; ++c) {
+        dff_state_[i * kChunks + c] = dffs_[i].init;
+        values_[dffs_[i].q * kChunks + c] = dffs_[i].init;
+      }
+    }
+    // Settle with the installed faults applied, so reads at time zero match
+    // a scalar CycleSimulator reset taken after force_net.
+    propagate();
+    cycles_ = 0;
+  }
 
   // --- fault control --------------------------------------------------------
-  /// Stick `net` at `stuck_value` in fault variant `lane` (1 <= lane < 64;
-  /// lane 0 is the reserved fault-free reference).  Re-sticking the same
-  /// net in the same lane overwrites, like CycleSimulator::force_net.
-  /// Takes effect from the next reset()/propagate()/step().  Throws on
-  /// lane 0, out-of-range nets/lanes, and the constant nets.
-  void set_fault(netlist::NetId net, std::size_t lane, bool stuck_value);
+  /// Stick `net` at `stuck_value` in fault variant `lane` (1 <= lane <
+  /// kLanes; lane 0 is the reserved fault-free reference).  Re-sticking
+  /// the same net in the same lane overwrites, like
+  /// CycleSimulator::force_net.  Takes effect from the next
+  /// reset()/propagate()/step().  Throws on lane 0, out-of-range
+  /// nets/lanes, and the constant nets.
+  void set_fault(netlist::NetId net, std::size_t lane, bool stuck_value) {
+    if (net * kChunks >= values_.size()) {
+      throw std::out_of_range("set_fault: bad net");
+    }
+    if (lane == 0) {
+      throw std::invalid_argument(
+          "set_fault: lane 0 is the reserved fault-free reference");
+    }
+    if (lane >= kLanes) throw std::out_of_range("set_fault: bad lane");
+    if (net == netlist::kConst0 || net == netlist::kConst1) {
+      throw std::invalid_argument("set_fault: cannot force a constant net");
+    }
+    std::uint64_t* const f0 = force0_.data() + net * kChunks;
+    std::uint64_t* const f1 = force1_.data() + net * kChunks;
+    const std::size_t c = lane_chunk(lane);
+    const std::uint64_t bit = lane_bit(lane);
+    if (((f0[c] | f1[c]) & bit) == 0) {
+      bool any = false;
+      for (std::size_t i = 0; i < kChunks; ++i) {
+        any = any || f0[i] != 0 || f1[i] != 0;
+      }
+      if (!any) forced_nets_.push_back(net);
+      ++num_faults_;
+    }
+    if (stuck_value) {
+      f1[c] |= bit;
+      f0[c] &= ~bit;
+    } else {
+      f0[c] |= bit;
+      f1[c] &= ~bit;
+    }
+    inputs_dirty_ = true;
+  }
   /// Remove every fault from every lane.
-  void clear_faults();
+  void clear_faults() {
+    for (const netlist::NetId n : forced_nets_) {
+      std::fill_n(force0_.begin() + n * kChunks, kChunks, 0);
+      std::fill_n(force1_.begin() + n * kChunks, kChunks, 0);
+    }
+    forced_nets_.clear();
+    num_faults_ = 0;
+    inputs_dirty_ = true;
+  }
   /// Total installed (net, lane) stuck-at entries.
   [[nodiscard]] std::size_t num_faults() const { return num_faults_; }
-  /// Per-lane stuck-at-0 / stuck-at-1 masks for a net (bit L = lane L).
+  /// Lanes [0, 64) of the stuck-at-0 / stuck-at-1 masks for a net (bit L
+  /// = lane L; historical 64-lane API — use the _chunk forms for wider
+  /// backends).
   [[nodiscard]] std::uint64_t fault0_mask(netlist::NetId net) const {
-    return force0_[net];
+    return force0_[net * kChunks];
   }
   [[nodiscard]] std::uint64_t fault1_mask(netlist::NetId net) const {
-    return force1_[net];
+    return force1_[net * kChunks];
+  }
+  [[nodiscard]] std::uint64_t fault0_chunk(netlist::NetId net,
+                                           std::size_t c) const {
+    return force0_[net * kChunks + c];
+  }
+  [[nodiscard]] std::uint64_t fault1_chunk(netlist::NetId net,
+                                           std::size_t c) const {
+    return force1_[net * kChunks + c];
   }
 
   // --- stimulus (broadcast: every variant sees the same input) --------------
-  /// Drive a primary-input net to `value` in all 64 lanes.
-  void set_net(netlist::NetId net, bool value);
+  /// Drive a primary-input net to `value` in all lanes.
+  void set_net(netlist::NetId net, bool value) {
+    if (net * kChunks >= values_.size()) {
+      throw std::out_of_range("set_net: bad net");
+    }
+    std::fill_n(values_.begin() + net * kChunks, kChunks,
+                value ? ~std::uint64_t{0} : 0);
+    inputs_dirty_ = true;
+  }
   /// Drive an input port (LSB first) with the low bits of `value`, all
   /// lanes.
-  void set_port(const netlist::Port& port, std::uint64_t value);
-  void set_port(const std::string& name, std::uint64_t value);
+  void set_port(const netlist::Port& port, std::uint64_t value) {
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      set_net(port.nets[i], ((value >> i) & 1u) != 0);
+    }
+  }
+  void set_port(const std::string& name, std::uint64_t value) {
+    const netlist::Port* port = module_->find_input(name);
+    if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+    set_port(*port, value);
+  }
 
   // --- evaluation -----------------------------------------------------------
   /// Propagate combinational logic for all lanes (no clock edge), faults
   /// applied.
-  void propagate();
+  void propagate() {
+    // Source nets (PIs, DFF Qs) keep their forced lanes across the sweep;
+    // cell outputs are re-forced inline after every eval, exactly
+    // mirroring the scalar CycleSimulator force order.
+    apply_faults_to_sources();
+    std::uint64_t* const v = values_.data();
+    const std::uint64_t* const f0 = force0_.data();
+    const std::uint64_t* const f1 = force1_.data();
+    for (const SwarOp& op : ops_) {
+      const auto out = eval_cell_lanes_w<L>(op.type, L::load(v + op.a * kChunks),
+                                            L::load(v + op.b * kChunks),
+                                            L::load(v + op.s * kChunks));
+      // Branch-free stuck-at overlay: identity when both masks are zero.
+      L::store(v + op.out * kChunks,
+               L::bor(L::andnot(out, L::load(f0 + op.out * kChunks)),
+                      L::load(f1 + op.out * kChunks)));
+    }
+    inputs_dirty_ = false;
+    PML_OBS_COUNT("sim.batch_fault.lane_words", ops_.size());
+  }
   /// Clock every DFF (capture D into Q, all lanes) and re-settle.  As in
   /// BatchSimulator, the pre-clock sweep is skipped when nothing changed
   /// since the last propagate — faults are part of the fixpoint, so the
   /// skip stays an observably-identical no-op.
-  void step();
+  void step() {
+    if (inputs_dirty_) propagate();
+    // Two-phase clocking (sample all Ds, then update all Qs) so DFF chains
+    // shift correctly regardless of cell order.  Forced Q lanes are
+    // re-asserted by the trailing propagate before anything reads them.
+    std::uint64_t* const v = values_.data();
+    for (std::size_t i = 0; i < dffs_.size(); ++i) {
+      L::store(dff_state_.data() + i * kChunks,
+               L::load(v + dffs_[i].d * kChunks));
+    }
+    for (std::size_t i = 0; i < dffs_.size(); ++i) {
+      L::store(v + dffs_[i].q * kChunks,
+               L::load(dff_state_.data() + i * kChunks));
+    }
+    ++cycles_;
+    propagate();
+  }
 
   // --- observation ----------------------------------------------------------
-  /// All 64 lanes of a net.
+  /// Lanes [0, 64) of a net (historical 64-lane API).
   [[nodiscard]] std::uint64_t net_lanes(netlist::NetId net) const {
-    return values_[net];
+    return values_[net * kChunks];
   }
   [[nodiscard]] bool net(netlist::NetId net, std::size_t lane) const {
-    return ((values_[net] >> lane) & 1u) != 0;
+    return extract_lane(values_.data() + net * kChunks, lane);
   }
   /// Read a port in one fault variant as an unsigned integer (LSB first).
   [[nodiscard]] std::uint64_t port_unsigned(const netlist::Port& port,
-                                            std::size_t lane) const;
+                                            std::size_t lane) const {
+    if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      v |= static_cast<std::uint64_t>(
+               extract_lane(values_.data() + port.nets[i] * kChunks, lane))
+           << i;
+    }
+    return v;
+  }
   [[nodiscard]] std::uint64_t port_unsigned(const std::string& name,
-                                            std::size_t lane) const;
+                                            std::size_t lane) const {
+    return port_unsigned(find_port(name), lane);
+  }
   /// Read a port in one fault variant as a two's complement signed integer.
   [[nodiscard]] std::int64_t port_signed(const netlist::Port& port,
-                                         std::size_t lane) const;
+                                         std::size_t lane) const {
+    return sign_extend_port(port_unsigned(port, lane), port.nets.size());
+  }
   [[nodiscard]] std::int64_t port_signed(const std::string& name,
-                                         std::size_t lane) const;
+                                         std::size_t lane) const {
+    return port_signed(find_port(name), lane);
+  }
 
   [[nodiscard]] std::uint64_t cycles() const { return cycles_; }
   [[nodiscard]] const netlist::Module& module() const { return *module_; }
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
+  [[nodiscard]] const netlist::Port& find_port(const std::string& name) const {
+    const netlist::Port* port = module_->find_output(name);
+    if (port == nullptr) port = module_->find_input(name);
+    if (port == nullptr) throw std::invalid_argument("no port: " + name);
+    return *port;
+  }
+
   /// Re-assert faults on source nets (PIs, DFF Qs) that are not rewritten
   /// by the cell loop; cell outputs are masked inline after each eval.
-  void apply_faults_to_sources();
+  void apply_faults_to_sources() {
+    std::uint64_t* const v = values_.data();
+    for (const netlist::NetId n : forced_nets_) {
+      L::store(v + n * kChunks,
+               L::bor(L::andnot(L::load(v + n * kChunks),
+                                L::load(force0_.data() + n * kChunks)),
+                      L::load(force1_.data() + n * kChunks)));
+    }
+  }
 
   const netlist::Module* module_ = nullptr;
   std::shared_ptr<const Levelization> lv_;
-  std::vector<SwarOp> ops_;      ///< levelized cells, pins flattened
+  std::vector<SwarOp> ops_;  ///< levelized cells, pins flattened
   std::vector<SwarDffOp> dffs_;
-  std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
+  std::vector<std::uint64_t> values_;     ///< kChunks words per net
   std::vector<std::uint64_t> dff_state_;  ///< captured D, per DFF
   std::vector<std::uint64_t> force0_;     ///< stuck-at-0 lane mask per net
   std::vector<std::uint64_t> force1_;     ///< stuck-at-1 lane mask per net
@@ -137,5 +314,10 @@ class BatchFaultSimulator {
   std::uint64_t cycles_ = 0;
   bool inputs_dirty_ = false;  ///< true if stimulus/faults changed
 };
+
+/// The 64-lane scalar instantiation: the always-built reference backend
+/// and the type every historical call site keeps using.
+using BatchFaultSimulator = BatchFaultSimulatorT<LaneU64>;
+extern template class BatchFaultSimulatorT<LaneU64>;
 
 }  // namespace pml::sim

@@ -1,118 +1,287 @@
 #pragma once
-// 64-way bit-parallel (SWAR) zero-delay batch simulator.
+// Width-generic bit-parallel (SWAR) zero-delay batch simulator.
 //
-// Packs 64 independent workload samples into one std::uint64_t word per
-// net (bit L = lane L's logic value) and evaluates the levelized netlist
-// once per clock cycle for all 64 samples simultaneously: an AND2 becomes
-// one machine AND, a MUX2 three bit-ops.  Functional results are
-// bit-identical to CycleSimulator lane by lane — the equivalence suite in
-// tests/test_sim_batch.cpp proves it on generated sequential-SVM,
-// parallel-SVM, and MLP circuits.
+// BatchSimulatorT<L> packs L::kWidth independent workload samples into one
+// lane word per net (bit L = lane L's logic value, stored as L::kChunks
+// uint64_t chunks) and evaluates the levelized netlist once per clock
+// cycle for all lanes simultaneously: an AND2 becomes one machine AND
+// (scalar or vector), a MUX2 three bit-ops.  Functional results are
+// bit-identical to CycleSimulator lane by lane for EVERY backend — the
+// equivalence suites in tests/test_sim_batch.cpp (u64) and
+// tests/test_sim_backend.cpp (wide backends vs u64) prove it on generated
+// sequential-SVM, parallel-SVM, and MLP circuits.
+//
+// `BatchSimulator` remains the 64-lane scalar instantiation — the
+// always-built reference.  The AVX2 (256-lane) and AVX-512 (512-lane)
+// instantiations are only created inside per-flag TUs
+// (src/core/src/backends/backend_avx2.cpp / backend_avx512.cpp); runtime
+// selection goes through sim::resolve_backend (sim/backend.hpp).
 //
 // This is the engine behind core::verify_workload, which shards batches
 // across threads and replaces the scalar sample-at-a-time loop in
 // evaluate_circuit's bit-exactness gate.  CycleSimulator remains the
-// scalar reference and the fault-injection vehicle (forces are not
-// supported here: a stuck-at campaign perturbs one design many ways,
-// whereas batching exploits many samples through one unperturbed design).
+// scalar reference and the fault-injection vehicle.
 //
 // Toggle counts are accumulated per net as the *sum over active lanes* of
 // per-lane functional transitions (a popcount of the changed-bits word,
 // masked to the active lanes), so zero-delay activity statistics keep
-// working under batching and ragged (<64 sample) final batches never
+// working under batching and ragged (< kLanes sample) final batches never
 // pollute the counters.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "pml/netlist/module.hpp"
+#include "pml/obs/metrics.hpp"
+#include "pml/sim/lanes.hpp"
 #include "pml/sim/levelize.hpp"
 #include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
-class BatchSimulator {
+template <LaneWord L>
+class BatchSimulatorT {
  public:
-  /// Lanes per batch: one sample per bit of the SWAR word.
-  static constexpr std::size_t kLanes = 64;
+  /// Lanes per batch: one sample per bit of the SWAR lane word.
+  static constexpr std::size_t kLanes = L::kWidth;
+  /// uint64_t storage chunks per lane word (lane L -> chunk L/64).
+  static constexpr std::size_t kChunks = L::kChunks;
 
   /// Unbound simulator for pooling (core::EvalContext worker scratch);
   /// every member other than rebind()/bound() requires a bind first.
-  BatchSimulator() = default;
-  explicit BatchSimulator(const netlist::Module& module);
+  BatchSimulatorT() = default;
+  explicit BatchSimulatorT(const netlist::Module& module)
+      : BatchSimulatorT(module, levelize_shared(module)) {}
   /// Reuse a previously derived levelization (verification workers across
   /// threads share one instead of re-deriving it per simulator).
-  BatchSimulator(const netlist::Module& module,
-                 std::shared_ptr<const Levelization> lv);
+  BatchSimulatorT(const netlist::Module& module,
+                  std::shared_ptr<const Levelization> lv) {
+    rebind(module, std::move(lv));
+  }
 
   /// (Re)bind to a module, reusing all internal vector capacities: a
   /// pooled simulator rebound to same-shaped modules performs zero heap
   /// allocation.  The module and levelization are borrowed and must
   /// outlive the binding; lane masks/counters are reset as by reset().
   void rebind(const netlist::Module& module,
-              std::shared_ptr<const Levelization> lv);
+              std::shared_ptr<const Levelization> lv) {
+    if (lv == nullptr) {
+      throw std::invalid_argument("BatchSimulator: null levelization");
+    }
+    module_ = &module;
+    lv_ = std::move(lv);
+    swar_comb_ops_into(ops_, *module_, *lv_);
+    swar_dff_ops_into(dffs_, *module_, *lv_);
+    values_.assign(module_->num_nets() * kChunks, 0);
+    toggles_.assign(module_->num_nets(), 0);
+    dff_state_.assign(dffs_.size() * kChunks, 0);
+    std::fill(active_mask_, active_mask_ + kChunks, ~std::uint64_t{0});
+    active_lanes_ = kLanes;
+    inputs_dirty_ = false;
+    reset();
+  }
   [[nodiscard]] bool bound() const noexcept { return module_ != nullptr; }
 
   /// Restore all DFFs (every lane) to their power-on values, zero all
   /// nets, settle, and clear toggle/cycle counters.
-  void reset();
+  void reset() {
+    std::fill(values_.begin(), values_.end(), 0);
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      values_[netlist::kConst1 * kChunks + c] = ~std::uint64_t{0};
+    }
+    for (std::size_t i = 0; i < dffs_.size(); ++i) {
+      // SwarDffOp::init is 0 or ~0 — broadcast it to every chunk.
+      for (std::size_t c = 0; c < kChunks; ++c) {
+        dff_state_[i * kChunks + c] = dffs_[i].init;
+        values_[dffs_[i].q * kChunks + c] = dffs_[i].init;
+      }
+    }
+    // Settle combinational logic so reads at time zero are consistent,
+    // then discard the settling transitions (matches CycleSimulator).
+    propagate();
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    cycles_ = 0;
+  }
 
   // --- lane control ---------------------------------------------------------
   /// Declare lanes [0, count) active (1 <= count <= kLanes).  Inactive
   /// lanes still simulate but are excluded from toggle counting; their
   /// outputs are meaningless and must not be read.
-  void set_active_lanes(std::size_t count);
+  void set_active_lanes(std::size_t count) {
+    if (count == 0 || count > kLanes) {
+      throw std::out_of_range("set_active_lanes: count out of [1, kLanes]");
+    }
+    active_lanes_ = count;
+    for (std::size_t c = 0; c < kChunks; ++c) {
+      const std::size_t lo = c * 64;
+      active_mask_[c] = count >= lo + 64 ? ~std::uint64_t{0}
+                        : count <= lo    ? 0
+                                         : (std::uint64_t{1} << (count - lo)) - 1;
+    }
+  }
   [[nodiscard]] std::size_t active_lanes() const { return active_lanes_; }
-  /// Bit L set iff lane L is active.
-  [[nodiscard]] std::uint64_t active_mask() const { return active_mask_; }
+  /// Chunk 0 of the active-lane mask (bit L set iff lane L < 64 is
+  /// active); the full mask of a wide backend is per-chunk.
+  [[nodiscard]] std::uint64_t active_mask() const { return active_mask_[0]; }
 
   // --- stimulus -------------------------------------------------------------
-  /// Drive a primary-input net with a full 64-lane word.
-  void set_net(netlist::NetId net, std::uint64_t lanes);
+  /// Drive lanes [0, 64) of a primary-input net with one word; any wider
+  /// backend's remaining lanes are driven to 0 (historical 64-lane API).
+  void set_net(netlist::NetId net, std::uint64_t lanes) {
+    if (net * kChunks >= values_.size()) {
+      throw std::out_of_range("set_net: bad net");
+    }
+    values_[net * kChunks] = lanes;
+    for (std::size_t c = 1; c < kChunks; ++c) values_[net * kChunks + c] = 0;
+    inputs_dirty_ = true;
+  }
+  /// Drive all kLanes lanes of a primary-input net from kChunks words.
+  void set_net_chunks(netlist::NetId net, const std::uint64_t* chunks) {
+    if (net * kChunks >= values_.size()) {
+      throw std::out_of_range("set_net_chunks: bad net");
+    }
+    std::copy(chunks, chunks + kChunks, values_.begin() + net * kChunks);
+    inputs_dirty_ = true;
+  }
   /// Drive one lane of a primary-input net, leaving the others unchanged.
-  void set_net(netlist::NetId net, std::size_t lane, bool value);
+  void set_net(netlist::NetId net, std::size_t lane, bool value) {
+    if (net * kChunks >= values_.size()) {
+      throw std::out_of_range("set_net: bad net");
+    }
+    if (lane >= kLanes) throw std::out_of_range("set_net: bad lane");
+    insert_lane(values_.data() + net * kChunks, lane, value);
+    inputs_dirty_ = true;
+  }
   /// Drive an input port: values[L] is lane L's port value (LSB first),
   /// `count` <= kLanes.  Lanes >= count are driven to 0.
   void set_port(const netlist::Port& port, const std::uint64_t* values,
-                std::size_t count);
+                std::size_t count) {
+    if (count > kLanes) {
+      throw std::out_of_range("set_port: count > kLanes");
+    }
+    // Transpose sample-major port values into bit-major lane words.
+    std::uint64_t word[kChunks];
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      std::fill(word, word + kChunks, 0);
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        word[lane_chunk(lane)] |= ((values[lane] >> i) & 1u) << (lane & 63);
+      }
+      set_net_chunks(port.nets[i], word);
+    }
+  }
   void set_port(const std::string& name, const std::uint64_t* values,
-                std::size_t count);
+                std::size_t count) {
+    const netlist::Port* port = module_->find_input(name);
+    if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+    set_port(*port, values, count);
+  }
   /// Drive the same value into every lane of an input port.
-  void set_port_broadcast(const netlist::Port& port, std::uint64_t value);
-  void set_port_broadcast(const std::string& name, std::uint64_t value);
+  void set_port_broadcast(const netlist::Port& port, std::uint64_t value) {
+    std::uint64_t word[kChunks];
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      std::fill(word, word + kChunks,
+                ((value >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0);
+      set_net_chunks(port.nets[i], word);
+    }
+  }
+  void set_port_broadcast(const std::string& name, std::uint64_t value) {
+    const netlist::Port* port = module_->find_input(name);
+    if (port == nullptr) throw std::invalid_argument("no input port: " + name);
+    set_port_broadcast(*port, value);
+  }
 
   // --- evaluation -----------------------------------------------------------
   /// Propagate combinational logic for all lanes (no clock edge).
-  void propagate();
+  void propagate() {
+    std::uint64_t* const v = values_.data();
+    const auto amask = L::load(active_mask_);
+    for (const SwarOp& op : ops_) {
+      const auto out = eval_cell_lanes_w<L>(op.type, L::load(v + op.a * kChunks),
+                                            L::load(v + op.b * kChunks),
+                                            L::load(v + op.s * kChunks));
+      std::uint64_t* const dst = v + op.out * kChunks;
+      const auto diff = L::band(L::bxor(out, L::load(dst)), amask);
+      toggles_[op.out] += L::popcount(diff);
+      L::store(dst, out);
+    }
+    inputs_dirty_ = false;
+    // One lane word evaluated per cell per sweep; a single relaxed add
+    // per sweep keeps the hot loop untouched.
+    PML_OBS_COUNT("sim.batch.lane_words", ops_.size());
+  }
   /// Clock every DFF (capture D into Q, all lanes) and re-settle.  The
   /// pre-clock combinational sweep is skipped when no input changed since
   /// the last propagate — a levelized pass is a fixpoint, so re-running it
   /// on unchanged inputs is an observably-identical no-op (zero toggles).
-  void step();
+  void step() {
+    if (inputs_dirty_) propagate();
+    // Two-phase clocking (sample all Ds, then update all Qs) so DFF chains
+    // shift correctly regardless of cell order — same as CycleSimulator.
+    std::uint64_t* const v = values_.data();
+    for (std::size_t i = 0; i < dffs_.size(); ++i) {
+      L::store(dff_state_.data() + i * kChunks,
+               L::load(v + dffs_[i].d * kChunks));
+    }
+    const auto amask = L::load(active_mask_);
+    for (std::size_t i = 0; i < dffs_.size(); ++i) {
+      std::uint64_t* const q = v + dffs_[i].q * kChunks;
+      const auto next = L::load(dff_state_.data() + i * kChunks);
+      const auto diff = L::band(L::bxor(next, L::load(q)), amask);
+      toggles_[dffs_[i].q] += L::popcount(diff);
+      L::store(q, next);
+    }
+    ++cycles_;
+    propagate();
+  }
 
   // --- observation ----------------------------------------------------------
-  /// All 64 lanes of a net.
+  /// Lanes [0, 64) of a net (historical 64-lane API).
   [[nodiscard]] std::uint64_t net_lanes(netlist::NetId net) const {
-    return values_[net];
+    return values_[net * kChunks];
+  }
+  /// Chunk `c` (lanes [64c, 64c+64)) of a net.
+  [[nodiscard]] std::uint64_t net_chunk(netlist::NetId net,
+                                        std::size_t c) const {
+    return values_[net * kChunks + c];
   }
   [[nodiscard]] bool net(netlist::NetId net, std::size_t lane) const {
-    return ((values_[net] >> lane) & 1u) != 0;
+    return extract_lane(values_.data() + net * kChunks, lane);
   }
   /// Read a port in one lane as an unsigned integer (LSB first).
   [[nodiscard]] std::uint64_t port_unsigned(const netlist::Port& port,
-                                            std::size_t lane) const;
+                                            std::size_t lane) const {
+    if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < port.nets.size(); ++i) {
+      v |= static_cast<std::uint64_t>(
+               extract_lane(values_.data() + port.nets[i] * kChunks, lane))
+           << i;
+    }
+    return v;
+  }
   [[nodiscard]] std::uint64_t port_unsigned(const std::string& name,
-                                            std::size_t lane) const;
+                                            std::size_t lane) const {
+    return port_unsigned(find_port(name), lane);
+  }
   /// Read a port in one lane as a two's complement signed integer.
   [[nodiscard]] std::int64_t port_signed(const netlist::Port& port,
-                                         std::size_t lane) const;
+                                         std::size_t lane) const {
+    return sign_extend_port(port_unsigned(port, lane), port.nets.size());
+  }
   [[nodiscard]] std::int64_t port_signed(const std::string& name,
-                                         std::size_t lane) const;
+                                         std::size_t lane) const {
+    return port_signed(find_port(name), lane);
+  }
   /// Transpose a port across lanes: out[L] = port value in lane L for all
   /// active lanes (out must hold active_lanes() entries).
-  void port_unsigned_all(const netlist::Port& port, std::uint64_t* out) const;
+  void port_unsigned_all(const netlist::Port& port, std::uint64_t* out) const {
+    for (std::size_t lane = 0; lane < active_lanes_; ++lane) {
+      out[lane] = port_unsigned(port, lane);
+    }
+  }
 
   /// Cumulative zero-delay toggles per net since construction/reset,
   /// summed over active lanes (equals the sum of CycleSimulator toggle
@@ -126,17 +295,29 @@ class BatchSimulator {
   [[nodiscard]] const Levelization& levelization() const { return *lv_; }
 
  private:
+  [[nodiscard]] const netlist::Port& find_port(const std::string& name) const {
+    const netlist::Port* port = module_->find_output(name);
+    if (port == nullptr) port = module_->find_input(name);
+    if (port == nullptr) throw std::invalid_argument("no port: " + name);
+    return *port;
+  }
+
   const netlist::Module* module_ = nullptr;
   std::shared_ptr<const Levelization> lv_;
-  std::vector<SwarOp> ops_;      ///< levelized cells, pins flattened
+  std::vector<SwarOp> ops_;  ///< levelized cells, pins flattened
   std::vector<SwarDffOp> dffs_;
-  std::vector<std::uint64_t> values_;     ///< one 64-lane word per net
+  std::vector<std::uint64_t> values_;     ///< kChunks words per net
   std::vector<std::uint64_t> dff_state_;  ///< captured D, per DFF
   std::vector<std::uint64_t> toggles_;
-  std::uint64_t active_mask_ = ~std::uint64_t{0};
+  std::uint64_t active_mask_[kChunks] = {};
   std::size_t active_lanes_ = kLanes;
   std::uint64_t cycles_ = 0;
   bool inputs_dirty_ = false;  ///< true if set_net/set_port since propagate
 };
+
+/// The 64-lane scalar instantiation: the always-built reference backend
+/// and the type every historical call site keeps using.
+using BatchSimulator = BatchSimulatorT<LaneU64>;
+extern template class BatchSimulatorT<LaneU64>;
 
 }  // namespace pml::sim

@@ -1,51 +1,76 @@
 #pragma once
-// 64-lane SWAR evaluation of one combinational cell: bit L of every word
-// is lane L's logic value, so a gate evaluates for 64 independent samples
-// in a handful of machine ops.  Shared by the zero-delay BatchSimulator,
-// the stuck-at BatchFaultSimulator, and the delay-accurate
-// BatchEventSimulator so all three engines agree with netlist::eval_cell
-// lane for lane by construction — along with the flattened Op-list layout
-// and port read helpers they have in common.
+// Width-generic SWAR evaluation of one combinational cell: bit L of every
+// lane word is lane L's logic value, so a gate evaluates for kWidth
+// independent samples in a handful of machine ops.  The eval is templated
+// on a LaneWord trait (sim/lanes.hpp): LaneU64 is the 64-lane scalar
+// reference, LaneAvx2/LaneAvx512 widen the same code to 256/512 lanes in
+// per-flag TUs.  Shared by the zero-delay BatchSimulator, the stuck-at
+// BatchFaultSimulator, and the delay-accurate BatchEventSimulator so all
+// engines agree with netlist::eval_cell lane for lane by construction —
+// along with the flattened Op-list layout and port read helpers they have
+// in common.
 
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "pml/netlist/module.hpp"
+#include "pml/sim/lanes.hpp"
 #include "pml/sim/levelize.hpp"
 
 namespace pml::sim {
 
-/// Evaluate `type` across all 64 lanes.  `b`/`s` are ignored by cells that
-/// do not read those pins (callers remap unused pins to the constant-0
-/// net, so the loads are always in bounds).  Throws on sequential cells.
+// Exhaustiveness check for the eval switches below: the cases enumerate
+// every CellType (no default, so -Wswitch flags a forgotten case), and
+// this assert turns a new cell type into a hard compile error here rather
+// than a runtime throw in whichever backend first meets it.
+static_assert(netlist::kNumCellTypes == 10,
+              "new CellType: teach sim::eval_cell_lanes about it (every "
+              "LaneWord backend inherits the fix at once)");
+
+/// Evaluate `type` across all L::kWidth lanes.  `b`/`s` are ignored by
+/// cells that do not read those pins (callers remap unused pins to the
+/// constant-0 net, so the loads are always in bounds).  Throws
+/// std::logic_error on sequential cells (kDff has no combinational
+/// function; DFFs are clocked by the simulators themselves).
+template <LaneWord L>
+[[nodiscard]] inline typename L::Word eval_cell_lanes_w(netlist::CellType type,
+                                                        typename L::Word a,
+                                                        typename L::Word b,
+                                                        typename L::Word s) {
+  using netlist::CellType;
+  switch (type) {
+    case CellType::kInv:
+      return L::bnot(a);
+    case CellType::kBuf:
+      return a;
+    case CellType::kNand2:
+      return L::bnot(L::band(a, b));
+    case CellType::kNor2:
+      return L::bnot(L::bor(a, b));
+    case CellType::kAnd2:
+      return L::band(a, b);
+    case CellType::kOr2:
+      return L::bor(a, b);
+    case CellType::kXor2:
+      return L::bxor(a, b);
+    case CellType::kXnor2:
+      return L::bnot(L::bxor(a, b));
+    case CellType::kMux2:
+      return L::bor(L::andnot(a, s), L::band(b, s));
+    case CellType::kDff:
+      break;
+  }
+  throw std::logic_error("eval_cell_lanes: not a combinational cell");
+}
+
+/// 64-lane scalar form (the historical entry point; identical to
+/// eval_cell_lanes_w<LaneU64>).
 [[nodiscard]] inline std::uint64_t eval_cell_lanes(netlist::CellType type,
                                                    std::uint64_t a,
                                                    std::uint64_t b,
                                                    std::uint64_t s) {
-  using netlist::CellType;
-  switch (type) {
-    case CellType::kInv:
-      return ~a;
-    case CellType::kBuf:
-      return a;
-    case CellType::kNand2:
-      return ~(a & b);
-    case CellType::kNor2:
-      return ~(a | b);
-    case CellType::kAnd2:
-      return a & b;
-    case CellType::kOr2:
-      return a | b;
-    case CellType::kXor2:
-      return a ^ b;
-    case CellType::kXnor2:
-      return ~(a ^ b);
-    case CellType::kMux2:
-      return (a & ~s) | (b & s);
-    default:
-      throw std::logic_error("eval_cell_lanes: not a combinational cell");
-  }
+  return eval_cell_lanes_w<LaneU64>(type, a, b, s);
 }
 
 /// Compact per-cell evaluation record with the pin indirection flattened

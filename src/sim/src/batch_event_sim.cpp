@@ -1,280 +1,12 @@
+// The class lives in the header as a template on the LaneWord trait
+// (see batch_event_sim.hpp); this TU provides the always-built 64-lane
+// scalar instantiation.  The AVX2/AVX-512 instantiations are created only
+// inside src/core/src/backends/backend_avx2.cpp / backend_avx512.cpp,
+// which are compiled with the matching -m flags.
 #include "pml/sim/batch_event_sim.hpp"
-
-#include <algorithm>
-#include <bit>
-#include <cmath>
-#include <stdexcept>
-
-#include "pml/obs/metrics.hpp"
-#include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
-using netlist::Cell;
-using netlist::CellType;
-using netlist::NetId;
-using netlist::Port;
-
-BatchEventSimulator::BatchEventSimulator(const netlist::Module& module,
-                                         const cells::CellLibrary& lib,
-                                         double time_quantum_ms)
-    : BatchEventSimulator(module, lib, time_quantum_ms,
-                          levelize_shared(module)) {}
-
-BatchEventSimulator::BatchEventSimulator(
-    const netlist::Module& module, const cells::CellLibrary& lib,
-    double time_quantum_ms, std::shared_ptr<const Levelization> lv) {
-  rebind(module, lib, time_quantum_ms, std::move(lv));
-}
-
-void BatchEventSimulator::rebind(const netlist::Module& module,
-                                 const cells::CellLibrary& lib,
-                                 double time_quantum_ms,
-                                 std::shared_ptr<const Levelization> lv) {
-  if (lv == nullptr) {
-    throw std::invalid_argument("BatchEventSimulator: null levelization");
-  }
-  if (time_quantum_ms <= 0) {
-    throw std::invalid_argument("time quantum must be positive");
-  }
-  module_ = &module;
-  lv_ = std::move(lv);
-  // Same quantization as EventSimulator: equal tick grids are what make
-  // the per-lane trajectories bit-exact against the scalar oracle.
-  delay_ticks_.assign(netlist::kNumCellTypes, 0);
-  int max_delay = 1;
-  for (int t = 0; t < netlist::kNumCellTypes; ++t) {
-    const double d = lib.params(static_cast<CellType>(t)).delay_ms;
-    delay_ticks_[t] =
-        std::max(1, static_cast<int>(std::lround(d / time_quantum_ms)));
-    max_delay = std::max(max_delay, delay_ticks_[t]);
-  }
-  // Shrink-then-clear-then-grow keeps surviving bucket capacities (the
-  // event-wheel nodes of the pooling contract).
-  const std::size_t wheel_size = static_cast<std::size_t>(max_delay) + 1;
-  if (wheel_.size() > wheel_size) wheel_.resize(wheel_size);
-  for (auto& bucket : wheel_) bucket.clear();
-  wheel_.resize(wheel_size);
-
-  swar_cell_ops_into(cell_ops_, *module_);
-  swar_dff_ops_into(dffs_, *module_, *lv_);
-  values_.assign(module_->num_nets(), 0);
-  dff_state_.assign(dffs_.size(), 0);
-  cell_epoch_.assign(module_->cells().size(), 0);
-  epoch_ = 0;
-  touched_cells_.clear();
-  window_start_.assign(module_->num_nets(), 0);
-  net_window_epoch_.assign(module_->num_nets(), 0);
-  window_nets_.clear();
-  window_epoch_ = 0;
-  count_mask_ = ~std::uint64_t{0};
-  activity_.net_toggles.assign(module_->num_nets(), 0);
-  activity_.net_functional.assign(module_->num_nets(), 0);
-  reset();
-}
-
-void BatchEventSimulator::reset() {
-  std::fill(values_.begin(), values_.end(), 0);
-  values_[netlist::kConst1] = ~std::uint64_t{0};
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = dffs_[i].init;
-    values_[dffs_[i].q] = dff_state_[i];
-  }
-  for (auto& bucket : wheel_) bucket.clear();
-  wheel_pos_ = 0;
-  pending_events_ = 0;
-  pending_inputs_.clear();
-  full_settle_zero_delay();
-  clear_activity();
-}
-
-void BatchEventSimulator::clear_activity() {
-  std::fill(activity_.net_toggles.begin(), activity_.net_toggles.end(), 0);
-  std::fill(activity_.net_functional.begin(), activity_.net_functional.end(),
-            0);
-  activity_.dff_clock_events = 0;
-  activity_.cycles = 0;
-}
-
-void BatchEventSimulator::full_settle_zero_delay() {
-  // Levelized consistent assignment used for initialization only (mirrors
-  // EventSimulator::full_settle_zero_delay, 64 lanes at a time).
-  for (const std::uint32_t idx : lv_->comb_order) {
-    const SwarOp& op = cell_ops_[idx];
-    values_[op.out] =
-        eval_cell_lanes(op.type, values_[op.a], values_[op.b], values_[op.s]);
-  }
-}
-
-void BatchEventSimulator::set_net(NetId net, std::uint64_t lanes) {
-  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
-  pending_inputs_.emplace_back(net, lanes);
-}
-
-void BatchEventSimulator::set_port(const Port& port,
-                                   const std::uint64_t* values,
-                                   std::size_t count) {
-  if (count > kLanes) throw std::out_of_range("set_port: count > 64 lanes");
-  // Transpose sample-major port values into bit-major lane words.
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    std::uint64_t word = 0;
-    for (std::size_t lane = 0; lane < count; ++lane) {
-      word |= ((values[lane] >> i) & 1u) << lane;
-    }
-    set_net(port.nets[i], word);
-  }
-}
-
-void BatchEventSimulator::set_port(const std::string& name,
-                                   const std::uint64_t* values,
-                                   std::size_t count) {
-  const Port* port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
-  set_port(*port, values, count);
-}
-
-void BatchEventSimulator::set_port_broadcast(const Port& port,
-                                             std::uint64_t value) {
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    set_net(port.nets[i], ((value >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0);
-  }
-}
-
-void BatchEventSimulator::set_port_broadcast(const std::string& name,
-                                             std::uint64_t value) {
-  const Port* port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
-  set_port_broadcast(*port, value);
-}
-
-void BatchEventSimulator::schedule(std::size_t delay_ticks, NetId net,
-                                   std::uint64_t word) {
-  wheel_[(wheel_pos_ + delay_ticks) % wheel_.size()].emplace_back(net, word);
-  ++pending_events_;
-}
-
-void BatchEventSimulator::run_wheel(bool count) {
-  const auto& cells = module_->cells();
-  std::uint64_t guard = 0;
-  std::uint64_t evals = 0;  // 64-lane cell evaluations this wheel run
-  const std::uint64_t kMaxEvents =
-      std::max<std::uint64_t>(1000, cells.size()) * 4096;
-
-  // One counted wheel run is one propagation window of the
-  // functional/glitch split (same windows as the scalar EventSimulator).
-  if (count) {
-    ++window_epoch_;
-    window_nets_.clear();
-  }
-
-  while (pending_events_ > 0) {
-    auto& bucket = wheel_[wheel_pos_];
-    if (!bucket.empty()) {
-      // Phase 1: apply all net changes scheduled for this tick.
-      touched_cells_.clear();
-      ++epoch_;
-      for (const auto& [net, word] : bucket) {
-        --pending_events_;
-        if (++guard > kMaxEvents) {
-          throw std::runtime_error(
-              "batch event simulator: event budget exceeded");
-        }
-        const std::uint64_t diff = word ^ values_[net];
-        if (diff == 0) continue;
-        if (count) {
-          activity_.net_toggles[net] +=
-              static_cast<std::uint64_t>(std::popcount(diff & count_mask_));
-          if (net_window_epoch_[net] != window_epoch_) {
-            net_window_epoch_[net] = window_epoch_;
-            window_start_[net] = values_[net];
-            window_nets_.push_back(net);
-          }
-        }
-        values_[net] = word;
-        for (const std::uint32_t ci : lv_->fanout[net]) {
-          if (cells[ci].type == CellType::kDff) continue;
-          if (cell_epoch_[ci] != epoch_) {
-            cell_epoch_[ci] = epoch_;
-            touched_cells_.push_back(ci);
-          }
-        }
-      }
-      bucket.clear();
-      // Phase 2: re-evaluate each affected gate once (all 64 lanes in one
-      // pass); schedule its response after the gate delay.
-      evals += touched_cells_.size();
-      for (const std::uint32_t ci : touched_cells_) {
-        const SwarOp& op = cell_ops_[ci];
-        const std::uint64_t out = eval_cell_lanes(op.type, values_[op.a],
-                                                  values_[op.b], values_[op.s]);
-        schedule(static_cast<std::size_t>(
-                     delay_ticks_[static_cast<int>(op.type)]),
-                 op.out, out);
-      }
-    }
-    wheel_pos_ = (wheel_pos_ + 1) % wheel_.size();
-  }
-
-  if (count) {
-    for (const NetId net : window_nets_) {
-      activity_.net_functional[net] += static_cast<std::uint64_t>(
-          std::popcount((values_[net] ^ window_start_[net]) & count_mask_));
-    }
-  }
-  PML_OBS_COUNT("sim.batch_event.lane_words", evals);
-}
-
-void BatchEventSimulator::settle() {
-  for (const auto& [net, word] : pending_inputs_) {
-    schedule(0, net, word);
-  }
-  pending_inputs_.clear();
-  run_wheel(/*count=*/true);
-}
-
-void BatchEventSimulator::step() {
-  settle();
-  const std::size_t dff_delay =
-      static_cast<std::size_t>(delay_ticks_[static_cast<int>(CellType::kDff)]);
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = values_[dffs_[i].d];
-  }
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    if (values_[dffs_[i].q] != dff_state_[i]) {
-      schedule(dff_delay, dffs_[i].q, dff_state_[i]);
-    }
-  }
-  const auto counted =
-      static_cast<std::uint64_t>(std::popcount(count_mask_));
-  activity_.dff_clock_events += dffs_.size() * counted;
-  activity_.cycles += counted;
-  run_wheel(/*count=*/true);
-}
-
-std::uint64_t BatchEventSimulator::port_unsigned(const Port& port,
-                                                 std::size_t lane) const {
-  if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    v |= ((values_[port.nets[i]] >> lane) & 1u) << i;
-  }
-  return v;
-}
-
-std::uint64_t BatchEventSimulator::port_unsigned(const std::string& name,
-                                                 std::size_t lane) const {
-  const Port* port = module_->find_output(name);
-  if (port == nullptr) port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  return port_unsigned(*port, lane);
-}
-
-std::int64_t BatchEventSimulator::port_signed(const std::string& name,
-                                              std::size_t lane) const {
-  const Port* port = module_->find_output(name);
-  if (port == nullptr) port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  return sign_extend_port(port_unsigned(*port, lane), port->nets.size());
-}
+template class BatchEventSimulatorT<LaneU64>;
 
 }  // namespace pml::sim

@@ -1,183 +1,12 @@
+// The class lives in the header as a template on the LaneWord trait
+// (see batch_fault_sim.hpp); this TU provides the always-built 64-lane
+// scalar instantiation.  The AVX2/AVX-512 instantiations are created only
+// inside src/core/src/backends/backend_avx2.cpp / backend_avx512.cpp,
+// which are compiled with the matching -m flags.
 #include "pml/sim/batch_fault_sim.hpp"
-
-#include <algorithm>
-#include <stdexcept>
-
-#include "pml/obs/metrics.hpp"
-#include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
-using netlist::Cell;
-using netlist::NetId;
-using netlist::Port;
-
-BatchFaultSimulator::BatchFaultSimulator(const netlist::Module& module)
-    : BatchFaultSimulator(module, levelize_shared(module)) {}
-
-BatchFaultSimulator::BatchFaultSimulator(
-    const netlist::Module& module, std::shared_ptr<const Levelization> lv) {
-  rebind(module, std::move(lv));
-}
-
-void BatchFaultSimulator::rebind(const netlist::Module& module,
-                                 std::shared_ptr<const Levelization> lv) {
-  if (lv == nullptr) {
-    throw std::invalid_argument("BatchFaultSimulator: null levelization");
-  }
-  module_ = &module;
-  lv_ = std::move(lv);
-  swar_comb_ops_into(ops_, *module_, *lv_);
-  swar_dff_ops_into(dffs_, *module_, *lv_);
-  values_.assign(module_->num_nets(), 0);
-  force0_.assign(module_->num_nets(), 0);
-  force1_.assign(module_->num_nets(), 0);
-  dff_state_.assign(dffs_.size(), 0);
-  forced_nets_.clear();
-  num_faults_ = 0;
-  inputs_dirty_ = false;
-  reset();
-}
-
-void BatchFaultSimulator::reset() {
-  std::fill(values_.begin(), values_.end(), 0);
-  values_[netlist::kConst1] = ~std::uint64_t{0};
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = dffs_[i].init;
-    values_[dffs_[i].q] = dff_state_[i];
-  }
-  // Settle with the installed faults applied, so reads at time zero match
-  // a scalar CycleSimulator reset taken after force_net.
-  propagate();
-  cycles_ = 0;
-}
-
-void BatchFaultSimulator::set_fault(NetId net, std::size_t lane,
-                                    bool stuck_value) {
-  if (net >= values_.size()) throw std::out_of_range("set_fault: bad net");
-  if (lane == 0) {
-    throw std::invalid_argument(
-        "set_fault: lane 0 is the reserved fault-free reference");
-  }
-  if (lane >= kLanes) throw std::out_of_range("set_fault: bad lane");
-  if (net == netlist::kConst0 || net == netlist::kConst1) {
-    throw std::invalid_argument("set_fault: cannot force a constant net");
-  }
-  const std::uint64_t bit = std::uint64_t{1} << lane;
-  if (((force0_[net] | force1_[net]) & bit) == 0) {
-    if (force0_[net] == 0 && force1_[net] == 0) forced_nets_.push_back(net);
-    ++num_faults_;
-  }
-  if (stuck_value) {
-    force1_[net] |= bit;
-    force0_[net] &= ~bit;
-  } else {
-    force0_[net] |= bit;
-    force1_[net] &= ~bit;
-  }
-  inputs_dirty_ = true;
-}
-
-void BatchFaultSimulator::clear_faults() {
-  for (const NetId n : forced_nets_) {
-    force0_[n] = 0;
-    force1_[n] = 0;
-  }
-  forced_nets_.clear();
-  num_faults_ = 0;
-  inputs_dirty_ = true;
-}
-
-void BatchFaultSimulator::set_net(NetId net, bool value) {
-  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
-  values_[net] = value ? ~std::uint64_t{0} : 0;
-  inputs_dirty_ = true;
-}
-
-void BatchFaultSimulator::set_port(const Port& port, std::uint64_t value) {
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    set_net(port.nets[i], ((value >> i) & 1u) != 0);
-  }
-}
-
-void BatchFaultSimulator::set_port(const std::string& name,
-                                   std::uint64_t value) {
-  const Port* port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
-  set_port(*port, value);
-}
-
-void BatchFaultSimulator::apply_faults_to_sources() {
-  for (const NetId n : forced_nets_) {
-    values_[n] = (values_[n] & ~force0_[n]) | force1_[n];
-  }
-}
-
-void BatchFaultSimulator::propagate() {
-  // Source nets (PIs, DFF Qs) keep their forced lanes across the sweep;
-  // cell outputs are re-forced inline after every eval, exactly mirroring
-  // the scalar CycleSimulator force order.
-  apply_faults_to_sources();
-  const std::uint64_t* const v = values_.data();
-  const std::uint64_t* const f0 = force0_.data();
-  const std::uint64_t* const f1 = force1_.data();
-  for (const SwarOp& op : ops_) {
-    const std::uint64_t out =
-        eval_cell_lanes(op.type, v[op.a], v[op.b], v[op.s]);
-    // Branch-free stuck-at overlay: identity when both masks are zero.
-    values_[op.out] = (out & ~f0[op.out]) | f1[op.out];
-  }
-  inputs_dirty_ = false;
-  PML_OBS_COUNT("sim.batch_fault.lane_words", ops_.size());
-}
-
-void BatchFaultSimulator::step() {
-  // As in BatchSimulator: a levelized sweep is a fixpoint (the installed
-  // faults included), so the pre-clock sweep is skipped when neither the
-  // inputs nor the fault masks changed since the last propagate.
-  if (inputs_dirty_) propagate();
-  // Two-phase clocking (sample all Ds, then update all Qs) so DFF chains
-  // shift correctly regardless of cell order.  Forced Q lanes are
-  // re-asserted by the trailing propagate before anything reads them.
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = values_[dffs_[i].d];
-  }
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    values_[dffs_[i].q] = dff_state_[i];
-  }
-  ++cycles_;
-  propagate();
-}
-
-std::uint64_t BatchFaultSimulator::port_unsigned(const Port& port,
-                                                 std::size_t lane) const {
-  if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    v |= ((values_[port.nets[i]] >> lane) & 1u) << i;
-  }
-  return v;
-}
-
-std::uint64_t BatchFaultSimulator::port_unsigned(const std::string& name,
-                                                 std::size_t lane) const {
-  const Port* port = module_->find_output(name);
-  if (port == nullptr) port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  return port_unsigned(*port, lane);
-}
-
-std::int64_t BatchFaultSimulator::port_signed(const Port& port,
-                                              std::size_t lane) const {
-  return sign_extend_port(port_unsigned(port, lane), port.nets.size());
-}
-
-std::int64_t BatchFaultSimulator::port_signed(const std::string& name,
-                                              std::size_t lane) const {
-  const Port* port = module_->find_output(name);
-  if (port == nullptr) port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  return port_signed(*port, lane);
-}
+template class BatchFaultSimulatorT<LaneU64>;
 
 }  // namespace pml::sim

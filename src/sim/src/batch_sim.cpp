@@ -1,187 +1,13 @@
+// The class lives in the header as a template on the LaneWord trait
+// (see batch_sim.hpp); this TU provides the always-built 64-lane scalar
+// instantiation so ordinary call sites never pay template-instantiation
+// compile time.  The AVX2/AVX-512 instantiations are created only inside
+// src/core/src/backends/backend_avx2.cpp / backend_avx512.cpp, which are
+// compiled with the matching -m flags.
 #include "pml/sim/batch_sim.hpp"
-
-#include <bit>
-#include <stdexcept>
-
-#include "pml/obs/metrics.hpp"
-#include "pml/sim/swar.hpp"
 
 namespace pml::sim {
 
-using netlist::Cell;
-using netlist::CellType;
-using netlist::NetId;
-using netlist::Port;
-
-BatchSimulator::BatchSimulator(const netlist::Module& module)
-    : BatchSimulator(module, levelize_shared(module)) {}
-
-BatchSimulator::BatchSimulator(const netlist::Module& module,
-                               std::shared_ptr<const Levelization> lv) {
-  rebind(module, std::move(lv));
-}
-
-void BatchSimulator::rebind(const netlist::Module& module,
-                            std::shared_ptr<const Levelization> lv) {
-  if (lv == nullptr) {
-    throw std::invalid_argument("BatchSimulator: null levelization");
-  }
-  module_ = &module;
-  lv_ = std::move(lv);
-  swar_comb_ops_into(ops_, *module_, *lv_);
-  swar_dff_ops_into(dffs_, *module_, *lv_);
-  values_.assign(module_->num_nets(), 0);
-  toggles_.assign(module_->num_nets(), 0);
-  dff_state_.assign(dffs_.size(), 0);
-  active_mask_ = ~std::uint64_t{0};
-  active_lanes_ = kLanes;
-  inputs_dirty_ = false;
-  reset();
-}
-
-void BatchSimulator::reset() {
-  std::fill(values_.begin(), values_.end(), 0);
-  values_[netlist::kConst1] = ~std::uint64_t{0};
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = dffs_[i].init;
-    values_[dffs_[i].q] = dff_state_[i];
-  }
-  // Settle combinational logic so reads at time zero are consistent, then
-  // discard the settling transitions (matches CycleSimulator::reset).
-  propagate();
-  std::fill(toggles_.begin(), toggles_.end(), 0);
-  cycles_ = 0;
-}
-
-void BatchSimulator::set_active_lanes(std::size_t count) {
-  if (count == 0 || count > kLanes) {
-    throw std::out_of_range("set_active_lanes: count must be in [1, 64]");
-  }
-  active_lanes_ = count;
-  active_mask_ = count == kLanes ? ~std::uint64_t{0}
-                                 : (std::uint64_t{1} << count) - 1;
-}
-
-void BatchSimulator::set_net(NetId net, std::uint64_t lanes) {
-  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
-  values_[net] = lanes;
-  inputs_dirty_ = true;
-}
-
-void BatchSimulator::set_net(NetId net, std::size_t lane, bool value) {
-  if (net >= values_.size()) throw std::out_of_range("set_net: bad net");
-  if (lane >= kLanes) throw std::out_of_range("set_net: bad lane");
-  const std::uint64_t bit = std::uint64_t{1} << lane;
-  values_[net] = value ? (values_[net] | bit) : (values_[net] & ~bit);
-  inputs_dirty_ = true;
-}
-
-void BatchSimulator::set_port(const Port& port, const std::uint64_t* values,
-                              std::size_t count) {
-  if (count > kLanes) throw std::out_of_range("set_port: count > 64 lanes");
-  // Transpose sample-major port values into bit-major lane words.
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    std::uint64_t word = 0;
-    for (std::size_t lane = 0; lane < count; ++lane) {
-      word |= ((values[lane] >> i) & 1u) << lane;
-    }
-    set_net(port.nets[i], word);
-  }
-}
-
-void BatchSimulator::set_port(const std::string& name,
-                              const std::uint64_t* values, std::size_t count) {
-  const Port* port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
-  set_port(*port, values, count);
-}
-
-void BatchSimulator::set_port_broadcast(const Port& port, std::uint64_t value) {
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    set_net(port.nets[i], ((value >> i) & 1u) != 0 ? ~std::uint64_t{0} : 0);
-  }
-}
-
-void BatchSimulator::set_port_broadcast(const std::string& name,
-                                        std::uint64_t value) {
-  const Port* port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no input port: " + name);
-  set_port_broadcast(*port, value);
-}
-
-void BatchSimulator::propagate() {
-  const std::uint64_t* const v = values_.data();
-  for (const SwarOp& op : ops_) {
-    const std::uint64_t out =
-        eval_cell_lanes(op.type, v[op.a], v[op.b], v[op.s]);
-    const std::uint64_t diff = (out ^ values_[op.out]) & active_mask_;
-    toggles_[op.out] += static_cast<std::uint64_t>(std::popcount(diff));
-    values_[op.out] = out;
-  }
-  inputs_dirty_ = false;
-  // One 64-lane SWAR word evaluated per cell per sweep; a single relaxed
-  // add per sweep keeps the hot loop untouched.
-  PML_OBS_COUNT("sim.batch.lane_words", ops_.size());
-}
-
-void BatchSimulator::step() {
-  // A levelized sweep is a fixpoint: if no input changed since the last
-  // propagate (e.g. cycles 2..n of an inference, where the features are
-  // held stable), the pre-clock sweep would recompute identical values and
-  // zero toggles — skip it.  This halves the combinational work of the
-  // verification hot loop.
-  if (inputs_dirty_) propagate();
-  // Two-phase clocking (sample all Ds, then update all Qs) so DFF chains
-  // shift correctly regardless of cell order — same as CycleSimulator.
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    dff_state_[i] = values_[dffs_[i].d];
-  }
-  for (std::size_t i = 0; i < dffs_.size(); ++i) {
-    const NetId q = dffs_[i].q;
-    const std::uint64_t diff = (dff_state_[i] ^ values_[q]) & active_mask_;
-    toggles_[q] += static_cast<std::uint64_t>(std::popcount(diff));
-    values_[q] = dff_state_[i];
-  }
-  ++cycles_;
-  propagate();
-}
-
-std::uint64_t BatchSimulator::port_unsigned(const Port& port,
-                                            std::size_t lane) const {
-  if (lane >= kLanes) throw std::out_of_range("port_unsigned: bad lane");
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < port.nets.size(); ++i) {
-    v |= ((values_[port.nets[i]] >> lane) & 1u) << i;
-  }
-  return v;
-}
-
-std::uint64_t BatchSimulator::port_unsigned(const std::string& name,
-                                            std::size_t lane) const {
-  const Port* port = module_->find_output(name);
-  if (port == nullptr) port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  return port_unsigned(*port, lane);
-}
-
-std::int64_t BatchSimulator::port_signed(const Port& port,
-                                         std::size_t lane) const {
-  return sign_extend_port(port_unsigned(port, lane), port.nets.size());
-}
-
-std::int64_t BatchSimulator::port_signed(const std::string& name,
-                                         std::size_t lane) const {
-  const Port* port = module_->find_output(name);
-  if (port == nullptr) port = module_->find_input(name);
-  if (port == nullptr) throw std::invalid_argument("no port: " + name);
-  return port_signed(*port, lane);
-}
-
-void BatchSimulator::port_unsigned_all(const Port& port,
-                                       std::uint64_t* out) const {
-  for (std::size_t lane = 0; lane < active_lanes_; ++lane) {
-    out[lane] = port_unsigned(port, lane);
-  }
-}
+template class BatchSimulatorT<LaneU64>;
 
 }  // namespace pml::sim

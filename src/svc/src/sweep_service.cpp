@@ -69,8 +69,12 @@ void digest_workload(obs::Fnv1a& h, const core::CircuitWorkload& w) {
 // excluded: the determinism contract of evaluate_circuit guarantees they
 // cannot affect results, so requests differing only in thread counts share
 // one cache entry.  validate_module likewise (validation can only throw,
-// never change a result).  Deadlines/retry are service policy, not
-// evaluation inputs, so they are excluded too.
+// never change a result).  The SIMD `backend` knob is excluded for the
+// same reason as the threading knobs: every lane-word backend is proven
+// bit-identical to the u64 reference (tests/test_sim_backend.cpp), so a
+// u64 request may legally hit a cache entry computed under AVX-512.
+// Deadlines/retry are service policy, not evaluation inputs, so they are
+// excluded too.
 void digest_options(obs::Fnv1a& h, const core::EvaluateOptions& o) {
   h.update_u64(o.power_samples);
   h.update_u64(o.power_chunk_samples);

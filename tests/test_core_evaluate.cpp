@@ -121,9 +121,12 @@ TEST(Evaluate, HonorsCallerMaxMismatches) {
   EXPECT_EQ(all.verified_mismatches, wl.feature_codes.size());
 
   // A caller-set cap stops the scan early instead of being overwritten.
+  // Pin the 64-lane backend so "early" is observable: a wider backend
+  // scans this whole workload in its first batch.
   EvaluateOptions capped = count_all;
   capped.verify.max_mismatches = 1;
   capped.verify.num_threads = 1;
+  capped.backend = sim::Backend::kU64;
   const HardwareReport few = evaluate_circuit(
       circuit.module, circuit.cycles_per_inference, lib, wl, capped);
   EXPECT_FALSE(few.verified);

@@ -409,6 +409,9 @@ TEST(VerifyWorkload, FailFastCapStopsScheduling) {
   VerifyOptions opts;
   opts.num_threads = 1;
   opts.max_mismatches = 1;
+  // Pin the 64-lane reference backend so "the second batch" exists: a
+  // wider backend would scan this whole workload in one batch.
+  opts.backend = sim::Backend::kU64;
   const VerifyResult r = verify_workload(
       circuit.module, circuit.cycles_per_inference, wl, opts);
   EXPECT_FALSE(r.ok());

@@ -148,6 +148,20 @@ TEST(SvcCacheKey, ThreadingKnobsDoNotChangeKey) {
   EXPECT_EQ(SweepService::cache_key(r1), SweepService::cache_key(r2));
 }
 
+TEST(SvcCacheKey, SimdBackendDoesNotChangeKey) {
+  // Same contract as the threading knobs: every lane-word backend is
+  // bit-identical to the u64 reference, so a request pinned to u64 must
+  // share a cache entry with one evaluated under AVX2/AVX-512.
+  auto r1 = tiny_request();
+  auto r2 = r1;
+  auto r3 = r1;
+  r1.options.backend = sim::Backend::kU64;
+  r2.options.backend = sim::Backend::kAvx2;
+  r3.options.backend = sim::Backend::kAvx512;
+  EXPECT_EQ(SweepService::cache_key(r1), SweepService::cache_key(r2));
+  EXPECT_EQ(SweepService::cache_key(r1), SweepService::cache_key(r3));
+}
+
 void expect_reports_identical(const core::HardwareReport& a,
                               const core::HardwareReport& b) {
   // Exact comparisons, doubles included: both sides came from the same
