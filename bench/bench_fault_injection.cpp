@@ -30,7 +30,6 @@
 
 #include <iostream>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
@@ -260,10 +259,8 @@ int main(int argc, char** argv) {
                "one — the area/energy win trades against per-die yield.\n";
 
   // --- thread scaling (sequential multi-fault campaign) ----------------------
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::size_t> thread_counts{1};
-  for (std::size_t t = 2; t <= hw; t *= 2) thread_counts.push_back(t);
-  if (thread_counts.back() != hw) thread_counts.push_back(hw);
+  const std::vector<std::size_t> thread_counts =
+      benchutil::thread_scaling_axis();
   struct ThreadPoint {
     std::size_t threads;
     double vsps;

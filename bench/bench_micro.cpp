@@ -1,8 +1,12 @@
 // Google-benchmark microbenchmarks of the flow's engineering substrate:
 // trainer throughput, quantization, circuit generation, both simulators,
-// and STA.  These guard the tooling's performance, not the paper's claims.
+// task-pool fan-out, and STA.  These guard the tooling's performance,
+// not the paper's claims.
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstddef>
 
 #include "pml/arch/parallel_svm.hpp"
 #include "pml/arch/sequential_svm.hpp"
@@ -14,6 +18,7 @@
 #include "pml/sim/cycle_sim.hpp"
 #include "pml/sim/event_sim.hpp"
 #include "pml/sta/timing.hpp"
+#include "pml/util/task_pool.hpp"
 
 namespace {
 
@@ -144,6 +149,30 @@ void BM_StaticTimingAnalysis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StaticTimingAnalysis);
+
+void BM_TaskPoolFanout(benchmark::State& state) {
+  // Pure fan-out overhead on the warm process pool: the run_workers
+  // claim-loop shape at the small group sizes the batch drivers use.
+  // Compare against bench_task_pool's spawn/join reference for the gated
+  // per-call speedup; this tracks the pool's own dispatch latency.
+  util::TaskPool& pool = util::TaskPool::instance();
+  const auto slots = static_cast<std::size_t>(state.range(0));
+  pool.run_group(slots, "micro.warm", [](std::size_t) {});
+  for (auto _ : state) {
+    std::atomic<std::size_t> next{0};
+    std::uint64_t sums[8] = {};
+    pool.run_group(slots, "micro.fanout", [&](std::size_t slot) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= 64) return;
+        sums[slot % 8] += i;
+      }
+    });
+    benchmark::DoNotOptimize(sums[0]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskPoolFanout)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_DatasetSynthesis(benchmark::State& state) {
   std::uint64_t seed = 1;

@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <iostream>
-#include <thread>
 
 #include "bench_util.hpp"
 #include "pml/arch/battery.hpp"
@@ -40,8 +39,7 @@ int main(int argc, char** argv) {
     // A useful trace needs at least two worker tracks even on single-core
     // CI runners; the workers are deterministic, so this only affects the
     // fan-out shape, not the numbers.
-    options.num_threads = std::max<std::size_t>(
-        2, std::thread::hardware_concurrency());
+    options.num_threads = benchutil::hardware_threads();
   }
   benchutil::ObsSession session("table1", args, options.train_seed,
                                 quick ? "quick" : "full");

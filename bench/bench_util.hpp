@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "pml/ml/dataset.hpp"
 #include "pml/ml/scaler.hpp"
@@ -20,8 +21,28 @@
 #include "pml/obs/manifest.hpp"
 #include "pml/obs/metrics.hpp"
 #include "pml/obs/trace.hpp"
+#include "pml/util/task_pool.hpp"
 
 namespace pml::benchutil {
+
+/// Widest fan-out the benches should measure: the shared TaskPool's
+/// worker count (max(2, hardware threads), or the PML_POOL_THREADS
+/// override).  This is exactly what num_threads = 0 resolves to inside
+/// the library, so the thread-scaling axes and the "auto" legs agree —
+/// and one env knob pins every bench on a noisy shared runner.
+inline std::size_t hardware_threads() {
+  return util::TaskPool::instance().size();
+}
+
+/// Thread-count axis for the scaling legs: 1, powers of two up to
+/// hardware_threads(), and hardware_threads() itself.
+inline std::vector<std::size_t> thread_scaling_axis() {
+  const std::size_t hw = hardware_threads();
+  std::vector<std::size_t> counts{1};
+  for (std::size_t t = 2; t <= hw; t *= 2) counts.push_back(t);
+  if (counts.back() != hw) counts.push_back(hw);
+  return counts;
+}
 
 struct PreparedData {
   ml::Dataset train;

@@ -39,6 +39,7 @@
 #include "pml/sim/batch_sim.hpp"
 #include "pml/sim/lanes.hpp"
 #include "pml/util/parallel.hpp"
+#include "pml/util/task_pool.hpp"
 
 namespace pml::core::backends {
 
@@ -109,10 +110,11 @@ template <class L>
 
 [[nodiscard]] inline std::size_t clamp_threads(std::size_t requested,
                                                std::size_t num_batches) {
+  // 0 = auto: fill the shared TaskPool (max(2, hardware_concurrency) or
+  // the PML_POOL_THREADS override) rather than re-deriving the hardware
+  // count here; either way never more slots than batches.
   const std::size_t n =
-      requested != 0
-          ? requested
-          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+      requested != 0 ? requested : util::TaskPool::instance().size();
   return std::min(n, num_batches);
 }
 
@@ -187,7 +189,8 @@ void run_verify_loop(const VerifyJob& job, VerifyResult& result) {
     }
   };
 
-  util::run_workers(num_threads, next_batch, num_batches, worker);
+  util::run_workers(num_threads, next_batch, num_batches, worker,
+                    "verify.worker");
 
   result.mismatches = mismatch_count.load();
 }
@@ -318,7 +321,8 @@ void run_activity_loop(const ActivityJob& job, sim::ActivityStats& out) {
     }
   };
 
-  util::run_workers(num_threads, next_batch, num_batches, worker);
+  util::run_workers(num_threads, next_batch, num_batches, worker,
+                    "activity.worker");
 
   out.net_toggles.assign(nets, 0);
   out.net_functional.assign(nets, 0);
@@ -399,7 +403,8 @@ void run_fault_loop(const FaultJob& job, FaultCampaignResult& result) {
     }
   };
 
-  util::run_workers(num_threads, next_batch, num_batches, worker);
+  util::run_workers(num_threads, next_batch, num_batches, worker,
+                    "fault.worker");
 }
 
 // --- probe ------------------------------------------------------------------

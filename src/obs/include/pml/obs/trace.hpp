@@ -3,10 +3,11 @@
 //
 // Load the output of Tracer::write (or any bench's `--trace out.json`)
 // into chrome://tracing or https://ui.perfetto.dev to see the evaluation
-// pipeline laid out on a timeline: one track per thread, so the
-// util::run_workers fan-outs (verification, power replay, fault
+// pipeline laid out on a timeline: one track per thread — or, for tasks
+// on the shared util::TaskPool, one track per task (TaskTrack below) —
+// so the run_workers fan-outs (verification, power replay, fault
 // campaigns, precision search) are visible as parallel worker spans under
-// the phase that spawned them.
+// the phase that spawned them even though the pool reuses OS threads.
 //
 // Cost model:
 //   * No tracer installed (the default): PML_OBS_SPAN is one relaxed
@@ -34,13 +35,38 @@
 
 namespace pml::obs {
 
-/// Dense per-process thread id (0 = first thread to ask, usually main).
-/// Stable for the thread's lifetime; used as the Chrome "tid".
+/// Dense per-process track id used as the Chrome "tid": normally stable
+/// for the thread's lifetime (0 = first thread to ask, usually main),
+/// but overridden for the extent of a TaskTrack so pooled threads render
+/// one track per task instead of one stale track per OS thread.
 [[nodiscard]] std::uint32_t current_thread_id();
 
-/// Name the calling thread's track in trace output ("verify-worker-3").
-/// Last writer wins; unnamed threads render as "thread-N".
+/// Name the calling thread's *current* track in trace output
+/// ("verify-worker-3") — inside a TaskTrack this names the task's track,
+/// not the OS thread's.  Last writer wins; unnamed tracks render as
+/// "thread-N".
 void set_thread_name(const std::string& name);
+
+/// RAII per-task track attribution for pooled threads.  util::TaskPool
+/// threads are reused across drivers, so a spawn-time thread name goes
+/// stale the moment the thread serves a different fan-out; instead every
+/// pool task body runs under a TaskTrack, which (only while a tracer is
+/// enabled) allocates a fresh track id from the same dense counter as
+/// thread ids, points current_thread_id() at it, and names it `label`.
+/// Nests (a service task fanning out opens inner tracks) and restores
+/// the previous track on destruction.  Free when tracing is off.
+class TaskTrack {
+ public:
+  explicit TaskTrack(const char* label);
+  ~TaskTrack();
+  TaskTrack(const TaskTrack&) = delete;
+  TaskTrack& operator=(const TaskTrack&) = delete;
+
+ private:
+  std::uint32_t saved_tid_ = 0;
+  bool saved_active_ = false;
+  bool engaged_ = false;
+};
 
 struct TraceEvent {
   std::string name;

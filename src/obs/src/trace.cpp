@@ -30,11 +30,38 @@ std::chrono::steady_clock::time_point trace_epoch() {
 
 }  // namespace
 
+namespace {
+
+std::atomic<std::uint32_t> g_next_track{0};
+
+/// TaskTrack override: while active, spans and thread names land on the
+/// task's track instead of the OS thread's.
+thread_local bool tl_track_active = false;
+thread_local std::uint32_t tl_track_tid = 0;
+
+}  // namespace
+
 std::uint32_t current_thread_id() {
-  static std::atomic<std::uint32_t> next{0};
+  if (tl_track_active) return tl_track_tid;
   thread_local const std::uint32_t id =
-      next.fetch_add(1, std::memory_order_relaxed);
+      g_next_track.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+TaskTrack::TaskTrack(const char* label) {
+  if (!Tracer::enabled()) return;  // free unless a trace is being taken
+  engaged_ = true;
+  saved_active_ = tl_track_active;
+  saved_tid_ = tl_track_tid;
+  tl_track_tid = g_next_track.fetch_add(1, std::memory_order_relaxed);
+  tl_track_active = true;
+  if (label != nullptr) set_thread_name(label);
+}
+
+TaskTrack::~TaskTrack() {
+  if (!engaged_) return;
+  tl_track_active = saved_active_;
+  tl_track_tid = saved_tid_;
 }
 
 void set_thread_name(const std::string& name) {

@@ -9,6 +9,7 @@
 #include "pml/obs/metrics.hpp"
 #include "pml/obs/trace.hpp"
 #include "pml/util/parallel.hpp"
+#include "pml/util/task_pool.hpp"
 
 namespace pml::quant {
 
@@ -49,26 +50,29 @@ PrecisionSearchResult search_min_precision(
   // wider chunk over-evaluates at most chunk-1 points past the winner and
   // discards them from the sweep).
   const std::size_t num_threads = std::max<std::size_t>(
-      1, std::min(cands.size(),
-                  options.num_threads != 0
-                      ? options.num_threads
-                      : std::max<std::size_t>(
-                            1, std::thread::hardware_concurrency())));
+      1, std::min(cands.size(), options.num_threads != 0
+                                    ? options.num_threads
+                                    : util::TaskPool::instance().size()));
   std::vector<double> accs(cands.size(), 0.0);
   bool found = false;
   for (std::size_t begin = 0; begin < cands.size() && !found;) {
     const std::size_t end = std::min(cands.size(), begin + num_threads);
     std::atomic<std::size_t> next{begin};
-    util::run_workers(end - begin, next, end, [&](std::size_t /*thread*/) {
-      PML_OBS_SPAN("quant.search.worker");
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= end) return;
-        PML_OBS_COUNT("quant.candidates", 1);
-        const QuantizedSvm q = quantize_svm(model, cands[i].bx, cands[i].bw);
-        accs[i] = ml::accuracy(q.predict_all(holdout.X), holdout.y);
-      }
-    });
+    util::run_workers(
+        end - begin, next, end,
+        [&](std::size_t /*slot*/) {
+          PML_OBS_SPAN("quant.search.worker");
+          for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= end) return;
+            PML_OBS_COUNT("quant.candidates", 1);
+            const QuantizedSvm q =
+                quantize_svm(model, cands[i].bx, cands[i].bw);
+            accs[i] = ml::accuracy(q.predict_all(holdout.X), holdout.y);
+          }
+        },
+        "quant.search");
     for (std::size_t i = begin; i < end; ++i) {
       const double acc = accs[i];
       result.sweep.push_back({cands[i].bx, cands[i].bw, acc});

@@ -40,19 +40,26 @@
 //     RetryPolicy::max_attempts times with doubling backoff slept on the
 //     injected util::Clock, so tests retry instantly on a ManualClock.
 //   * **Fault tolerance** — a chaos::PoisonWorker escaping an evaluation
-//     retires the claiming worker after requeueing the job; when the last
-//     worker retires with work remaining, the pump respawns the pool
-//     (`svc.workers.respawned`).
+//     retires the claiming worker seat after requeueing the job (a fresh
+//     seat takes over); when every seat of a worker generation has been
+//     poisoned, the next seat counts as a pool respawn
+//     (`svc.workers.respawned`), mirroring the dedicated-pool semantics
+//     this service had before the shared TaskPool.
 //   * **Lifecycle** — stop(StopMode::kDrain) finishes queued work then
-//     joins; stop(StopMode::kAbort) fails queued jobs with ServiceStopped
-//     and requests cancellation of running ones.  Both are idempotent and
-//     safe to race with waiters; the destructor drains.
+//     quiesces; stop(StopMode::kAbort) fails queued jobs with
+//     ServiceStopped and requests cancellation of running ones.  Both are
+//     idempotent and safe to race with waiters; the destructor drains.
 //
-// Jobs run on a worker pool built from util::run_workers (the same
-// primitive behind the batch simulators' sharding); each worker owns one
-// pooled core::EvalContext, so steady-state job evaluation rides the
-// zero-allocation path (module validation runs once at submit, workers
-// skip it).  Observability: `svc.jobs.submitted`, `svc.cache.hits`,
+// Jobs run on *worker seats*: up to Options::num_workers detached tasks
+// on the shared util::TaskPool, scheduled on demand when jobs are queued
+// and retired when the queue drains — the service owns no threads at
+// all, so an idle service costs nothing and nested parallelism (service
+// job -> per-evaluation verify/activity fan-out, which rides the same
+// pool) composes against one fixed thread budget instead of
+// oversubscribing cores.  Each seat owns one pooled core::EvalContext,
+// so steady-state job evaluation rides the zero-allocation path (module
+// validation runs once at submit, workers skip it).  Observability:
+// `svc.jobs.submitted`, `svc.cache.hits`,
 // `svc.cache.misses`, `svc.jobs.deduped`, `svc.jobs.timeout`,
 // `svc.jobs.cancelled`, `svc.jobs.shed`, `svc.jobs.retried`,
 // `svc.jobs.caller_runs`, `svc.cache.evictions`,
@@ -69,7 +76,6 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -228,15 +234,17 @@ struct SweepStats {
 class SweepService {
  public:
   struct Options {
-    /// Evaluation workers.  1 (the default) evaluates jobs one at a time
-    /// on a single background thread; N runs N concurrent evaluations,
-    /// each with its own pooled EvalContext.
+    /// Evaluation worker seats.  1 (the default) evaluates jobs one at a
+    /// time; N runs up to N concurrent evaluations, each seat a detached
+    /// task on the shared util::TaskPool with its own pooled EvalContext.
     std::size_t num_workers = 1;
     /// Threads *inside* each evaluation (verification shards + power
-    /// replay shards).  0 = auto: hardware threads when num_workers == 1,
-    /// else 1 so concurrent jobs do not oversubscribe.  Results are
-    /// identical under every setting (evaluate_circuit's determinism
-    /// contract) — this is purely a throughput knob.
+    /// replay shards).  0 = auto: the evaluation fan-outs size themselves
+    /// to the shared TaskPool — safe even with concurrent seats, because
+    /// every fan-out rides the same fixed pool instead of spawning
+    /// threads.  Results are identical under every setting
+    /// (evaluate_circuit's determinism contract) — this is purely a
+    /// throughput knob.
     std::size_t eval_threads = 0;
     /// Queue bound for backpressure.  0 = unbounded (every submit
     /// enqueues); otherwise `admission` decides what a full queue does.
@@ -361,8 +369,11 @@ class SweepService {
     std::list<Job*>::iterator lru_it;
   };
 
-  void pump_main();
-  void worker_loop(std::size_t slot);
+  /// Schedule detached pool tasks (one per free worker seat) while jobs
+  /// are queued; seats drain the queue and retire.  mu_ held.
+  void maybe_spawn_workers_locked();
+  /// One seat's drain loop, running as a TaskPool detached task.
+  void worker_task(std::size_t slot);
   RunResult run_job(core::EvalContext& ctx, const std::shared_ptr<Job>& job,
                     bool on_caller);
   void finish_job(const std::shared_ptr<Job>& job, JobStatus status,
@@ -381,8 +392,7 @@ class SweepService {
   util::Clock* clock_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;     ///< queue non-empty or stopping
-  std::condition_variable done_cv_;     ///< some job reached kDone
+  std::condition_variable done_cv_;     ///< job done or a seat retired
   std::condition_variable space_cv_;    ///< queue shrank (kBlock admission)
   std::condition_variable waiters_cv_;  ///< waiters_ hit zero (destructor)
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
@@ -394,15 +404,18 @@ class SweepService {
   std::size_t waiters_ = 0;  ///< threads inside wait_outcome()
   bool stopping_ = false;
 
-  /// One pooled evaluation context per worker slot (stable addresses).
+  /// One pooled evaluation context per worker seat (stable addresses).
   std::deque<core::EvalContext> contexts_;
-  /// Claim counter required by util::run_workers' error-drain contract;
-  /// the service's real queue is `queue_` + `work_cv_`.
-  std::atomic<std::size_t> claim_{0};
+  /// Seat indices not currently running a worker task (guards contexts_:
+  /// a seat's context is touched only by the task holding the seat).
+  std::vector<std::size_t> free_slots_;
+  std::size_t active_workers_ = 0;  ///< seats with a scheduled/running task
+  /// Seats retired by poison since the last counted respawn; reaching
+  /// num_workers means the whole generation died (the old dedicated
+  /// pool's respawn condition) and bumps workers_respawned.
+  std::size_t poisoned_seats_ = 0;
   /// Process-order evaluation-attempt counter (the chaos ordinal).
   std::atomic<std::uint64_t> eval_ordinal_{0};
-  std::mutex join_mu_;  ///< serializes pump_.join() across stop() racers
-  std::thread pump_;    ///< runs util::run_workers over the worker pool
 
   const chaos::FaultPlan* chaos_plan_ = nullptr;
   std::function<void(std::uint64_t)> test_hook_;

@@ -12,7 +12,7 @@
 #include "pml/obs/trace.hpp"
 #include "pml/util/alloc_hook.hpp"
 #include "pml/util/cancellation.hpp"
-#include "pml/util/parallel.hpp"
+#include "pml/util/task_pool.hpp"
 
 namespace pml::svc {
 
@@ -168,11 +168,11 @@ SweepService::SweepService(const cells::CellLibrary& lib, Options options)
   if (options_.num_workers == 0) options_.num_workers = 1;
   for (std::size_t i = 0; i < options_.num_workers; ++i) {
     contexts_.emplace_back();
+    free_slots_.push_back(i);
   }
-  // run_workers owns the thread lifecycle (spawn, error drain, join); the
-  // pump thread exists so the num_workers == 1 inline path still runs off
-  // the caller's thread, and so the pool can be respawned after a poison.
-  pump_ = std::thread([this] { pump_main(); });
+  // No threads are created here: worker seats are detached tasks on the
+  // shared util::TaskPool, scheduled on demand by submit() and retired
+  // when the queue drains, so an idle service costs nothing.
 }
 
 SweepService::~SweepService() {
@@ -184,51 +184,59 @@ SweepService::~SweepService() {
 }
 
 void SweepService::stop(StopMode mode) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (!stopping_) {
-      stopping_ = true;
-      if (mode == StopMode::kAbort) {
-        // Fail everything still queued; waiters resolve immediately with
-        // ServiceStopped instead of waiting for a drain.
-        std::deque<std::shared_ptr<Job>> aborted;
-        aborted.swap(queue_);
-        for (const std::shared_ptr<Job>& job : aborted) {
-          finish_job_locked(
-              job, JobStatus::kFailed,
-              std::make_exception_ptr(ServiceStopped(
-                  job_label(job->id, job->key) +
-                  ": service stopped before evaluation (stop-abort)")),
-              /*cacheable=*/false);
-        }
-        // Running evaluations notice at their next checkpoint.
-        for (const auto& [key, job] : jobs_) {
-          if (job->state == JobState::kRunning) {
-            job->cancel_flag.store(true, std::memory_order_release);
-          }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!stopping_) {
+    stopping_ = true;
+    if (mode == StopMode::kAbort) {
+      // Fail everything still queued; waiters resolve immediately with
+      // ServiceStopped instead of waiting for a drain.
+      std::deque<std::shared_ptr<Job>> aborted;
+      aborted.swap(queue_);
+      for (const std::shared_ptr<Job>& job : aborted) {
+        finish_job_locked(
+            job, JobStatus::kFailed,
+            std::make_exception_ptr(ServiceStopped(
+                job_label(job->id, job->key) +
+                ": service stopped before evaluation (stop-abort)")),
+            /*cacheable=*/false);
+      }
+      // Running evaluations notice at their next checkpoint.
+      for (const auto& [key, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel_flag.store(true, std::memory_order_release);
         }
       }
     }
-    work_cv_.notify_all();
-    space_cv_.notify_all();
   }
-  // Idempotent join (double-stop and concurrent stops are safe; the
-  // pump thread itself never calls stop()).
-  std::lock_guard<std::mutex> jl(join_mu_);
-  if (pump_.joinable()) pump_.join();
+  space_cv_.notify_all();
+  // Quiesce.  Under kDrain the worker seats keep claiming until the
+  // queue is empty (worker_task never checks stopping_); under kAbort the
+  // queue was just failed and running jobs were asked to cancel.  Every
+  // stop() racer waits on the same predicate, so double-stop is safe.
+  done_cv_.wait(lk, [this] { return queue_.empty() && active_workers_ == 0; });
 }
 
-void SweepService::pump_main() {
-  for (;;) {
+void SweepService::maybe_spawn_workers_locked() {
+  // One seat per queued-job demand, up to num_workers.  Deliberately not
+  // gated on stopping_: a kDrain stop still needs seats to finish the
+  // queue (under kAbort the queue is already empty, so this no-ops).
+  while (!queue_.empty() && !free_slots_.empty() &&
+         active_workers_ < options_.num_workers) {
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++active_workers_;
     try {
-      util::run_workers(options_.num_workers, claim_, 0,
-                        [this](std::size_t slot) { worker_loop(slot); });
+      util::TaskPool::instance().submit_detached(
+          "svc.worker", [this, slot] { worker_task(slot); });
     } catch (...) {
-      // Worker *spawn* failure (worker_loop itself only exits, never
-      // throws).  Fail every queued job rather than strand its waiters.
+      // Seat-spawn failure (task allocation or pool-thread spawn).  Undo
+      // the reservation; any live seat will still drain the queue.  With
+      // no live seat, fail every queued job rather than strand its
+      // waiters — the next submit() retries scheduling from scratch.
+      free_slots_.push_back(slot);
+      --active_workers_;
+      if (active_workers_ > 0) return;
       const std::exception_ptr spawn_error = std::current_exception();
-      std::lock_guard<std::mutex> lk(mu_);
-      stopping_ = true;
       std::deque<std::shared_ptr<Job>> pending;
       pending.swap(queue_);
       for (const std::shared_ptr<Job>& job : pending) {
@@ -239,33 +247,44 @@ void SweepService::pump_main() {
       space_cv_.notify_all();
       return;
     }
-    // run_workers returns when every worker retired: either the service
-    // is stopping with a drained queue (normal shutdown) or the pool was
-    // poisoned to death with work remaining — respawn it.
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (stopping_ && queue_.empty()) return;
-      ++stats_.workers_respawned;
-    }
-    PML_OBS_COUNT("svc.workers.respawned", 1);
   }
 }
 
-void SweepService::worker_loop(std::size_t slot) {
+void SweepService::worker_task(std::size_t slot) {
   core::EvalContext& ctx = contexts_[slot];
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping, nothing left to claim
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queue_.empty()) {
+        // Nothing left to claim: retire the seat.  submit() schedules a
+        // fresh one when the next job lands.
+        free_slots_.push_back(slot);
+        --active_workers_;
+        done_cv_.notify_all();  // stop() waits for quiescence on done_cv_
+        return;
+      }
       job = queue_.front();
       queue_.pop_front();
       job->state = JobState::kRunning;
       space_cv_.notify_one();
     }
     if (run_job(ctx, job, /*on_caller=*/false) == RunResult::kPoisoned) {
-      return;  // this worker retires; pump_main respawns an empty pool
+      std::lock_guard<std::mutex> lk(mu_);
+      free_slots_.push_back(slot);
+      --active_workers_;
+      // Seat-generation accounting: the dedicated pool this service used
+      // to own respawned (and counted) only once *all* its workers had
+      // died.  Mirror that: count a respawn after num_workers poison
+      // retirements, then start a new generation.
+      if (++poisoned_seats_ >= options_.num_workers) {
+        poisoned_seats_ = 0;
+        ++stats_.workers_respawned;
+        PML_OBS_COUNT("svc.workers.respawned", 1);
+      }
+      maybe_spawn_workers_locked();  // the requeued job needs a fresh seat
+      done_cv_.notify_all();
+      return;
     }
   }
 }
@@ -308,13 +327,11 @@ SweepService::RunResult SweepService::run_job(core::EvalContext& ctx,
       if (options_.eval_threads != 0) {
         opts.verify.num_threads = options_.eval_threads;
         opts.power_threads = options_.eval_threads;
-      } else if (options_.num_workers > 1 || on_caller) {
-        // Concurrent jobs (or a caller-run riding beside the pool): keep
-        // each evaluation single-threaded so the pool is the only source
-        // of parallelism.
-        opts.verify.num_threads = 1;
-        opts.power_threads = 1;
       }
+      // eval_threads == 0 leaves the request's own thread knobs in
+      // place: evaluation fan-outs ride the shared TaskPool, so even
+      // concurrent seats (or a caller-run beside them) compose against
+      // one fixed thread budget instead of oversubscribing cores.
       {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.evaluated;
@@ -337,15 +354,14 @@ SweepService::RunResult SweepService::run_job(core::EvalContext& ctx,
                    /*cacheable=*/false);
         return RunResult::kCompleted;
       }
-      // Put the job back at the head of the line (a fresh worker — with a
-      // fresh evaluation ordinal, so the poison does not refire — will
-      // claim it) and retire this worker.
+      // Put the job back at the head of the line and retire this seat; a
+      // fresh seat — with a fresh evaluation ordinal, so the poison does
+      // not refire — is scheduled by worker_task as part of retiring.
       {
         std::lock_guard<std::mutex> lk(mu_);
         job->state = JobState::kQueued;
         queue_.push_front(job);
       }
-      work_cv_.notify_one();
       return RunResult::kPoisoned;
     } catch (const util::Cancelled& c) {
       util::disarm_alloc_failure();
@@ -564,6 +580,7 @@ SweepTicket SweepService::submit(SweepRequest request) {
       PML_OBS_COUNT("svc.jobs.caller_runs", 1);
     } else {
       queue_.push_back(job);
+      maybe_spawn_workers_locked();
     }
   }
   if (caller_runs) {
@@ -571,8 +588,6 @@ SweepTicket SweepService::submit(SweepRequest request) {
     // own evaluation on a thread-local pooled context.  run_job resolves
     // the job fully (including poison, which degrades to failure here).
     run_job(caller_context(), job, /*on_caller=*/true);
-  } else {
-    work_cv_.notify_one();
   }
   SweepTicket t;
   t.key = key;

@@ -1,9 +1,11 @@
-// Failure paths of util::run_workers, driven by the chaos allocation
-// hook: worker exceptions must drain the claim queue, join every thread,
-// and rethrow the first error; thread-*spawn* failures (std::bad_alloc
-// out of pool.reserve or a std::thread constructor) must never leak a
-// running thread or deadlock.  These paths back the sweep service's
-// worker pool, so they get direct coverage here.
+// Failure paths of util::run_workers (now a shim over util::TaskPool),
+// driven by the chaos allocation hook: worker exceptions must drain the
+// claim queue, quiesce every started slot, and rethrow the first error;
+// *submission* failures (std::bad_alloc queueing the group's tickets or
+// spawning the first pool thread) must never strand a ticket or
+// deadlock.  These paths back every evaluation fan-out, so they get
+// direct coverage here; the pool itself is covered in
+// test_util_task_pool.cpp.
 
 #include "pml/util/alloc_hook.hpp"
 

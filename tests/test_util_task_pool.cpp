@@ -1,0 +1,188 @@
+// Direct coverage of util::TaskPool — the process-wide work-stealing
+// pool behind every evaluation fan-out (run_workers shim), the sweep
+// service's worker seats (submit_detached), and the precision search.
+// The properties proven here are the ones the rest of the stack leans
+// on: every group slot runs exactly once, slot-indexed merges are
+// bit-identical regardless of which worker steals what, nested groups
+// never deadlock (the submitting thread claims unclaimed slots itself),
+// a throwing slot quiesces the group before rethrowing, cancellation
+// checkpoints propagate through the shim, detached tasks queued before
+// stop() still run, and a stopped pool restarts lazily.
+//
+// Runs under ThreadSanitizer in CI — the deque protocol is all-atomic
+// precisely so these tests prove it race-free, not just lucky.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "pml/util/cancellation.hpp"
+#include "pml/util/parallel.hpp"
+#include "pml/util/task_pool.hpp"
+
+namespace pml::util {
+namespace {
+
+TEST(TaskPool, SingletonIsStableAndAtLeastTwoWide) {
+  TaskPool& a = TaskPool::instance();
+  TaskPool& b = TaskPool::instance();
+  EXPECT_EQ(&a, &b);
+  // The floor of two guarantees progress when one task parks on a test
+  // gate (the chaos/robustness harnesses rely on this).
+  EXPECT_GE(a.size(), 2u);
+}
+
+TEST(TaskPool, GroupRunsEverySlotExactlyOnce) {
+  TaskPool& pool = TaskPool::instance();
+  const std::size_t slots = 3 * pool.size() + 1;  // more slots than workers
+  std::vector<int> hits(slots, 0);
+  // Distinct cells per slot: the group join publishes the writes.
+  pool.run_group(slots, "test.slots",
+                 [&](std::size_t slot) { hits[slot] += 1; });
+  for (std::size_t i = 0; i < slots; ++i) {
+    EXPECT_EQ(hits[i], 1) << "slot " << i;
+  }
+}
+
+TEST(TaskPool, SlotMergeIsDeterministicUnderStealing) {
+  // The run_workers shape: workers claim items from a shared counter and
+  // write results by item index.  Which worker computes which item (and
+  // who steals whose ticket) varies run to run; the merged vector must
+  // not.  f(i) is arbitrary but order-sensitive enough to catch an
+  // index mixup.
+  constexpr std::size_t kItems = 4096;
+  const auto f = [](std::size_t i) {
+    return static_cast<std::uint64_t>(i) * 2654435761u + 17;
+  };
+  std::vector<std::uint64_t> expected(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) expected[i] = f(i);
+
+  TaskPool& pool = TaskPool::instance();
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::uint64_t> out(kItems, 0);
+    std::atomic<std::size_t> next{0};
+    pool.run_group(pool.size(), "test.merge", [&](std::size_t) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= kItems) return;
+        out[i] = f(i);
+      }
+    });
+    EXPECT_EQ(out, expected) << "round " << round;
+  }
+}
+
+TEST(TaskPool, NestedGroupsDoNotDeadlock) {
+  // Saturate the pool with an outer group, then fan out again from every
+  // slot.  Inner slots that no sibling picks up are claimed by the
+  // submitting (pool) thread itself, so this completes even when every
+  // worker is already busy — the property that lets a sweep-service job
+  // fan out its verification shards from inside a pool task.
+  TaskPool& pool = TaskPool::instance();
+  const std::size_t outer = 2 * pool.size();
+  constexpr std::size_t kInner = 4;
+  std::atomic<std::size_t> ran{0};
+  pool.run_group(outer, "test.outer", [&](std::size_t) {
+    pool.run_group(kInner, "test.inner", [&](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(ran.load(), outer * kInner);
+}
+
+TEST(TaskPool, ThrowingSlotQuiescesGroupThenRethrows) {
+  TaskPool& pool = TaskPool::instance();
+  const std::size_t slots = pool.size() + 3;
+  std::atomic<std::size_t> finished{0};
+  try {
+    pool.run_group(slots, "test.throw", [&](std::size_t slot) {
+      if (slot == 2) throw std::runtime_error("slot 2 exploded");
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the slot exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "slot 2 exploded");
+  }
+  // A group throw cancels nothing by itself (drain policy belongs to the
+  // run_workers shim): every non-throwing slot still ran, and all of
+  // them finished before the rethrow.
+  EXPECT_EQ(finished.load(), slots - 1);
+}
+
+TEST(TaskPool, CancellationCheckpointStopsSiblingsThroughShim) {
+  // The evaluation stack's cancellation contract: a worker that trips a
+  // checkpoint throws util::Cancelled; run_workers drains the claim
+  // queue so siblings stop claiming, and the Cancelled surfaces to the
+  // caller intact (reason and all).
+  constexpr std::size_t kItems = 100'000;
+  std::atomic<bool> cancel{false};
+  const CancellationToken token(&cancel);
+  std::atomic<std::size_t> queue{0};
+  std::atomic<std::size_t> claimed{0};
+  try {
+    run_workers(
+        4, queue, kItems,
+        [&](std::size_t) {
+          for (;;) {
+            const std::size_t i = queue.fetch_add(1);
+            if (i >= kItems) return;
+            if (i == 10) cancel.store(true);  // some worker trips the flag
+            token.check("test.checkpoint");
+            claimed.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        "test.cancel");
+    FAIL() << "expected util::Cancelled to propagate";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.reason(), Cancelled::Reason::kCancelled);
+  }
+  EXPECT_LT(claimed.load(), kItems);
+}
+
+TEST(TaskPool, DetachedTasksQueuedBeforeStopStillRun) {
+  TaskPool& pool = TaskPool::instance();
+  constexpr int kTasks = 32;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit_detached("test.detached", [&] {
+      std::lock_guard<std::mutex> lk(mu);
+      if (++done == kTasks) cv.notify_all();
+    });
+  }
+  // Workers drain their queues before honoring stop(), so this joins
+  // with every task executed even if stop() wins the race to the lock.
+  pool.stop();
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(TaskPool, RestartsLazilyAfterStop) {
+  TaskPool& pool = TaskPool::instance();
+  pool.stop();
+  pool.stop();  // idempotent
+  const std::uint64_t started_before = pool.threads_started();
+  std::atomic<std::size_t> ran{0};
+  pool.run_group(pool.size() + 1, "test.restart", [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), pool.size() + 1);
+  // The group forced a fresh spawn; a second group on the warm pool must
+  // not (threads_started is the bench_task_pool no-spawn gate).
+  const std::uint64_t started_warm = pool.threads_started();
+  EXPECT_GT(started_warm, started_before);
+  pool.run_group(pool.size() + 1, "test.warm", [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(pool.threads_started(), started_warm);
+}
+
+}  // namespace
+}  // namespace pml::util
